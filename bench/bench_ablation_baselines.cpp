@@ -1,0 +1,76 @@
+// Ablation: hierarchical formats vs the globally-low-rank Nystrom baseline
+// across the kernel width h (paper Section 1.2: Nystrom is excellent *iff*
+// K is globally low rank, which fails at moderate h).
+//
+//   ./bench_ablation_baselines [--n 2000] [--dataset GAS]
+//
+// For each h, each method gets a comparable memory budget and reports test
+// accuracy: the crossover (Nystrom competitive at extreme h, hierarchical
+// methods required at the classification operating point) is the series to
+// check.
+
+#include "bench_common.hpp"
+#include "krr/nystrom.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 2000));
+  const std::string name = args.get_string("dataset", "SUSY");
+  const std::uint64_t seed = args.get_int("seed", 42);
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  bench::print_banner("Ablation (Sec. 1.2)",
+                      "HSS-KRR vs Nystrom baseline across kernel width h",
+                      "Nystrom comparator implemented in-repo");
+
+  bench::PreparedData d = bench::prepare(name, n, 500, seed);
+  const auto ytrain = d.train.one_vs_all(d.info.target_class);
+  const auto ytest = d.test.one_vs_all(d.info.target_class);
+
+  util::Table table({"h", "HSS acc", "HSS mem (MB)", "Nystrom-64 acc",
+                     "Nystrom-256 acc", "Nystrom-256 mem (MB)"});
+
+  for (double h : {0.25, 0.5, 1.0, 2.0, 8.0, 32.0}) {
+    std::vector<std::string> row{util::Table::fmt(h, 2)};
+    {
+      krr::KRROptions opts;
+      opts.ordering = cluster::OrderingMethod::kTwoMeans;
+      opts.backend = krr::SolverBackend::kHSSRandomDense;
+      opts.kernel.h = h;
+      opts.lambda = d.info.lambda;
+      opts.hss_rtol = 1e-1;
+      krr::KRRClassifier clf(opts);
+      clf.fit(d.train.points, ytrain);
+      row.push_back(util::Table::fmt_pct(clf.accuracy(d.test.points, ytest)));
+      row.push_back(util::Table::fmt_mb(
+          static_cast<double>(clf.model().stats().hss_memory_bytes)));
+    }
+    for (int landmarks : {64, 256}) {
+      krr::NystromOptions opts;
+      opts.landmarks = landmarks;
+      opts.kernel.h = h;
+      opts.lambda = d.info.lambda;
+      opts.seed = seed;
+      krr::NystromKRR ny(opts);
+      const double acc = ny.classify_accuracy(d.train.points, ytrain,
+                                              d.test.points, ytest);
+      row.push_back(util::Table::fmt_pct(acc));
+      if (landmarks == 256) {
+        row.push_back(util::Table::fmt_mb(
+            static_cast<double>(ny.stats().memory_bytes)));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, name + " twin, n=" + std::to_string(d.train.n()) +
+                             ": hierarchical vs global low-rank");
+  std::cout << "shape to check: at extreme h (globally low-rank regime) both\n"
+               "methods match; near the tuned operating point the global\n"
+               "low-rank approximation needs many more landmarks to keep up\n"
+               "while HSS memory stays moderate.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: ULV (this paper / STRUMPACK) vs Sherman-Morrison-Woodbury on
+// HODLR (the INV-ASKIT approach the paper contrasts itself with,
+// Section 1.2 item 2).
+//
+//   ./bench_ablation_ulv_vs_smw [--n 4000] [--dataset GAS]
+//
+// Both solvers consume the same cluster tree and element accessor; rows show
+// compression memory, factor time, solve time and the residual against the
+// dense operator reconstruction.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "hodlr/hodlr.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "util/timer.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 4000));
+  const std::string name = args.get_string("dataset", "GAS");
+  const double rtol = args.get_double("rtol", 1e-2);
+  const std::uint64_t seed = args.get_int("seed", 42);
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  bench::print_banner(
+      "Ablation (Sec. 1.2)",
+      "ULV on HSS vs Sherman-Morrison-Woodbury on HODLR",
+      "INV-ASKIT comparator implemented in-repo (hodlr::SMWFactorization)");
+
+  bench::PreparedData d = bench::prepare(name, n, 100, seed);
+
+  cluster::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cluster::ClusterTree tree = cluster::build_cluster_tree(
+      d.train.points, cluster::OrderingMethod::kTwoMeans, copts);
+  la::Matrix permuted =
+      cluster::apply_row_permutation(d.train.points, tree.perm());
+  kernel::KernelMatrix km(
+      std::move(permuted),
+      {kernel::KernelType::kGaussian, d.info.h, 2, 1.0}, d.info.lambda);
+
+  util::Rng rng(seed);
+  la::Vector b(d.train.n());
+  for (auto& v : b) v = rng.normal();
+
+  util::Table table({"pipeline", "compress (s)", "memory (MB)", "max rank",
+                     "factor (s)", "solve (s)", "residual vs operator"});
+
+  // --- HSS + ULV ---------------------------------------------------------
+  {
+    hss::ExtractFn extract = [&](const std::vector<int>& r,
+                                 const std::vector<int>& c) {
+      return km.extract(r, c);
+    };
+    hss::SampleFn sample = [&](const la::Matrix& r) { return km.multiply(r); };
+    hss::HSSOptions opts;
+    opts.rtol = rtol;
+    util::Timer tc;
+    hss::HSSMatrix hssm =
+        hss::build_hss_randomized(tree, extract, sample, {}, opts);
+    const double compress_s = tc.seconds();
+    util::Timer tf;
+    hss::ULVFactorization ulv(hssm);
+    const double factor_s = tf.seconds();
+    util::Timer ts;
+    la::Vector x = ulv.solve(b);
+    const double solve_s = ts.seconds();
+    const double res = ulv.relative_residual(x, b);
+    table.add_row({"HSS + ULV (this paper)", util::Table::fmt(compress_s),
+                   util::Table::fmt_mb(
+                       static_cast<double>(hssm.memory_bytes())),
+                   util::Table::fmt_int(hssm.max_rank()),
+                   util::Table::fmt(factor_s), util::Table::fmt(solve_s, 4),
+                   util::Table::fmt_sci(res)});
+  }
+
+  // --- HODLR + SMW ---------------------------------------------------------
+  {
+    hodlr::HODLROptions opts;
+    opts.rtol = rtol;
+    util::Timer tc;
+    hodlr::HODLRMatrix hm(km, tree, opts);
+    const double compress_s = tc.seconds();
+    util::Timer tf;
+    hodlr::SMWFactorization smw(hm);
+    const double factor_s = tf.seconds();
+    util::Timer ts;
+    la::Vector x = smw.solve(b);
+    const double solve_s = ts.seconds();
+    la::Vector ax = hm.matvec(x);
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < d.train.n(); ++i) {
+      num += (ax[i] - b[i]) * (ax[i] - b[i]);
+      den += b[i] * b[i];
+    }
+    table.add_row({"HODLR + SMW (INV-ASKIT style)",
+                   util::Table::fmt(compress_s),
+                   util::Table::fmt_mb(
+                       static_cast<double>(hm.stats().memory_bytes)),
+                   util::Table::fmt_int(hm.stats().max_rank),
+                   util::Table::fmt(factor_s), util::Table::fmt(solve_s, 4),
+                   util::Table::fmt_sci(std::sqrt(num / den))});
+  }
+
+  table.print(std::cout, name + " twin, n=" + std::to_string(d.train.n()) +
+                             ", tol=" + util::Table::fmt_sci(rtol, 0));
+  std::cout << "expectations: both pipelines invert their compressed operator\n"
+               "to ~machine precision and stay far below dense cost.  HODLR's\n"
+               "independent bases are cheaper to build at small n; the HSS\n"
+               "nested bases pay off asymptotically (O(rn) memory vs\n"
+               "O(rn log n)) — sweep --n to see the gap close and reverse.\n";
+  return 0;
+}

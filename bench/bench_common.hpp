@@ -1,0 +1,86 @@
+#pragma once
+// Shared plumbing for the per-table/per-figure bench binaries.
+//
+// Every binary prints the rows/series of one table or figure from the paper
+// (see DESIGN.md experiment index), runs standalone with single-node-sized
+// defaults, and accepts --n / --threads / --seed overrides.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/ordering.hpp"
+#include "data/dataset.hpp"
+#include "data/datasets.hpp"
+#include "kernel/kernel.hpp"
+#include "krr/krr.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+
+namespace khss::bench {
+
+/// Train/test split of a paper-twin dataset, z-score normalized on train.
+struct PreparedData {
+  data::Dataset train;
+  data::Dataset test;
+  data::PaperDatasetInfo info;
+};
+
+inline PreparedData prepare(const std::string& name, int n_train, int n_test,
+                            std::uint64_t seed) {
+  PreparedData out;
+  out.info = data::paper_dataset_info(name);
+  data::Dataset full = data::make_paper_dataset(name, n_train + n_test, seed);
+  util::Rng rng(seed + 1);
+  data::Split split = data::split_and_normalize(
+      full, static_cast<double>(n_train) / full.n(), 0.0,
+      static_cast<double>(n_test) / full.n(), rng);
+  out.train = std::move(split.train);
+  out.test = std::move(split.test);
+  return out;
+}
+
+/// One KRR run; returns (accuracy, stats).
+struct RunResult {
+  double accuracy = 0.0;
+  krr::KRRStats stats;
+};
+
+inline RunResult run_krr(const PreparedData& d, cluster::OrderingMethod m,
+                         krr::SolverBackend backend, double rtol = 1e-1) {
+  krr::KRROptions opts;
+  opts.ordering = m;
+  opts.backend = backend;
+  opts.kernel.h = d.info.h;
+  opts.lambda = d.info.lambda;
+  opts.hss_rtol = rtol;
+
+  krr::KRRClassifier clf(opts);
+  clf.fit(d.train.points, d.train.one_vs_all(d.info.target_class));
+  RunResult r;
+  r.accuracy = clf.accuracy(d.test.points,
+                            d.test.one_vs_all(d.info.target_class));
+  r.stats = clf.model().stats();
+  return r;
+}
+
+inline const std::vector<cluster::OrderingMethod>& paper_orderings() {
+  static const std::vector<cluster::OrderingMethod> kMethods = {
+      cluster::OrderingMethod::kNatural, cluster::OrderingMethod::kKD,
+      cluster::OrderingMethod::kPCA, cluster::OrderingMethod::kTwoMeans};
+  return kMethods;
+}
+
+inline void print_banner(const std::string& id, const std::string& what,
+                         const std::string& substitution) {
+  std::cout << "==============================================================\n"
+            << "Reproduction of " << id << ": " << what << "\n";
+  if (!substitution.empty()) {
+    std::cout << "substitution: " << substitution << "\n";
+  }
+  std::cout << "==============================================================\n";
+}
+
+}  // namespace khss::bench

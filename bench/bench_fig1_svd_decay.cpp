@@ -1,0 +1,117 @@
+// Fig. 1a/1b + Table 1: singular value decay of the GAS1K kernel matrix and
+// its off-diagonal block, with and without 2-means (2MN) preprocessing.
+//
+//   ./bench_fig1_svd_decay [--n 1000] [--threads 0]
+//
+// Prints (a) decimated singular-value series of the off-diagonal n/2 x n/2
+// block K(1,2) and of the full kernel matrix for h in {0.1, 1, 10}, under
+// natural (NP) and 2MN orderings, and (b) the Table 1 effective ranks
+// (#sigma_k > 0.01 of K(1,2)) for h in {0.01, 0.1, 1, 10, 100}.
+
+#include "bench_common.hpp"
+#include "la/svd.hpp"
+
+using namespace khss;
+
+namespace {
+
+la::Matrix offdiag_block(const kernel::KernelMatrix& km) {
+  const int n = km.n();
+  std::vector<int> rows(n / 2), cols(n - n / 2);
+  for (int i = 0; i < n / 2; ++i) rows[i] = i;
+  for (int i = n / 2; i < n; ++i) cols[i - n / 2] = i;
+  return km.extract(rows, cols);
+}
+
+kernel::KernelMatrix reorder(const la::Matrix& pts,
+                             const cluster::ClusterTree& tree, double h) {
+  la::Matrix permuted = cluster::apply_row_permutation(pts, tree.perm());
+  return kernel::KernelMatrix(
+      std::move(permuted),
+      {kernel::KernelType::kGaussian, h, 2, 1.0});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 1000));
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  bench::print_banner(
+      "Fig. 1a/1b + Table 1",
+      "GAS1K singular values, natural vs 2MN ordering",
+      "GAS dataset -> synthetic twin (d=128, 6 classes, low intrinsic dim)");
+
+  data::Dataset gas = data::make_paper_dataset("GAS", n);
+  data::ColumnTransform t = data::fit_zscore(gas.points);
+  t.apply(gas.points);
+
+  cluster::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cluster::ClusterTree np = cluster::build_cluster_tree(
+      gas.points, cluster::OrderingMethod::kNatural, copts);
+  cluster::ClusterTree mn = cluster::build_cluster_tree(
+      gas.points, cluster::OrderingMethod::kTwoMeans, copts);
+
+  // --- Fig. 1a / 1b: decay series -------------------------------------
+  const std::vector<double> fig_h = {0.1, 1.0, 10.0};
+  for (bool full : {false, true}) {
+    util::Table table([&] {
+      std::vector<std::string> hdr{"k"};
+      for (double h : fig_h) {
+        hdr.push_back("h=" + util::Table::fmt(h, 1) + " NP");
+        hdr.push_back("h=" + util::Table::fmt(h, 1) + " 2MN");
+      }
+      return hdr;
+    }());
+
+    std::vector<std::vector<double>> series;
+    for (double h : fig_h) {
+      for (const auto* tree : {&np, &mn}) {
+        kernel::KernelMatrix km = reorder(gas.points, *tree, h);
+        la::Matrix m = full ? km.dense() : offdiag_block(km);
+        series.push_back(la::singular_values(m));
+      }
+    }
+
+    const int len = static_cast<int>(series[0].size());
+    const int step = std::max(1, len / 16);
+    for (int k = 0; k < len; k += step) {
+      std::vector<std::string> row{util::Table::fmt_int(k + 1)};
+      for (const auto& s : series) row.push_back(util::Table::fmt_sci(s[k]));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout,
+                full ? "Fig. 1b: singular values of the full kernel matrix"
+                     : "Fig. 1a: singular values of the off-diagonal block");
+  }
+
+  // --- Table 1: effective ranks ----------------------------------------
+  const std::vector<double> tab_h = {0.01, 0.1, 1.0, 10.0, 100.0};
+  util::Table table([&] {
+    std::vector<std::string> hdr{"ordering"};
+    for (double h : tab_h) hdr.push_back("h=" + util::Table::fmt(h, 2));
+    return hdr;
+  }());
+  const std::vector<std::pair<const cluster::ClusterTree*, std::string>>
+      entries = {{&np, "N/P"}, {&mn, "2MN"}};
+  for (const auto& entry : entries) {
+    std::vector<std::string> row{entry.second};
+    for (double h : tab_h) {
+      kernel::KernelMatrix km = reorder(gas.points, *entry.first, h);
+      const int rank =
+          la::effective_rank(la::singular_values(offdiag_block(km)), 0.01);
+      row.push_back(util::Table::fmt_int(rank));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout,
+              "Table 1: effective rank of K(1,2) (#singular values > 0.01)");
+  std::cout << "paper (GAS1K): N/P ranks 1/23/338/129/14, 2MN ranks "
+               "1/1/78/76/12 — expect the same mid-h hump and the same\n"
+               "large NP->2MN reduction at h ~ 1.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig. 7a/7b: asymptotic complexity — memory of the compressed matrices
+// (H and HSS) and time of the HSS factorization/solve as N grows, against
+// the O(N) reference line.
+//
+//   ./bench_fig7_asymptotics [--nmin 2000] [--nmax 16000] [--dataset SUSY]
+
+#include "bench_common.hpp"
+#include "hmat/hmatrix.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "util/timer.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int nmin = static_cast<int>(args.get_int("nmin", 2000));
+  const int nmax = static_cast<int>(args.get_int("nmax", 16000));
+  const std::string name = args.get_string("dataset", "SUSY");
+  const std::uint64_t seed = args.get_int("seed", 42);
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  bench::print_banner(
+      "Fig. 7a/7b",
+      "memory and factor/solve time vs N with O(N) reference (SUSY)",
+      "N=0.5M..4.5M on Cori -> geometric N sweep " + std::to_string(nmin) +
+          ".." + std::to_string(nmax) + " on one node");
+
+  util::Table table({"N", "H mem (MB)", "HSS mem (MB)", "O(N) ref (MB)",
+                     "factor (s)", "solve (s)", "O(N) ref (s)"});
+
+  double mem_ref_scale = -1.0, time_ref_scale = -1.0;
+  for (int n = nmin; n <= nmax; n *= 2) {
+    bench::PreparedData d = bench::prepare(name, n, 100, seed);
+
+    cluster::OrderingOptions copts;
+    copts.leaf_size = 16;
+    cluster::ClusterTree tree = cluster::build_cluster_tree(
+        d.train.points, cluster::OrderingMethod::kTwoMeans, copts);
+    la::Matrix permuted =
+        cluster::apply_row_permutation(d.train.points, tree.perm());
+    kernel::KernelMatrix km(
+        std::move(permuted),
+        {kernel::KernelType::kGaussian, d.info.h, 2, 1.0}, d.info.lambda);
+
+    hmat::HOptions hopts;
+    hopts.rtol = 1e-1;  // the classification tolerance; H only feeds sampling
+    hmat::HMatrix h(km, tree, hopts);
+
+    hss::ExtractFn extract = [&](const std::vector<int>& r,
+                                 const std::vector<int>& c) {
+      return km.extract(r, c);
+    };
+    hss::SampleFn sample = [&](const la::Matrix& r) { return h.multiply(r); };
+    hss::HSSOptions opts;
+    opts.rtol = 1e-1;
+    hss::HSSMatrix hssm =
+        hss::build_hss_randomized(tree, extract, sample, {}, opts);
+
+    util::Timer tf;
+    hss::ULVFactorization ulv(hssm);
+    const double factor_s = tf.seconds();
+
+    la::Vector b(d.train.n(), 1.0);
+    util::Timer ts;
+    la::Vector x = ulv.solve(b);
+    const double solve_s = ts.seconds();
+    (void)x;
+
+    const double hss_mb =
+        static_cast<double>(hssm.memory_bytes()) / (1024.0 * 1024.0);
+    if (mem_ref_scale < 0) {
+      mem_ref_scale = hss_mb / n;
+      time_ref_scale = std::max(factor_s, 1e-6) / n;
+    }
+
+    table.add_row({util::Table::fmt_int(d.train.n()),
+                   util::Table::fmt_mb(
+                       static_cast<double>(h.stats().memory_bytes)),
+                   util::Table::fmt(hss_mb),
+                   util::Table::fmt(mem_ref_scale * n),
+                   util::Table::fmt(factor_s),
+                   util::Table::fmt(solve_s, 4),
+                   util::Table::fmt(time_ref_scale * n)});
+  }
+  table.print(std::cout, "Fig. 7: asymptotic memory and time (O(N) column is "
+                         "anchored at the smallest N)");
+  std::cout << "shape to check vs the paper: both memory columns and the\n"
+               "factorization time track the O(N) reference within a modest\n"
+               "factor (near-linear; the paper notes mild rank growth with\n"
+               "dimension, Fig. 7 uses SUSY d=8 where growth is smallest).\n"
+            << "scale reference (paper Sec. 5.5): dense 1M matrix = 8,000 GB;"
+               " HSS at 1M = 1.3 GB.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Micro-benchmarks of the hierarchical-matrix stack (google-benchmark):
+// kernel sampling (dense vs H), HSS construction, ULV factor/solve.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/ordering.hpp"
+#include "data/datasets.hpp"
+#include "hmat/hmatrix.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "util/rng.hpp"
+
+using namespace khss;
+
+namespace {
+
+struct Fixture {
+  cluster::ClusterTree tree;
+  std::unique_ptr<kernel::KernelMatrix> km;
+
+  static Fixture make(int n) {
+    data::Dataset ds = data::make_paper_dataset("SUSY", n);
+    data::ColumnTransform t = data::fit_zscore(ds.points);
+    t.apply(ds.points);
+
+    Fixture f;
+    cluster::OrderingOptions copts;
+    copts.leaf_size = 16;
+    f.tree = cluster::build_cluster_tree(
+        ds.points, cluster::OrderingMethod::kTwoMeans, copts);
+    la::Matrix permuted =
+        cluster::apply_row_permutation(ds.points, f.tree.perm());
+    f.km = std::make_unique<kernel::KernelMatrix>(
+        std::move(permuted),
+        kernel::KernelParams{kernel::KernelType::kGaussian, 1.0, 2, 1.0},
+        1.0);
+    return f;
+  }
+
+  hss::HSSMatrix build_hss(bool use_h, double rtol = 1e-1) const {
+    hss::ExtractFn extract = [this](const std::vector<int>& r,
+                                    const std::vector<int>& c) {
+      return km->extract(r, c);
+    };
+    hss::HSSOptions opts;
+    opts.rtol = rtol;
+    if (use_h) {
+      hmat::HOptions hopts;
+      hopts.rtol = rtol;
+      hmat::HMatrix h(*km, tree, hopts);
+      hss::SampleFn sample = [&h](const la::Matrix& r) {
+        return h.multiply(r);
+      };
+      return hss::build_hss_randomized(tree, extract, sample, {}, opts);
+    }
+    hss::SampleFn sample = [this](const la::Matrix& r) {
+      return km->multiply(r);
+    };
+    return hss::build_hss_randomized(tree, extract, sample, {}, opts);
+  }
+};
+
+}  // namespace
+
+static void BM_DenseKernelSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  util::Rng rng(1);
+  la::Matrix r(n, 64);
+  rng.fill_normal(r.data(), r.size());
+  for (auto _ : state) {
+    la::Matrix s = f.km->multiply(r);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_DenseKernelSample)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_HMatrixBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  for (auto _ : state) {
+    hmat::HMatrix h(*f.km, f.tree, {});
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_HMatrixBuild)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_HMatrixSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  hmat::HMatrix h(*f.km, f.tree, {});
+  util::Rng rng(2);
+  la::Matrix r(n, 64);
+  rng.fill_normal(r.data(), r.size());
+  for (auto _ : state) {
+    la::Matrix s = h.multiply(r);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_HMatrixSample)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_HSSConstructDenseSampling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  for (auto _ : state) {
+    hss::HSSMatrix hssm = f.build_hss(/*use_h=*/false);
+    benchmark::DoNotOptimize(&hssm);
+  }
+}
+BENCHMARK(BM_HSSConstructDenseSampling)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_HSSConstructHSampling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  for (auto _ : state) {
+    hss::HSSMatrix hssm = f.build_hss(/*use_h=*/true);
+    benchmark::DoNotOptimize(&hssm);
+  }
+}
+BENCHMARK(BM_HSSConstructHSampling)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+static void BM_HSSMatvec(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  hss::HSSMatrix hssm = f.build_hss(false);
+  util::Rng rng(3);
+  la::Vector x(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto _ : state) {
+    la::Vector y = hssm.matvec(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_HSSMatvec)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_ULVFactor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  hss::HSSMatrix hssm = f.build_hss(false);
+  for (auto _ : state) {
+    hss::ULVFactorization ulv(hssm);
+    benchmark::DoNotOptimize(&ulv);
+  }
+}
+BENCHMARK(BM_ULVFactor)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_ULVSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture f = Fixture::make(n);
+  hss::HSSMatrix hssm = f.build_hss(false);
+  hss::ULVFactorization ulv(hssm);
+  la::Vector b(n, 1.0);
+  for (auto _ : state) {
+    la::Vector x = ulv.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_ULVSolve)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+static void BM_ClusterTree2MN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  data::Dataset ds = data::make_paper_dataset("COVTYPE", n);
+  for (auto _ : state) {
+    cluster::ClusterTree t = cluster::build_cluster_tree(
+        ds.points, cluster::OrderingMethod::kTwoMeans, {});
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ClusterTree2MN)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

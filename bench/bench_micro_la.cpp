@@ -1,0 +1,134 @@
+// Micro-benchmarks of the dense linear algebra substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "la/blas.hpp"
+#include "la/chol.hpp"
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+#include "la/rrqr.hpp"
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+
+la::Matrix random_spd(int n, std::uint64_t seed) {
+  la::Matrix g = random_matrix(n, n, seed);
+  la::Matrix a = la::matmul(g, g, la::Trans::kNo, la::Trans::kYes);
+  a.shift_diagonal(static_cast<double>(n));
+  return a;
+}
+
+}  // namespace
+
+static void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_matrix(n, n, 1);
+  la::Matrix b = random_matrix(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+static void BM_GemmTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_matrix(n, n, 3);
+  la::Matrix b = random_matrix(n, n, 4);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kYes, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransB)->Arg(256);
+
+static void BM_QR(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_matrix(n, n / 2, 5);
+  for (auto _ : state) {
+    la::QRFactor qr(a);
+    benchmark::DoNotOptimize(&qr);
+  }
+}
+BENCHMARK(BM_QR)->Arg(128)->Arg(512);
+
+static void BM_RRQR_LowRank(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix u = random_matrix(n, 16, 6);
+  la::Matrix v = random_matrix(16, n, 7);
+  la::Matrix a = la::matmul(u, v);
+  la::TruncationOptions opts;
+  opts.rtol = 1e-8;
+  for (auto _ : state) {
+    la::RRQRResult f = la::rrqr(a, opts);
+    benchmark::DoNotOptimize(&f);
+  }
+}
+BENCHMARK(BM_RRQR_LowRank)->Arg(256)->Arg(1024);
+
+static void BM_InterpolativeRows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = la::matmul(random_matrix(n, 24, 8), random_matrix(24, 96, 9));
+  la::TruncationOptions opts;
+  opts.rtol = 1e-6;
+  for (auto _ : state) {
+    la::RowID rid = la::interpolative_rows(a, opts);
+    benchmark::DoNotOptimize(&rid);
+  }
+}
+BENCHMARK(BM_InterpolativeRows)->Arg(128)->Arg(512);
+
+static void BM_LU(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_matrix(n, n, 10);
+  a.shift_diagonal(n);
+  for (auto _ : state) {
+    la::LUFactor lu(a);
+    benchmark::DoNotOptimize(&lu);
+  }
+}
+BENCHMARK(BM_LU)->Arg(128)->Arg(512);
+
+static void BM_Cholesky(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_spd(n, 11);
+  for (auto _ : state) {
+    la::CholeskyFactor chol(a);
+    benchmark::DoNotOptimize(&chol);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(128)->Arg(512);
+
+static void BM_JacobiSVD(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = random_matrix(n, n, 12);
+  for (auto _ : state) {
+    auto s = la::singular_values(a);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_JacobiSVD)->Arg(64)->Arg(128);
+
+static void BM_QLZeroTop(benchmark::State& state) {
+  la::Matrix u = random_matrix(64, 24, 13);
+  for (auto _ : state) {
+    la::QLResult ql = la::ql_zero_top(u);
+    benchmark::DoNotOptimize(&ql);
+  }
+}
+BENCHMARK(BM_QLZeroTop);
+
+BENCHMARK_MAIN();

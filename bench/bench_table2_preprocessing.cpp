@@ -1,0 +1,72 @@
+// Table 2: HSS memory under the four preprocessing methods + test accuracy,
+// for all seven datasets.
+//
+//   ./bench_table2_preprocessing [--n 2000] [--ntest 500] [--datasets GAS,...]
+//
+// The paper uses 10K train / 1K test on Cori; the default here is scaled to
+// a single node (override with --n 10000 --ntest 1000 to match).  Memory
+// ratios between orderings — the paper's actual finding — are size-stable.
+
+#include <sstream>
+
+#include "bench_common.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 2000));
+  const int ntest = static_cast<int>(args.get_int("ntest", 500));
+  const std::uint64_t seed = args.get_int("seed", 42);
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(args.get_string(
+        "datasets", "SUSY,LETTER,PEN,HEPMASS,COVTYPE,GAS,MNIST"));
+    std::string item;
+    while (std::getline(ss, item, ',')) names.push_back(item);
+  }
+
+  bench::print_banner(
+      "Table 2",
+      "memory (MB) per preprocessing method + accuracy, 7 datasets",
+      "UCI datasets -> synthetic twins; train " + std::to_string(n) +
+          " (paper: 10K), test " + std::to_string(ntest) + " (paper: 1K)");
+
+  util::Table table({"dataset (dim)", "h", "lambda", "NP", "KD", "PCA", "2MN",
+                     "NP/2MN", "acc (2MN)", "paper acc"});
+  for (const auto& name : names) {
+    bench::PreparedData d = bench::prepare(name, n, ntest, seed);
+
+    std::vector<std::string> row;
+    row.push_back(name + " (" + std::to_string(d.info.dim) + ")");
+    row.push_back(util::Table::fmt(d.info.h, 2));
+    row.push_back(util::Table::fmt(d.info.lambda, 2));
+
+    double mem_np = 0.0, mem_2mn = 0.0, acc_2mn = 0.0;
+    for (auto method : bench::paper_orderings()) {
+      bench::RunResult r =
+          bench::run_krr(d, method, krr::SolverBackend::kHSSRandomDense);
+      const double mb = static_cast<double>(r.stats.hss_memory_bytes);
+      row.push_back(util::Table::fmt_mb(mb));
+      if (method == cluster::OrderingMethod::kNatural) mem_np = mb;
+      if (method == cluster::OrderingMethod::kTwoMeans) {
+        mem_2mn = mb;
+        acc_2mn = r.accuracy;
+      }
+    }
+    row.push_back(util::Table::fmt(mem_np / mem_2mn, 2) + "x");
+    row.push_back(util::Table::fmt_pct(acc_2mn));
+    row.push_back(util::Table::fmt(d.info.paper_accuracy, 1) + "%");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, "Table 2: HSS memory (MB) by preprocessing method");
+  std::cout << "shape to check vs the paper: 2MN <= PCA <= KD <= NP on the\n"
+               "clustered sets (GAS, COVTYPE, LETTER, PEN), milder gains on\n"
+               "SUSY/HEPMASS, and compressed accuracy matching the paper's\n"
+               "exact-kernel accuracy column.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 3: large-scale prediction accuracy at the paper's operating points.
+//
+//   ./bench_table3_large_scale [--n 10000] [--ntest 1000]
+//
+// The paper trains on 0.5M-4.5M points on 1,024 Cori cores; the default here
+// is scaled to a single node (the pipeline is the same H-accelerated HSS
+// path — raise --n as far as memory/time allow).  The paper's (h, lambda)
+// for Table 3 differ from Table 2 (they were tuned at scale); both are shown.
+
+#include "bench_common.hpp"
+
+using namespace khss;
+
+namespace {
+struct Table3Row {
+  const char* name;
+  double paper_n_millions;
+  double h;
+  double lambda;
+  double paper_acc;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 10000));
+  const int ntest = static_cast<int>(args.get_int("ntest", 1000));
+  const std::uint64_t seed = args.get_int("seed", 42);
+  if (args.get_int("threads", 0) > 0) {
+    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  bench::print_banner(
+      "Table 3", "large-scale prediction on test data",
+      "0.5M-4.5M Cori-scale training -> n=" + std::to_string(n) +
+          " single-node twin runs, same pipeline (H sampling + HSS ULV)");
+
+  // The paper's Table 3 rows: dataset, N, d, h, lambda, accuracy.
+  const std::vector<Table3Row> rows = {
+      {"SUSY", 4.5, 0.08, 10.0, 0.73},
+      {"MNIST", 1.6, 1.1, 10.0, 0.99},
+      {"COVTYPE", 0.5, 0.07, 0.3, 0.99},
+      {"HEPMASS", 1.0, 0.7, 0.5, 0.90},
+  };
+
+  util::Table table({"dataset", "paper N", "N here", "d", "h", "lambda",
+                     "acc here", "paper acc", "HSS mem (MB)", "max rank"});
+  for (const auto& row : rows) {
+    bench::PreparedData d = bench::prepare(row.name, n, ntest, seed);
+
+    krr::KRROptions opts;
+    opts.ordering = cluster::OrderingMethod::kTwoMeans;
+    opts.backend = krr::SolverBackend::kHSSRandomH;
+    opts.kernel.h = row.h;
+    opts.lambda = row.lambda;
+    opts.hss_rtol = 1e-1;
+
+    krr::KRRClassifier clf(opts);
+    clf.fit(d.train.points, d.train.one_vs_all(d.info.target_class));
+    const double acc = clf.accuracy(d.test.points,
+                                    d.test.one_vs_all(d.info.target_class));
+    const auto& st = clf.model().stats();
+
+    table.add_row({row.name, util::Table::fmt(row.paper_n_millions, 1) + "M",
+                   util::Table::fmt_int(d.train.n()),
+                   util::Table::fmt_int(d.info.dim),
+                   util::Table::fmt(row.h, 2), util::Table::fmt(row.lambda, 1),
+                   util::Table::fmt_pct(acc),
+                   util::Table::fmt_pct(row.paper_acc),
+                   util::Table::fmt_mb(
+                       static_cast<double>(st.hss_memory_bytes)),
+                   util::Table::fmt_int(st.hss_max_rank)});
+  }
+  table.print(std::cout, "Table 3: large-scale prediction");
+  std::cout << "note: the paper's (h, lambda) were tuned at million-point\n"
+               "scale; at scaled-down n the same operating points can sit off\n"
+               "the accuracy plateau (h=0.07-0.08 approaches the identity\n"
+               "regime).  The check is that the pipeline runs the paper's\n"
+               "configuration end-to-end and accuracy lands near the paper's\n"
+               "for the datasets whose twins are scale-robust.\n";
+  return 0;
+}

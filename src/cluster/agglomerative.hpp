@@ -1,0 +1,23 @@
+#pragma once
+// Average-linkage agglomerative clustering (NN-chain algorithm).
+//
+// Included to reproduce the paper's Section 4.3 finding: agglomerative
+// methods give good HSS ranks but need the full O(n^2) distance matrix and
+// produce unbalanced trees, so they are not competitive at scale.  The
+// implementation therefore deliberately keeps the dense distance matrix and
+// refuses very large inputs rather than pretending to scale.
+
+#include "cluster/tree.hpp"
+#include "la/matrix.hpp"
+
+namespace khss::cluster {
+
+struct OrderingOptions;  // from ordering.hpp
+
+/// Build a cluster tree from the average-linkage dendrogram, truncated at
+/// opts.leaf_size.  Throws std::invalid_argument for n > 8192 (the quadratic
+/// memory wall the paper calls out).
+ClusterTree build_agglomerative_tree(const la::Matrix& points,
+                                     const OrderingOptions& opts);
+
+}  // namespace khss::cluster

@@ -1,0 +1,365 @@
+#include "cluster/ordering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/agglomerative.hpp"
+
+namespace khss::cluster {
+
+namespace {
+
+double sqdist(const double* a, const double* b, int d) {
+  double s = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// Shared state of one tree build.  `idx` is permuted in place; every split
+// routine partitions idx[lo, hi) and returns the split position mid with
+// lo < mid < hi (callers guarantee hi - lo >= 2).
+struct Builder {
+  const la::Matrix& pts;
+  const OrderingOptions& opts;
+  std::vector<int> idx;
+  util::Rng rng;
+
+  Builder(const la::Matrix& points, const OrderingOptions& options)
+      : pts(points), opts(options), rng(options.seed) {
+    idx.resize(points.rows());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  }
+
+  int dim() const { return pts.cols(); }
+
+  int split_middle(int lo, int hi) const { return lo + (hi - lo + 1) / 2; }
+
+  // Coordinate of largest spread (max - min) over idx[lo, hi).
+  int widest_coordinate(int lo, int hi, double* spread_out) const {
+    const int d = dim();
+    std::vector<double> minv(d, std::numeric_limits<double>::infinity());
+    std::vector<double> maxv(d, -std::numeric_limits<double>::infinity());
+    for (int i = lo; i < hi; ++i) {
+      const double* row = pts.row(idx[i]);
+      for (int j = 0; j < d; ++j) {
+        minv[j] = std::min(minv[j], row[j]);
+        maxv[j] = std::max(maxv[j], row[j]);
+      }
+    }
+    int best = 0;
+    double best_spread = -1.0;
+    for (int j = 0; j < d; ++j) {
+      const double s = maxv[j] - minv[j];
+      if (s > best_spread) {
+        best_spread = s;
+        best = j;
+      }
+    }
+    if (spread_out) *spread_out = best_spread;
+    return best;
+  }
+
+  // Partition idx[lo, hi) by predicate value <= threshold on `scores`
+  // (scores indexed by position in [lo, hi)).  Stable not required.
+  int partition_by_score(int lo, int hi, const std::vector<double>& scores,
+                         double threshold) {
+    int i = lo, j = hi - 1;
+    std::vector<double> s = scores;  // moves along with idx
+    while (i <= j) {
+      while (i <= j && s[i - lo] <= threshold) ++i;
+      while (i <= j && s[j - lo] > threshold) --j;
+      if (i < j) {
+        std::swap(idx[i], idx[j]);
+        std::swap(s[i - lo], s[j - lo]);
+        ++i;
+        --j;
+      }
+    }
+    return i;
+  }
+
+  // Median split on `scores`: reorders idx[lo, hi) so the lower half of
+  // scores comes first.  Always balanced.
+  int partition_by_median(int lo, int hi, const std::vector<double>& scores) {
+    const int m = hi - lo;
+    std::vector<int> order(m);
+    for (int i = 0; i < m; ++i) order[i] = i;
+    const int half = (m + 1) / 2;
+    std::nth_element(order.begin(), order.begin() + half, order.end(),
+                     [&](int a, int b) { return scores[a] < scores[b]; });
+    std::vector<int> rearranged(m);
+    for (int i = 0; i < m; ++i) rearranged[i] = idx[lo + order[i]];
+    std::copy(rearranged.begin(), rearranged.end(), idx.begin() + lo);
+    return lo + half;
+  }
+
+  bool too_unbalanced(int lo, int mid, int hi) const {
+    const int a = mid - lo, b = hi - mid;
+    const int small = std::min(a, b), large = std::max(a, b);
+    return small == 0 || opts.imbalance_ratio * small < large;
+  }
+
+  // --- the paper's split rules ---------------------------------------
+
+  int split_kd(int lo, int hi) {
+    double spread = 0.0;
+    const int coord = widest_coordinate(lo, hi, &spread);
+    if (spread <= 0.0) return split_middle(lo, hi);  // all points identical
+
+    const int m = hi - lo;
+    std::vector<double> scores(m);
+    double mean = 0.0;
+    for (int i = 0; i < m; ++i) {
+      scores[i] = pts(idx[lo + i], coord);
+      mean += scores[i];
+    }
+    mean /= m;
+
+    int mid = partition_by_score(lo, hi, scores, mean);
+    if (too_unbalanced(lo, mid, hi)) {
+      // Re-extract scores: partition_by_score reordered idx.
+      for (int i = 0; i < m; ++i) scores[i] = pts(idx[lo + i], coord);
+      mid = partition_by_median(lo, hi, scores);
+    }
+    return mid;
+  }
+
+  int split_pca(int lo, int hi) {
+    const int d = dim(), m = hi - lo;
+
+    std::vector<double> mu(d, 0.0);
+    for (int i = lo; i < hi; ++i) {
+      const double* row = pts.row(idx[i]);
+      for (int j = 0; j < d; ++j) mu[j] += row[j];
+    }
+    for (double& v : mu) v /= m;
+
+    // Power iteration on the (implicit) covariance: v <- sum_i c_i (c_i . v).
+    std::vector<double> v(d);
+    for (auto& e : v) e = rng.normal();
+    std::vector<double> w(d);
+    for (int it = 0; it < opts.pca_power_iters; ++it) {
+      std::fill(w.begin(), w.end(), 0.0);
+      for (int i = lo; i < hi; ++i) {
+        const double* row = pts.row(idx[i]);
+        double proj = 0.0;
+        for (int j = 0; j < d; ++j) proj += (row[j] - mu[j]) * v[j];
+        for (int j = 0; j < d; ++j) w[j] += proj * (row[j] - mu[j]);
+      }
+      double norm = 0.0;
+      for (double e : w) norm += e * e;
+      norm = std::sqrt(norm);
+      if (norm <= 1e-300) return split_middle(lo, hi);  // zero variance
+      for (int j = 0; j < d; ++j) v[j] = w[j] / norm;
+    }
+
+    std::vector<double> scores(m);
+    double mean = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const double* row = pts.row(idx[lo + i]);
+      double proj = 0.0;
+      for (int j = 0; j < d; ++j) proj += (row[j] - mu[j]) * v[j];
+      scores[i] = proj;
+      mean += proj;
+    }
+    mean /= m;
+
+    int mid = partition_by_score(lo, hi, scores, mean);
+    if (too_unbalanced(lo, mid, hi)) {
+      for (int i = 0; i < m; ++i) {
+        const double* row = pts.row(idx[lo + i]);
+        double proj = 0.0;
+        for (int j = 0; j < d; ++j) proj += (row[j] - mu[j]) * v[j];
+        scores[i] = proj;
+      }
+      mid = partition_by_median(lo, hi, scores);
+    }
+    return mid;
+  }
+
+  int split_two_means(int lo, int hi) {
+    const int d = dim(), m = hi - lo;
+
+    // Seeding (paper Section 4.3): first representative uniform, second with
+    // probability proportional to the (squared) distance from the first.
+    const int first = idx[lo + static_cast<int>(rng.index(m))];
+    std::vector<double> dist2(m);
+    double total = 0.0;
+    for (int i = 0; i < m; ++i) {
+      dist2[i] = sqdist(pts.row(idx[lo + i]), pts.row(first), d);
+      total += dist2[i];
+    }
+    if (total <= 0.0) return split_middle(lo, hi);  // all points identical
+
+    int second = first;
+    {
+      double pick = rng.uniform() * total;
+      for (int i = 0; i < m; ++i) {
+        pick -= dist2[i];
+        if (pick <= 0.0) {
+          second = idx[lo + i];
+          break;
+        }
+      }
+      if (second == first) second = idx[hi - 1];
+    }
+
+    std::vector<double> c0(pts.row(first), pts.row(first) + d);
+    std::vector<double> c1(pts.row(second), pts.row(second) + d);
+    std::vector<char> assign(m, 0);
+
+    for (int it = 0; it < opts.max_lloyd_iters; ++it) {
+      bool changed = false;
+      // Assignment step (parallel: this is the O(n d) inner loop).
+#pragma omp parallel for schedule(static) reduction(|| : changed) \
+    if (static_cast<long>(m) * d > 16384)
+      for (int i = 0; i < m; ++i) {
+        const double* row = pts.row(idx[lo + i]);
+        const double d0 = sqdist(row, c0.data(), d);
+        const double d1 = sqdist(row, c1.data(), d);
+        const char a = d1 < d0 ? 1 : 0;
+        if (a != assign[i]) {
+          assign[i] = a;
+          changed = true;
+        }
+      }
+      if (!changed && it > 0) break;
+
+      // Update step.
+      std::vector<double> n0(d, 0.0), n1(d, 0.0);
+      int cnt0 = 0, cnt1 = 0;
+      for (int i = 0; i < m; ++i) {
+        const double* row = pts.row(idx[lo + i]);
+        if (assign[i] == 0) {
+          ++cnt0;
+          for (int j = 0; j < d; ++j) n0[j] += row[j];
+        } else {
+          ++cnt1;
+          for (int j = 0; j < d; ++j) n1[j] += row[j];
+        }
+      }
+      if (cnt0 == 0 || cnt1 == 0) break;  // degenerate; fall through
+      for (int j = 0; j < d; ++j) {
+        c0[j] = n0[j] / cnt0;
+        c1[j] = n1[j] / cnt1;
+      }
+    }
+
+    // Partition by assignment (cluster 0 first).
+    std::vector<double> scores(m);
+    for (int i = 0; i < m; ++i) scores[i] = assign[i];
+    int mid = partition_by_score(lo, hi, scores, 0.5);
+    if (mid == lo || mid == hi) return split_middle(lo, hi);
+    return mid;
+  }
+
+  int split(OrderingMethod method, int lo, int hi) {
+    switch (method) {
+      case OrderingMethod::kNatural:
+        return split_middle(lo, hi);
+      case OrderingMethod::kKD:
+        return split_kd(lo, hi);
+      case OrderingMethod::kPCA:
+        return split_pca(lo, hi);
+      case OrderingMethod::kTwoMeans:
+        return split_two_means(lo, hi);
+      case OrderingMethod::kAgglomerative:
+        break;  // handled separately
+    }
+    throw std::logic_error("split: unreachable");
+  }
+};
+
+}  // namespace
+
+std::string ordering_name(OrderingMethod m) {
+  switch (m) {
+    case OrderingMethod::kNatural:
+      return "NP";
+    case OrderingMethod::kKD:
+      return "KD";
+    case OrderingMethod::kPCA:
+      return "PCA";
+    case OrderingMethod::kTwoMeans:
+      return "2MN";
+    case OrderingMethod::kAgglomerative:
+      return "AGG";
+  }
+  return "?";
+}
+
+OrderingMethod ordering_from_name(const std::string& name) {
+  if (name == "NP" || name == "natural") return OrderingMethod::kNatural;
+  if (name == "KD" || name == "kd") return OrderingMethod::kKD;
+  if (name == "PCA" || name == "pca") return OrderingMethod::kPCA;
+  if (name == "2MN" || name == "2mn" || name == "two_means") {
+    return OrderingMethod::kTwoMeans;
+  }
+  if (name == "AGG" || name == "agg") return OrderingMethod::kAgglomerative;
+  throw std::invalid_argument("unknown ordering: " + name);
+}
+
+ClusterTree build_cluster_tree(const la::Matrix& points, OrderingMethod method,
+                               const OrderingOptions& opts) {
+  const int n = points.rows();
+  if (n == 0) return ClusterTree({}, {}, opts.leaf_size);
+  if (opts.leaf_size < 1) {
+    throw std::invalid_argument("build_cluster_tree: leaf_size < 1");
+  }
+  if (method == OrderingMethod::kAgglomerative) {
+    return build_agglomerative_tree(points, opts);
+  }
+
+  Builder b(points, opts);
+  std::vector<ClusterNode> nodes;
+  nodes.reserve(2 * (n / opts.leaf_size + 1));
+
+  // Iterative top-down refinement (explicit stack: skewed splits can make the
+  // tree deep, and leaf ranges are only final once their node is processed).
+  ClusterNode root;
+  root.lo = 0;
+  root.hi = n;
+  nodes.push_back(root);
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const int lo = nodes[id].lo, hi = nodes[id].hi;
+    if (hi - lo <= opts.leaf_size) continue;
+
+    const int mid = b.split(method, lo, hi);
+    assert(mid > lo && mid < hi);
+
+    ClusterNode left, right;
+    left.lo = lo;
+    left.hi = mid;
+    left.parent = id;
+    right.lo = mid;
+    right.hi = hi;
+    right.parent = id;
+    nodes[id].left = static_cast<int>(nodes.size());
+    nodes.push_back(left);
+    nodes[id].right = static_cast<int>(nodes.size());
+    nodes.push_back(right);
+    stack.push_back(nodes[id].left);
+    stack.push_back(nodes[id].right);
+  }
+
+  ClusterTree tree(std::move(nodes), std::move(b.idx), opts.leaf_size);
+  {
+    // Geometry on the permuted points (what downstream layers see).
+    la::Matrix permuted = apply_row_permutation(points, tree.perm());
+    std::vector<ClusterNode> annotated = tree.nodes();
+    annotate_geometry(annotated, permuted);
+    tree = ClusterTree(std::move(annotated), tree.perm(), opts.leaf_size);
+  }
+  return tree;
+}
+
+}  // namespace khss::cluster

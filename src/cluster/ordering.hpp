@@ -1,0 +1,56 @@
+#pragma once
+// The preprocessing orderings compared in the paper (Section 4.3).
+//
+// Every method recursively bipartitions the point set top-down until clusters
+// reach `leaf_size` (16 in the paper), producing the permutation + HSS tree
+// described in tree.hpp:
+//
+//  kNatural  — baseline: split index ranges in equal halves, never look at
+//              the data.
+//  kKD       — split along the coordinate of maximum spread at the *mean*,
+//              falling back to the median when the result is grossly
+//              unbalanced (paper's rule: 100*|small| < |large|).
+//  kPCA      — split along the first principal component (power iteration) at
+//              the mean projection, same imbalance fallback.
+//  kTwoMeans — recursive 2-means with kmeans++-style seeding (first seed
+//              uniform, second proportional to squared distance), Lloyd
+//              iterations to convergence.
+//  kAgglomerative — average-linkage bottom-up merge (O(n^2) memory); included
+//              to reproduce the paper's observation that agglomerative
+//              methods give good ranks but do not scale.  Only for small n.
+
+#include <string>
+
+#include "cluster/tree.hpp"
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace khss::cluster {
+
+enum class OrderingMethod {
+  kNatural,
+  kKD,
+  kPCA,
+  kTwoMeans,
+  kAgglomerative,
+};
+
+/// Short names used in paper tables: "NP", "KD", "PCA", "2MN", "AGG".
+std::string ordering_name(OrderingMethod m);
+OrderingMethod ordering_from_name(const std::string& name);
+
+struct OrderingOptions {
+  int leaf_size = 16;         // paper's HSS leaf size
+  int max_lloyd_iters = 100;  // 2MN: Lloyd iteration cap
+  int pca_power_iters = 30;   // PCA: power iteration count
+  double imbalance_ratio = 100.0;  // mean-split fallback threshold
+  std::uint64_t seed = 0x2a;
+};
+
+/// Build tree + permutation with the chosen method.  The permuted points and
+/// node geometry are computed so the result is directly consumable by the
+/// kernel/HSS/H-matrix layers.
+ClusterTree build_cluster_tree(const la::Matrix& points, OrderingMethod method,
+                               const OrderingOptions& opts = {});
+
+}  // namespace khss::cluster

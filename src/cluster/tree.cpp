@@ -1,0 +1,134 @@
+#include "cluster/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace khss::cluster {
+
+ClusterTree::ClusterTree(std::vector<ClusterNode> nodes, std::vector<int> perm,
+                         int leaf_size)
+    : nodes_(std::move(nodes)), perm_(std::move(perm)), leaf_size_(leaf_size) {
+  iperm_.assign(perm_.size(), -1);
+  for (std::size_t i = 0; i < perm_.size(); ++i) iperm_[perm_[i]] = static_cast<int>(i);
+
+  // Postorder by explicit stack (trees can be deep when splits are skewed).
+  postorder_.reserve(nodes_.size());
+  if (!nodes_.empty()) {
+    std::vector<std::pair<int, bool>> stack{{0, false}};
+    while (!stack.empty()) {
+      auto [id, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded || nodes_[id].is_leaf()) {
+        postorder_.push_back(id);
+        continue;
+      }
+      stack.emplace_back(id, true);
+      stack.emplace_back(nodes_[id].right, false);
+      stack.emplace_back(nodes_[id].left, false);
+    }
+  }
+}
+
+std::vector<int> ClusterTree::leaves() const {
+  std::vector<int> out;
+  for (int id : postorder_) {
+    if (nodes_[id].is_leaf()) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end(),
+            [&](int a, int b) { return nodes_[a].lo < nodes_[b].lo; });
+  return out;
+}
+
+int ClusterTree::depth() const {
+  int best = 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (!nodes_[id].is_leaf()) {
+      stack.emplace_back(nodes_[id].left, d + 1);
+      stack.emplace_back(nodes_[id].right, d + 1);
+    }
+  }
+  return best;
+}
+
+int ClusterTree::num_leaves() const {
+  int count = 0;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf()) ++count;
+  }
+  return count;
+}
+
+int ClusterTree::max_leaf_points() const {
+  int best = 0;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf()) best = std::max(best, n.size());
+  }
+  return best;
+}
+
+bool ClusterTree::validate() const {
+  if (nodes_.empty()) return perm_.empty();
+  const int n = num_points();
+  if (nodes_[0].lo != 0 || nodes_[0].hi != n) return false;
+
+  // perm must be a permutation of [0, n).
+  std::vector<char> seen(n, 0);
+  for (int p : perm_) {
+    if (p < 0 || p >= n || seen[p]) return false;
+    seen[p] = 1;
+  }
+
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const auto& nd = nodes_[id];
+    if (nd.lo < 0 || nd.hi > n || nd.lo >= nd.hi) return false;
+    if (nd.is_leaf()) {
+      if (nd.right >= 0) return false;  // both children or none
+      continue;
+    }
+    const auto& l = nodes_[nd.left];
+    const auto& r = nodes_[nd.right];
+    if (l.parent != static_cast<int>(id) || r.parent != static_cast<int>(id)) {
+      return false;
+    }
+    if (l.lo != nd.lo || l.hi != r.lo || r.hi != nd.hi) return false;
+  }
+  return true;
+}
+
+void annotate_geometry(std::vector<ClusterNode>& nodes,
+                       const la::Matrix& permuted_points) {
+  const int d = permuted_points.cols();
+  for (auto& nd : nodes) {
+    nd.centroid.assign(d, 0.0);
+    for (int i = nd.lo; i < nd.hi; ++i) {
+      const double* row = permuted_points.row(i);
+      for (int j = 0; j < d; ++j) nd.centroid[j] += row[j];
+    }
+    const double inv = 1.0 / nd.size();
+    for (double& c : nd.centroid) c *= inv;
+
+    double r2max = 0.0;
+    for (int i = nd.lo; i < nd.hi; ++i) {
+      const double* row = permuted_points.row(i);
+      double r2 = 0.0;
+      for (int j = 0; j < d; ++j) {
+        const double diff = row[j] - nd.centroid[j];
+        r2 += diff * diff;
+      }
+      r2max = std::max(r2max, r2);
+    }
+    nd.radius = std::sqrt(r2max);
+  }
+}
+
+la::Matrix apply_row_permutation(const la::Matrix& points,
+                                 const std::vector<int>& perm) {
+  return points.rows_subset(perm);
+}
+
+}  // namespace khss::cluster

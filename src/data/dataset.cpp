@@ -1,0 +1,119 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace khss::data {
+
+std::vector<int> Dataset::one_vs_all(int target_class) const {
+  std::vector<int> y(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    y[i] = labels[i] == target_class ? +1 : -1;
+  }
+  return y;
+}
+
+void ColumnTransform::apply(la::Matrix& points) const {
+  assert(points.cols() == static_cast<int>(shift.size()));
+  for (int i = 0; i < points.rows(); ++i) {
+    double* row = points.row(i);
+    for (int j = 0; j < points.cols(); ++j) {
+      row[j] = (row[j] - shift[j]) / scale[j];
+    }
+  }
+}
+
+ColumnTransform fit_zscore(const la::Matrix& points) {
+  const int n = points.rows(), d = points.cols();
+  ColumnTransform t;
+  t.shift.assign(d, 0.0);
+  t.scale.assign(d, 1.0);
+  if (n == 0) return t;
+
+  for (int i = 0; i < n; ++i) {
+    const double* row = points.row(i);
+    for (int j = 0; j < d; ++j) t.shift[j] += row[j];
+  }
+  for (double& m : t.shift) m /= n;
+
+  std::vector<double> var(d, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = points.row(i);
+    for (int j = 0; j < d; ++j) {
+      const double c = row[j] - t.shift[j];
+      var[j] += c * c;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / std::max(1, n - 1));
+    t.scale[j] = sd > 1e-12 ? sd : 1.0;  // constant columns pass through
+  }
+  return t;
+}
+
+ColumnTransform fit_maxabs(const la::Matrix& points) {
+  const int n = points.rows(), d = points.cols();
+  ColumnTransform t;
+  t.shift.assign(d, 0.0);
+  t.scale.assign(d, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = points.row(i);
+    for (int j = 0; j < d; ++j) {
+      t.scale[j] = std::max(t.scale[j], std::fabs(row[j]));
+    }
+  }
+  for (double& s : t.scale) {
+    if (s <= 1e-12) s = 1.0;
+  }
+  return t;
+}
+
+Dataset subset(const Dataset& d, const std::vector<int>& rows) {
+  Dataset out;
+  out.name = d.name;
+  out.num_classes = d.num_classes;
+  out.points = d.points.rows_subset(rows);
+  out.labels.reserve(rows.size());
+  for (int r : rows) out.labels.push_back(d.labels[r]);
+  return out;
+}
+
+Split split_dataset(const Dataset& full, double train_frac, double valid_frac,
+                    double test_frac, util::Rng& rng) {
+  if (train_frac + valid_frac + test_frac > 1.0 + 1e-9) {
+    throw std::invalid_argument("split_dataset: fractions exceed 1");
+  }
+  const int n = full.n();
+  std::vector<int> perm = rng.permutation(n);
+
+  const int n_train = static_cast<int>(train_frac * n);
+  const int n_valid = static_cast<int>(valid_frac * n);
+  const int n_test = static_cast<int>(test_frac * n);
+
+  auto take = [&](int lo, int count) {
+    std::vector<int> idx(perm.begin() + lo, perm.begin() + lo + count);
+    return subset(full, idx);
+  };
+
+  Split out;
+  out.train = take(0, n_train);
+  out.validation = take(n_train, n_valid);
+  out.test = take(n_train + n_valid, n_test);
+  return out;
+}
+
+Split split_and_normalize(const Dataset& full, double train_frac,
+                          double valid_frac, double test_frac,
+                          util::Rng& rng) {
+  Split s = split_dataset(full, train_frac, valid_frac, test_frac, rng);
+  const ColumnTransform t = fit_zscore(s.train.points);
+  t.apply(s.train.points);
+  if (s.validation.n() > 0) t.apply(s.validation.points);
+  if (s.test.n() > 0) t.apply(s.test.points);
+  return s;
+}
+
+}  // namespace khss::data

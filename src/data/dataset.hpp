@@ -1,0 +1,68 @@
+#pragma once
+// Dataset container, normalization and splitting utilities.
+//
+// The paper evaluates on UCI / LIBSVM datasets (SUSY, LETTER, PEN, HEPMASS,
+// COVTYPE, GAS, MNIST).  Those files are not available offline, so
+// datasets.hpp provides synthetic statistical twins; this header provides the
+// dataset-agnostic plumbing both real and synthetic data go through:
+// column-wise z-score normalization (the paper normalizes every dataset to
+// zero mean / unit standard deviation, Section 5.2), max-abs normalization
+// (which the paper reports performing *worse*), and train/validation/test
+// splitting.
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace khss::data {
+
+struct Dataset {
+  std::string name;
+  la::Matrix points;        // n x d, one row per sample
+  std::vector<int> labels;  // class ids in [0, num_classes)
+  int num_classes = 2;
+
+  int n() const { return points.rows(); }
+  int dim() const { return points.cols(); }
+
+  /// Binary +-1 labels for a one-vs-all task against `target_class`.
+  std::vector<int> one_vs_all(int target_class) const;
+};
+
+/// Per-column affine transform fitted on training data and applied to test
+/// data (never fit on test data).
+struct ColumnTransform {
+  std::vector<double> shift;  // subtracted
+  std::vector<double> scale;  // divided by (1.0 where degenerate)
+
+  void apply(la::Matrix& points) const;
+};
+
+/// Fit zero-mean / unit-stddev columns on `points` (the paper's default).
+ColumnTransform fit_zscore(const la::Matrix& points);
+
+/// Fit max-abs-one columns (the alternative the paper found inferior).
+ColumnTransform fit_maxabs(const la::Matrix& points);
+
+struct Split {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+/// Shuffle and split; fractions must sum to <= 1, the remainder is dropped.
+/// Normalization is *not* applied here — call fit_zscore on the train part
+/// and apply the same transform to validation/test.
+Split split_dataset(const Dataset& full, double train_frac, double valid_frac,
+                    double test_frac, util::Rng& rng);
+
+/// Standard pipeline: split, fit z-score on train, apply everywhere.
+Split split_and_normalize(const Dataset& full, double train_frac,
+                          double valid_frac, double test_frac, util::Rng& rng);
+
+/// Subset by row indices (copies).
+Dataset subset(const Dataset& d, const std::vector<int>& rows);
+
+}  // namespace khss::data

@@ -1,0 +1,124 @@
+#include "data/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace khss::data {
+
+namespace {
+
+// Map arbitrary label values (e.g. {-1, +1} or {1..26}) to dense ids 0..c-1,
+// preserving sorted order of the original values.
+void densify_labels(std::vector<double> raw, Dataset& out) {
+  std::vector<double> uniq = raw;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  std::map<double, int> id;
+  for (std::size_t i = 0; i < uniq.size(); ++i) id[uniq[i]] = static_cast<int>(i);
+  out.labels.resize(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) out.labels[i] = id[raw[i]];
+  out.num_classes = static_cast<int>(uniq.size());
+}
+
+}  // namespace
+
+Dataset load_csv(const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> raw_labels;
+  std::string line;
+  int dim = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> vals;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, delimiter)) {
+      if (cell.empty()) continue;
+      vals.push_back(std::stod(cell));
+    }
+    if (vals.empty()) continue;
+    if (dim < 0) {
+      dim = static_cast<int>(vals.size()) - 1;
+      if (dim <= 0) throw std::runtime_error("load_csv: need >= 2 columns");
+    } else if (static_cast<int>(vals.size()) != dim + 1) {
+      throw std::runtime_error("load_csv: ragged row in " + path);
+    }
+    raw_labels.push_back(vals[0]);
+    vals.erase(vals.begin());
+    rows.push_back(std::move(vals));
+  }
+  if (rows.empty()) throw std::runtime_error("load_csv: no data in " + path);
+
+  Dataset out;
+  out.name = path;
+  out.points = la::Matrix(static_cast<int>(rows.size()), dim);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(),
+              out.points.row(static_cast<int>(i)));
+  }
+  densify_labels(std::move(raw_labels), out);
+  return out;
+}
+
+Dataset load_libsvm(const std::string& path, int dim) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_libsvm: cannot open " + path);
+
+  std::vector<std::vector<std::pair<int, double>>> rows;
+  std::vector<double> raw_labels;
+  std::string line;
+  int max_index = dim;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    double label;
+    if (!(ss >> label)) continue;
+    raw_labels.push_back(label);
+    std::vector<std::pair<int, double>> feats;
+    std::string tok;
+    while (ss >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("load_libsvm: malformed token '" + tok + "'");
+      }
+      const int idx = std::stoi(tok.substr(0, colon));
+      const double val = std::stod(tok.substr(colon + 1));
+      if (idx <= 0) throw std::runtime_error("load_libsvm: 1-based indices");
+      max_index = std::max(max_index, idx);
+      feats.emplace_back(idx - 1, val);
+    }
+    rows.push_back(std::move(feats));
+  }
+  if (rows.empty()) throw std::runtime_error("load_libsvm: no data in " + path);
+
+  Dataset out;
+  out.name = path;
+  out.points = la::Matrix(static_cast<int>(rows.size()), max_index);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double* row = out.points.row(static_cast<int>(i));
+    for (const auto& [j, v] : rows[i]) row[j] = v;
+  }
+  densify_labels(std::move(raw_labels), out);
+  return out;
+}
+
+void save_csv(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  out.precision(17);
+  for (int i = 0; i < d.n(); ++i) {
+    out << d.labels[i];
+    const double* row = d.points.row(i);
+    for (int j = 0; j < d.dim(); ++j) out << ',' << row[j];
+    out << '\n';
+  }
+}
+
+}  // namespace khss::data

@@ -1,0 +1,23 @@
+#pragma once
+// File loaders so real UCI/LIBSVM data can be dropped in for the
+// experiments when available (see DESIGN.md substitution #2).
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace khss::data {
+
+/// CSV with the class label in the first column, features after it.
+/// Lines starting with '#' and empty lines are skipped.
+/// Throws std::runtime_error on malformed input or missing file.
+Dataset load_csv(const std::string& path, char delimiter = ',');
+
+/// LIBSVM sparse text format: "<label> idx:val idx:val ...", 1-based indices.
+/// The feature dimension is the largest index seen unless `dim` is given.
+Dataset load_libsvm(const std::string& path, int dim = 0);
+
+/// Write a dataset as CSV (label first), for interchange with plotting tools.
+void save_csv(const Dataset& d, const std::string& path);
+
+}  // namespace khss::data

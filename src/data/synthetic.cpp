@@ -1,0 +1,127 @@
+#include "data/synthetic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace khss::data {
+
+namespace {
+
+// Random matrix with orthonormal columns (dim x latent), via QR of a
+// Gaussian matrix: the embedding used to plant low intrinsic dimension.
+la::Matrix random_embedding(int dim, int latent, util::Rng& rng) {
+  la::Matrix g(dim, latent);
+  rng.fill_normal(g.data(), g.size());
+  la::QRFactor qr(std::move(g));
+  return qr.q_thin();
+}
+
+}  // namespace
+
+Dataset make_blobs(const BlobSpec& spec, util::Rng& rng) {
+  if (spec.n <= 0 || spec.dim <= 0 || spec.num_classes <= 0 ||
+      spec.clusters_per_class <= 0) {
+    throw std::invalid_argument("make_blobs: invalid spec");
+  }
+  const int latent = spec.latent_dim > 0 ? spec.latent_dim : spec.dim;
+  if (latent > spec.dim) {
+    throw std::invalid_argument("make_blobs: latent_dim > dim");
+  }
+
+  // Cluster centers in latent space, one set per class.
+  const int total_clusters = spec.num_classes * spec.clusters_per_class;
+  la::Matrix centers(total_clusters, latent);
+  for (int c = 0; c < total_clusters; ++c) {
+    for (int j = 0; j < latent; ++j) {
+      centers(c, j) = rng.normal(0.0, spec.center_spread);
+    }
+  }
+
+  Dataset out;
+  out.name = spec.name;
+  out.num_classes = spec.num_classes;
+  out.labels.resize(spec.n);
+
+  la::Matrix latent_points(spec.n, latent);
+  for (int i = 0; i < spec.n; ++i) {
+    const int cls = static_cast<int>(rng.index(spec.num_classes));
+    const int sub = static_cast<int>(rng.index(spec.clusters_per_class));
+    const int c = cls * spec.clusters_per_class + sub;
+    for (int j = 0; j < latent; ++j) {
+      latent_points(i, j) = centers(c, j) + rng.normal(0.0, spec.cluster_stddev);
+    }
+    out.labels[i] = cls;
+  }
+
+  if (spec.label_noise > 0.0) {
+    for (int i = 0; i < spec.n; ++i) {
+      if (rng.uniform() < spec.label_noise) {
+        out.labels[i] = static_cast<int>(rng.index(spec.num_classes));
+      }
+    }
+  }
+
+  if (latent == spec.dim) {
+    out.points = std::move(latent_points);
+  } else {
+    // Embed into the ambient space and add a whisper of full-dimensional
+    // noise so no column is exactly constant.
+    const la::Matrix embed = random_embedding(spec.dim, latent, rng);
+    out.points = la::matmul(latent_points, embed, la::Trans::kNo,
+                            la::Trans::kYes);
+    for (int i = 0; i < out.points.rows(); ++i) {
+      double* row = out.points.row(i);
+      for (int j = 0; j < spec.dim; ++j) row[j] += rng.normal(0.0, 0.01);
+    }
+  }
+  return out;
+}
+
+Dataset make_uniform_hyperplane(int n, int dim, util::Rng& rng) {
+  Dataset out;
+  out.name = "uniform";
+  out.num_classes = 2;
+  out.points = la::Matrix(n, dim);
+  out.labels.resize(n);
+
+  std::vector<double> w(dim);
+  for (auto& v : w) v = rng.normal();
+
+  for (int i = 0; i < n; ++i) {
+    double* row = out.points.row(i);
+    double s = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      row[j] = rng.uniform(-1.0, 1.0);
+      s += row[j] * w[j];
+    }
+    out.labels[i] = s >= 0 ? 1 : 0;
+  }
+  return out;
+}
+
+Dataset make_curve(int n, int dim, double noise, util::Rng& rng) {
+  assert(dim >= 1);
+  Dataset out;
+  out.name = "curve";
+  out.num_classes = 2;
+  out.points = la::Matrix(n, dim);
+  out.labels.resize(n);
+
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.0, 4.0 * M_PI);
+    double* row = out.points.row(i);
+    for (int j = 0; j < dim; ++j) {
+      // Smooth harmonics of the curve parameter + noise.
+      row[j] = std::sin((j / 2 + 1) * t + (j % 2) * M_PI / 2) +
+               rng.normal(0.0, noise);
+    }
+    out.labels[i] = std::sin(t) >= 0 ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace khss::data

@@ -1,0 +1,178 @@
+#include "hmat/aca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace khss::hmat {
+
+la::Matrix LowRank::dense() const {
+  return la::matmul(u, v, la::Trans::kNo, la::Trans::kYes);
+}
+
+bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
+         LowRank* out) {
+  const int full_rank = std::min(m, n);
+  const int rank_cap = opts.max_rank > 0 ? std::min(opts.max_rank, full_rank)
+                                         : std::max(1, full_rank / 2);
+
+  // Factors grown column by column (stored as vectors of columns to avoid
+  // quadratic re-allocation).
+  std::vector<la::Vector> ucols, vcols;
+  std::vector<char> row_used(m, 0), col_used(n, 0);
+
+  double norm2_est = 0.0;  // ||A_k||_F^2 running estimate
+  int next_row = 0;
+  int tiny_pivots = 0;
+
+  for (int k = 0; k < rank_cap; ++k) {
+    // Residual row `next_row`: r = A(i,:) - sum_j u_j(i) v_j.
+    la::Vector r(n);
+    for (int j = 0; j < n; ++j) r[j] = entry(next_row, j);
+    for (std::size_t t = 0; t < ucols.size(); ++t) {
+      const double ui = ucols[t][next_row];
+      if (ui == 0.0) continue;
+      const la::Vector& vt = vcols[t];
+      for (int j = 0; j < n; ++j) r[j] -= ui * vt[j];
+    }
+    row_used[next_row] = 1;
+
+    // Column pivot: largest residual entry among unused columns.
+    int piv = -1;
+    double piv_abs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (col_used[j]) continue;
+      const double a = std::fabs(r[j]);
+      if (a > piv_abs) {
+        piv_abs = a;
+        piv = j;
+      }
+    }
+
+    if (piv < 0 || piv_abs < 1e-300) {
+      // This row is (numerically) fully captured; try a different row.
+      ++tiny_pivots;
+      if (tiny_pivots >= opts.min_pivot_tries) return true;
+      int candidate = -1;
+      for (int i = 0; i < m; ++i) {
+        if (!row_used[i]) {
+          candidate = i;
+          break;
+        }
+      }
+      if (candidate < 0) return true;  // every row visited: done
+      next_row = candidate;
+      --k;  // retry without consuming rank budget
+      continue;
+    }
+    tiny_pivots = 0;
+    col_used[piv] = 1;
+
+    // v_k = residual row / pivot;  u_k = residual column at the pivot.
+    la::Vector vk(n);
+    const double inv = 1.0 / r[piv];
+    for (int j = 0; j < n; ++j) vk[j] = r[j] * inv;
+
+    la::Vector uk(m);
+    for (int i = 0; i < m; ++i) uk[i] = entry(i, piv);
+    for (std::size_t t = 0; t < ucols.size(); ++t) {
+      const double vj = vcols[t][piv];
+      if (vj == 0.0) continue;
+      const la::Vector& ut = ucols[t];
+      for (int i = 0; i < m; ++i) uk[i] -= vj * ut[i];
+    }
+
+    // Update the Frobenius norm estimate of the approximation:
+    // ||A_k||^2 = ||A_{k-1}||^2 + 2 sum_t (u_t . u_k)(v_t . v_k) + |u_k|^2 |v_k|^2.
+    const double uk2 = la::dot(uk, uk);
+    const double vk2 = la::dot(vk, vk);
+    double cross = 0.0;
+    for (std::size_t t = 0; t < ucols.size(); ++t) {
+      cross += la::dot(ucols[t], uk) * la::dot(vcols[t], vk);
+    }
+    norm2_est += 2.0 * cross + uk2 * vk2;
+    if (norm2_est < 0.0) norm2_est = uk2 * vk2;
+
+    ucols.push_back(std::move(uk));
+    vcols.push_back(std::move(vk));
+
+    // Convergence: the new term is small relative to the whole block, or the
+    // factorization reached full rank (then it is exact by construction).
+    if (uk2 * vk2 <= opts.rtol * opts.rtol * norm2_est ||
+        static_cast<int>(ucols.size()) == full_rank) {
+      break;
+    }
+    if (k + 1 == rank_cap) {
+      // Rank cap reached without the last term becoming negligible.
+      // Pack factors anyway so the caller can decide.
+      out->u = la::Matrix(m, static_cast<int>(ucols.size()));
+      out->v = la::Matrix(n, static_cast<int>(vcols.size()));
+      for (std::size_t c = 0; c < ucols.size(); ++c) {
+        for (int i = 0; i < m; ++i) out->u(i, static_cast<int>(c)) = ucols[c][i];
+        for (int j = 0; j < n; ++j) out->v(j, static_cast<int>(c)) = vcols[c][j];
+      }
+      return false;
+    }
+
+    // Next row: largest |u_k| among unused rows (steers toward the part of
+    // the block worst approximated so far).
+    next_row = -1;
+    double best = -1.0;
+    const la::Vector& lastu = ucols.back();
+    for (int i = 0; i < m; ++i) {
+      if (row_used[i]) continue;
+      const double a = std::fabs(lastu[i]);
+      if (a > best) {
+        best = a;
+        next_row = i;
+      }
+    }
+    if (next_row < 0) break;  // all rows visited
+  }
+
+  out->u = la::Matrix(m, static_cast<int>(ucols.size()));
+  out->v = la::Matrix(n, static_cast<int>(vcols.size()));
+  for (std::size_t c = 0; c < ucols.size(); ++c) {
+    for (int i = 0; i < m; ++i) out->u(i, static_cast<int>(c)) = ucols[c][i];
+    for (int j = 0; j < n; ++j) out->v(j, static_cast<int>(c)) = vcols[c][j];
+  }
+  return true;
+}
+
+void recompress(LowRank* lr, double rtol) {
+  const int k = lr->rank();
+  if (k == 0) return;
+
+  // U = Qu Ru, V = Qv Rv;  core = Ru Rv^T (k x k);  SVD and truncate.
+  la::QRFactor qu(lr->u);
+  la::QRFactor qv(lr->v);
+  la::Matrix core =
+      la::matmul(qu.r(), qv.r(), la::Trans::kNo, la::Trans::kYes);
+
+  la::SVDOptions svd_opts;
+  svd_opts.compute_uv = true;
+  la::SVDResult s = la::svd(core, svd_opts);
+
+  int keep = 0;
+  const double cutoff = s.s.empty() ? 0.0 : rtol * s.s[0];
+  while (keep < static_cast<int>(s.s.size()) && s.s[keep] > cutoff) ++keep;
+  if (keep == 0) keep = 1;
+  if (keep >= k) return;  // nothing gained
+
+  la::Matrix qu_thin = qu.q_thin();
+  la::Matrix qv_thin = qv.q_thin();
+
+  // New U = Qu * Us * diag(s), new V = Qv * Vs.
+  la::Matrix us = s.u.block(0, 0, k, keep);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < keep; ++j) us(i, j) *= s.s[j];
+  }
+  lr->u = la::matmul(qu_thin, us);
+  lr->v = la::matmul(qv_thin, s.v.block(0, 0, k, keep));
+}
+
+}  // namespace khss::hmat

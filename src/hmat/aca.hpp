@@ -1,0 +1,41 @@
+#pragma once
+// Adaptive Cross Approximation (partial pivoting) for low-rank compression of
+// admissible H-matrix blocks from element access only — the "hybrid-ACA"
+// ingredient of the paper's prototype H code (Section 3.2).
+
+#include <functional>
+
+#include "la/matrix.hpp"
+
+namespace khss::hmat {
+
+/// Rank-k factorization  block ~= U * V^T  (U: m x k, V: n x k).
+struct LowRank {
+  la::Matrix u;
+  la::Matrix v;
+
+  int rank() const { return u.cols(); }
+  std::size_t bytes() const { return u.bytes() + v.bytes(); }
+  la::Matrix dense() const;
+};
+
+/// Element accessor in block-local indices.
+using EntryFn = std::function<double(int, int)>;
+
+struct ACAOptions {
+  double rtol = 1e-2;   // relative Frobenius stopping tolerance
+  int max_rank = 0;     // 0 => min(m, n) / 2 cap
+  int min_pivot_tries = 3;  // consecutive tiny pivots before declaring done
+};
+
+/// Partial-pivoted ACA.  Returns true on convergence within the rank cap;
+/// on failure the partial factors are still valid but inaccurate, and the
+/// caller should fall back to dense storage.
+bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
+         LowRank* out);
+
+/// SVD recompression of a LowRank factorization: QR both factors, SVD the
+/// small core, truncate at rtol (relative to the largest singular value).
+void recompress(LowRank* lr, double rtol);
+
+}  // namespace khss::hmat

@@ -1,0 +1,290 @@
+#include "hmat/hmatrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/threads.hpp"
+#include "util/timer.hpp"
+
+namespace khss::hmat {
+
+namespace {
+
+double centroid_distance(const cluster::ClusterNode& a,
+                         const cluster::ClusterNode& b) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < a.centroid.size(); ++j) {
+    const double d = a.centroid[j] - b.centroid[j];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// Strong admissibility on ball summaries:
+//   min(diam_a, diam_b) <= eta * dist(a, b),  dist = ||c_a-c_b|| - r_a - r_b.
+bool admissible(const cluster::ClusterNode& a, const cluster::ClusterNode& b,
+                double eta) {
+  const double dist = centroid_distance(a, b) - a.radius - b.radius;
+  if (dist <= 0.0) return false;
+  const double diam = 2.0 * std::min(a.radius, b.radius);
+  return diam <= eta * dist;
+}
+
+struct BuildCtx {
+  const kernel::KernelMatrix& kernel;
+  const cluster::ClusterTree& tree;
+  const HOptions& opts;
+  std::vector<HBlock>* blocks;
+};
+
+void emit_dense(BuildCtx& ctx, const cluster::ClusterNode& a,
+                const cluster::ClusterNode& b) {
+  HBlock blk;
+  blk.row_lo = a.lo;
+  blk.row_hi = a.hi;
+  blk.col_lo = b.lo;
+  blk.col_hi = b.hi;
+  blk.low_rank = false;
+  std::vector<int> rows(a.size()), cols(b.size());
+  for (int i = 0; i < a.size(); ++i) rows[i] = a.lo + i;
+  for (int j = 0; j < b.size(); ++j) cols[j] = b.lo + j;
+  blk.dense = ctx.kernel.extract(rows, cols);
+#pragma omp critical(hmat_blocks)
+  ctx.blocks->push_back(std::move(blk));
+}
+
+void build_rec(BuildCtx& ctx, int na, int nb) {
+  const auto& a = ctx.tree.node(na);
+  const auto& b = ctx.tree.node(nb);
+
+  const bool disjoint = na != nb;
+  const bool strong = disjoint && admissible(a, b, ctx.opts.eta);
+  // Speculative path: large off-diagonal block that failed the geometric
+  // test; bounded-rank ACA decides whether it is low-rank anyway.
+  const bool speculate =
+      disjoint && !strong && ctx.opts.speculative &&
+      std::min(a.size(), b.size()) >= 2 * ctx.opts.dense_block_cutoff;
+
+  if (strong || speculate) {
+    // Index ranges of off-diagonal blocks are disjoint by construction (the
+    // recursion only keeps a == b on the diagonal), so the lambda shift
+    // never leaks into low-rank factors.
+    EntryFn entry = [&ctx, &a, &b](int i, int j) {
+      return ctx.kernel.entry(a.lo + i, b.lo + j);
+    };
+    ACAOptions aca_opts;
+    aca_opts.rtol = ctx.opts.rtol;
+    aca_opts.max_rank = ctx.opts.max_rank;
+    if (speculate) {
+      const int half = std::min(a.size(), b.size()) / 2;
+      aca_opts.max_rank = std::min(ctx.opts.speculative_rank_cap,
+                                   std::max(1, half));
+    }
+    LowRank lr;
+    if (aca(a.size(), b.size(), entry, aca_opts, &lr)) {
+      if (ctx.opts.recompress && lr.rank() > 1) {
+        recompress(&lr, ctx.opts.rtol);
+      }
+      HBlock blk;
+      blk.row_lo = a.lo;
+      blk.row_hi = a.hi;
+      blk.col_lo = b.lo;
+      blk.col_hi = b.hi;
+      blk.low_rank = true;
+      blk.lr = std::move(lr);
+#pragma omp critical(hmat_blocks)
+      ctx.blocks->push_back(std::move(blk));
+      return;
+    }
+    // ACA hit the rank cap: fall through to subdivision (or dense when the
+    // block cannot be split further).
+  }
+
+  const bool small = std::max(a.size(), b.size()) <= ctx.opts.dense_block_cutoff;
+  if ((a.is_leaf() && b.is_leaf()) || small) {
+    emit_dense(ctx, a, b);
+    return;
+  }
+
+  // Subdivide whichever sides can be subdivided.
+  const int as[2] = {a.is_leaf() ? na : a.left, a.is_leaf() ? -1 : a.right};
+  const int bs[2] = {b.is_leaf() ? nb : b.left, b.is_leaf() ? -1 : b.right};
+  for (int ia = 0; ia < 2; ++ia) {
+    if (as[ia] < 0) continue;
+    for (int ib = 0; ib < 2; ++ib) {
+      if (bs[ib] < 0) continue;
+      const int ca = as[ia], cb = bs[ib];
+      const long work = static_cast<long>(ctx.tree.node(ca).size()) *
+                        ctx.tree.node(cb).size();
+#pragma omp task default(shared) if (work > 16384)
+      build_rec(ctx, ca, cb);
+    }
+  }
+#pragma omp taskwait
+}
+
+}  // namespace
+
+HMatrix::HMatrix(const kernel::KernelMatrix& kernel,
+                 const cluster::ClusterTree& tree, const HOptions& opts) {
+  assert(kernel.n() == tree.num_points());
+  n_ = kernel.n();
+  lambda_ = kernel.lambda();
+  build(kernel, tree, opts);
+}
+
+void HMatrix::build(const kernel::KernelMatrix& kernel,
+                    const cluster::ClusterTree& tree, const HOptions& opts) {
+  util::Timer timer;
+  BuildCtx ctx{kernel, tree, opts, &blocks_};
+#pragma omp parallel
+  {
+#pragma omp single
+    build_rec(ctx, tree.root(), tree.root());
+  }
+
+  // Deterministic block order regardless of task scheduling.
+  std::sort(blocks_.begin(), blocks_.end(), [](const HBlock& x, const HBlock& y) {
+    if (x.row_lo != y.row_lo) return x.row_lo < y.row_lo;
+    return x.col_lo < y.col_lo;
+  });
+
+  stats_ = HStats{};
+  stats_.build_seconds = timer.seconds();
+  stats_.num_blocks = static_cast<int>(blocks_.size());
+  for (const auto& blk : blocks_) {
+    if (blk.low_rank) {
+      ++stats_.num_lowrank_blocks;
+      stats_.memory_bytes += blk.lr.bytes();
+      stats_.max_block_rank = std::max(stats_.max_block_rank, blk.lr.rank());
+    } else {
+      ++stats_.num_dense_blocks;
+      stats_.memory_bytes += blk.dense.bytes();
+    }
+  }
+}
+
+namespace {
+
+// out(rows of blk) += blk * x(cols of blk), restricted to columns [c0, c1).
+void apply_block(const HBlock& blk, const la::Matrix& x, la::Matrix& out,
+                 int c0, int c1) {
+  const int nc = c1 - c0;
+  if (blk.low_rank) {
+    const int k = blk.lr.rank();
+    if (k == 0) return;
+    // tmp = V^T * x(cols, c0:c1)
+    la::Matrix tmp(k, nc);
+    for (int j = 0; j < blk.col_hi - blk.col_lo; ++j) {
+      const double* xrow = x.row(blk.col_lo + j) + c0;
+      const double* vrow = blk.lr.v.row(j);
+      for (int t = 0; t < k; ++t) {
+        const double vjt = vrow[t];
+        if (vjt == 0.0) continue;
+        double* trow = tmp.row(t);
+        for (int c = 0; c < nc; ++c) trow[c] += vjt * xrow[c];
+      }
+    }
+    // out(rows, c0:c1) += U * tmp
+    for (int i = 0; i < blk.row_hi - blk.row_lo; ++i) {
+      double* orow = out.row(blk.row_lo + i) + c0;
+      const double* urow = blk.lr.u.row(i);
+      for (int t = 0; t < k; ++t) {
+        const double uit = urow[t];
+        if (uit == 0.0) continue;
+        const double* trow = tmp.row(t);
+        for (int c = 0; c < nc; ++c) orow[c] += uit * trow[c];
+      }
+    }
+  } else {
+    for (int i = 0; i < blk.row_hi - blk.row_lo; ++i) {
+      double* orow = out.row(blk.row_lo + i) + c0;
+      const double* drow = blk.dense.row(i);
+      for (int j = 0; j < blk.col_hi - blk.col_lo; ++j) {
+        const double dij = drow[j];
+        if (dij == 0.0) continue;
+        const double* xrow = x.row(blk.col_lo + j) + c0;
+        for (int c = 0; c < nc; ++c) orow[c] += dij * xrow[c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+la::Matrix HMatrix::multiply(const la::Matrix& x) const {
+  assert(x.rows() == n_);
+  const int s = x.cols();
+  la::Matrix out(n_, s);
+
+  const int threads = util::max_threads();
+  if (s >= 4 && s >= threads / 2) {
+    // Column-sliced parallelism: disjoint output columns, no contention.
+    const int chunks = std::min(threads, s);
+#pragma omp parallel for schedule(static)
+    for (int c = 0; c < chunks; ++c) {
+      const int c0 = static_cast<int>(static_cast<long>(c) * s / chunks);
+      const int c1 = static_cast<int>(static_cast<long>(c + 1) * s / chunks);
+      for (const auto& blk : blocks_) apply_block(blk, x, out, c0, c1);
+    }
+  } else {
+    // Few columns: parallelize over blocks with per-thread accumulators.
+#pragma omp parallel
+    {
+      la::Matrix local(n_, s);
+#pragma omp for schedule(dynamic, 8) nowait
+      for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        apply_block(blocks_[b], x, local, 0, s);
+      }
+#pragma omp critical(hmat_matvec_reduce)
+      out.add(local);
+    }
+  }
+
+  // NOTE: the lambda shift is already baked into the dense diagonal blocks
+  // via KernelMatrix::entry(), so no extra diagonal term is added here.
+  return out;
+}
+
+la::Vector HMatrix::multiply(const la::Vector& x) const {
+  la::Matrix xm(n_, 1);
+  for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
+  la::Matrix ym = multiply(xm);
+  la::Vector y(n_);
+  for (int i = 0; i < n_; ++i) y[i] = ym(i, 0);
+  return y;
+}
+
+void HMatrix::set_lambda(double lambda) {
+  const double delta = lambda - lambda_;
+  if (delta == 0.0) return;
+  for (auto& blk : blocks_) {
+    if (blk.low_rank) continue;
+    // Diagonal blocks are exactly those whose ranges coincide on the
+    // diagonal; overlapping-but-unequal ranges cannot occur by construction.
+    if (blk.row_lo >= blk.col_hi || blk.col_lo >= blk.row_hi) continue;
+    const int lo = std::max(blk.row_lo, blk.col_lo);
+    const int hi = std::min(blk.row_hi, blk.col_hi);
+    for (int g = lo; g < hi; ++g) {
+      blk.dense(g - blk.row_lo, g - blk.col_lo) += delta;
+    }
+  }
+  lambda_ = lambda;
+}
+
+la::Matrix HMatrix::dense() const {
+  la::Matrix out(n_, n_);
+  for (const auto& blk : blocks_) {
+    if (blk.low_rank) {
+      la::Matrix d = blk.lr.dense();
+      out.set_block(blk.row_lo, blk.col_lo, d);
+    } else {
+      out.set_block(blk.row_lo, blk.col_lo, blk.dense);
+    }
+  }
+  return out;
+}
+
+}  // namespace khss::hmat

@@ -1,0 +1,244 @@
+#include "hodlr/hodlr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "la/blas.hpp"
+#include "util/timer.hpp"
+
+namespace khss::hodlr {
+
+HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
+                         const cluster::ClusterTree& tree,
+                         const HODLROptions& opts) {
+  assert(kernel.n() == tree.num_points());
+  util::Timer timer;
+  n_ = kernel.n();
+  nodes_.resize(tree.num_nodes());
+  postorder_ = tree.postorder();
+
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const auto& src = tree.node(id);
+    nodes_[id].lo = src.lo;
+    nodes_[id].hi = src.hi;
+    nodes_[id].left = src.left;
+    nodes_[id].right = src.right;
+  }
+
+  // Leaves and off-diagonal blocks are independent: compress in parallel.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < nodes_.size(); ++t) {
+    Node& nd = nodes_[t];
+    if (nd.is_leaf()) {
+      std::vector<int> idx(nd.size());
+      for (int i = 0; i < nd.size(); ++i) idx[i] = nd.lo + i;
+      nd.d = kernel.extract(idx, idx);
+      continue;
+    }
+    const Node& a = nodes_[nd.left];
+    const Node& b = nodes_[nd.right];
+    // Weak admissibility: the full sibling blocks are compressed, so the
+    // rank cap must allow whatever rank the tolerance demands.
+    hmat::ACAOptions aca_opts;
+    aca_opts.rtol = opts.rtol;
+    aca_opts.max_rank =
+        opts.max_rank > 0 ? opts.max_rank : std::min(a.size(), b.size());
+    hmat::EntryFn up = [&](int i, int j) {
+      return kernel.entry(a.lo + i, b.lo + j);
+    };
+    hmat::aca(a.size(), b.size(), up, aca_opts, &nd.upper);
+    hmat::EntryFn lo = [&](int i, int j) {
+      return kernel.entry(b.lo + i, a.lo + j);
+    };
+    hmat::aca(b.size(), a.size(), lo, aca_opts, &nd.lower);
+    if (opts.recompress) {
+      if (nd.upper.rank() > 1) hmat::recompress(&nd.upper, opts.rtol);
+      if (nd.lower.rank() > 1) hmat::recompress(&nd.lower, opts.rtol);
+    }
+  }
+
+  stats_ = HODLRStats{};
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf()) {
+      stats_.memory_bytes += nd.d.bytes();
+    } else {
+      stats_.memory_bytes += nd.upper.bytes() + nd.lower.bytes();
+      stats_.max_rank =
+          std::max({stats_.max_rank, nd.upper.rank(), nd.lower.rank()});
+      stats_.num_blocks += 2;
+    }
+  }
+  stats_.construction_seconds = timer.seconds();
+}
+
+la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
+  assert(x.rows() == n_);
+  const int s = x.cols();
+  la::Matrix y(n_, s);
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf()) {
+      la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
+      la::Matrix yloc = la::matmul(nd.d, xloc);
+      y.add_block(nd.lo, 0, yloc);
+      continue;
+    }
+    const Node& a = nodes_[nd.left];
+    const Node& b = nodes_[nd.right];
+    if (nd.upper.rank() > 0) {
+      la::Matrix xb = x.block(b.lo, 0, b.size(), s);
+      la::Matrix t = la::matmul(nd.upper.v, xb, la::Trans::kYes, la::Trans::kNo);
+      la::Matrix ya = la::matmul(nd.upper.u, t);
+      y.add_block(a.lo, 0, ya);
+    }
+    if (nd.lower.rank() > 0) {
+      la::Matrix xa = x.block(a.lo, 0, a.size(), s);
+      la::Matrix t = la::matmul(nd.lower.v, xa, la::Trans::kYes, la::Trans::kNo);
+      la::Matrix yb = la::matmul(nd.lower.u, t);
+      y.add_block(b.lo, 0, yb);
+    }
+  }
+  return y;
+}
+
+la::Vector HODLRMatrix::matvec(const la::Vector& x) const {
+  la::Matrix xm(n_, 1);
+  for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
+  la::Matrix ym = matmat(xm);
+  la::Vector y(n_);
+  for (int i = 0; i < n_; ++i) y[i] = ym(i, 0);
+  return y;
+}
+
+la::Matrix HODLRMatrix::dense() const {
+  la::Matrix out(n_, n_);
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf()) {
+      out.set_block(nd.lo, nd.lo, nd.d);
+      continue;
+    }
+    const Node& a = nodes_[nd.left];
+    const Node& b = nodes_[nd.right];
+    if (nd.upper.rank() > 0) out.set_block(a.lo, b.lo, nd.upper.dense());
+    if (nd.lower.rank() > 0) out.set_block(b.lo, a.lo, nd.lower.dense());
+  }
+  return out;
+}
+
+void HODLRMatrix::shift_diagonal(double delta) {
+  for (auto& nd : nodes_) {
+    if (nd.is_leaf()) nd.d.shift_diagonal(delta);
+  }
+}
+
+SMWFactorization::SMWFactorization(const HODLRMatrix& hodlr) : hodlr_(hodlr) {
+  const auto& nodes = hodlr_.nodes();
+  nf_.resize(nodes.size());
+
+  for (int id : hodlr_.postorder()) {
+    const auto& nd = nodes[id];
+    NodeFactor& nf = nf_[id];
+    if (nd.is_leaf()) {
+      nf.leaf_lu = std::make_unique<la::LUFactor>(nd.d);
+      continue;
+    }
+    const auto& a = nodes[nd.left];
+    const auto& b = nodes[nd.right];
+    const int na = a.size(), nb = b.size();
+    const int r1 = nd.upper.rank(), r2 = nd.lower.rank();
+    const int m = na + nb;
+
+    // A = blkdiag(A_a, A_b) + W Z^T with
+    //   W = [U_up  0   ;  0  U_lo],   Z = [0  V_lo ;  V_up  0].
+    la::Matrix w(m, r1 + r2), z(m, r1 + r2);
+    if (r1 > 0) {
+      w.set_block(0, 0, nd.upper.u);
+      z.set_block(na, 0, nd.upper.v);
+    }
+    if (r2 > 0) {
+      w.set_block(na, r1, nd.lower.u);
+      z.set_block(0, r1, nd.lower.v);
+    }
+
+    // D^{-1} W via the children's (already built) inverses.
+    la::Matrix dinv_w = w;
+    {
+      la::Matrix top = dinv_w.block(0, 0, na, r1 + r2);
+      apply_inverse(nd.left, &top);
+      dinv_w.set_block(0, 0, top);
+      la::Matrix bot = dinv_w.block(na, 0, nb, r1 + r2);
+      apply_inverse(nd.right, &bot);
+      dinv_w.set_block(na, 0, bot);
+    }
+
+    // Capacitance C = I + Z^T D^{-1} W.
+    la::Matrix cap = la::matmul(z, dinv_w, la::Trans::kYes, la::Trans::kNo);
+    cap.shift_diagonal(1.0);
+    nf.cap_lu = std::make_unique<la::LUFactor>(std::move(cap));
+    nf.dinv_w = std::move(dinv_w);
+    nf.z = std::move(z);
+  }
+}
+
+void SMWFactorization::apply_inverse(int node_id, la::Matrix* b) const {
+  const auto& nd = hodlr_.nodes()[node_id];
+  const NodeFactor& nf = nf_[node_id];
+  assert(b->rows() == nd.size());
+
+  if (nd.is_leaf()) {
+    nf.leaf_lu->solve_inplace(*b);
+    return;
+  }
+  const auto& a = hodlr_.nodes()[nd.left];
+  const int na = a.size();
+  const int nb = nd.size() - na;
+  const int s = b->cols();
+
+  // b1 = D^{-1} b (recursively on the children).
+  {
+    la::Matrix top = b->block(0, 0, na, s);
+    apply_inverse(nd.left, &top);
+    b->set_block(0, 0, top);
+    la::Matrix bot = b->block(na, 0, nb, s);
+    apply_inverse(nd.right, &bot);
+    b->set_block(na, 0, bot);
+  }
+  if (nf.z.cols() == 0) return;  // no off-diagonal coupling
+
+  // b -= D^{-1}W (I + Z^T D^{-1}W)^{-1} Z^T b1.
+  la::Matrix t = la::matmul(nf.z, *b, la::Trans::kYes, la::Trans::kNo);
+  nf.cap_lu->solve_inplace(t);
+  la::gemm(-1.0, nf.dinv_w, la::Trans::kNo, t, la::Trans::kNo, 1.0, *b);
+}
+
+la::Matrix SMWFactorization::solve(const la::Matrix& b) const {
+  la::Matrix x = b;
+  apply_inverse(0, &x);
+  return x;
+}
+
+la::Vector SMWFactorization::solve(const la::Vector& b) const {
+  la::Matrix bm(static_cast<int>(b.size()), 1);
+  for (std::size_t i = 0; i < b.size(); ++i) bm(static_cast<int>(i), 0) = b[i];
+  la::Matrix xm = solve(bm);
+  la::Vector x(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) x[i] = xm(static_cast<int>(i), 0);
+  return x;
+}
+
+std::size_t SMWFactorization::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& nf : nf_) {
+    total += nf.dinv_w.bytes() + nf.z.bytes();
+    if (nf.leaf_lu) {
+      total += static_cast<std::size_t>(nf.leaf_lu->n()) * nf.leaf_lu->n() *
+               sizeof(double);
+    }
+    if (nf.cap_lu) {
+      total += static_cast<std::size_t>(nf.cap_lu->n()) * nf.cap_lu->n() *
+               sizeof(double);
+    }
+  }
+  return total;
+}
+
+}  // namespace khss::hodlr

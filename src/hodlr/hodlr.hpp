@@ -1,0 +1,116 @@
+#pragma once
+// HODLR (Hierarchically Off-Diagonal Low-Rank) matrix format and a
+// Sherman-Morrison-Woodbury recursive solver.
+//
+// Why this exists: the paper positions its approach against INV-ASKIT
+// (Yu et al. 2016/2017), which uses a block-diagonal-plus-low-rank format
+// factored with the Sherman-Morrison-Woodbury formula.  The paper's stated
+// differences (Section 1.2) are (1) H/HSS formats instead, (2) ULV
+// factorization instead of SMW, (3) a clustering study.  This module
+// implements the comparator so the ULV-vs-SMW trade-off can actually be
+// measured (see bench_ablation_ulv_vs_smw).
+//
+// Format: the same binary cluster tree as HSS, but with *weak admissibility*
+// and non-nested bases — each sibling off-diagonal block is compressed
+// independently as U V^T by ACA from element access.
+//
+// Solver: recursive SMW.  At a node with children a, b:
+//   A = blkdiag(A_a, A_b) + W Z^T,
+//   A^{-1} x = D^{-1}x - D^{-1}W (I + Z^T D^{-1} W)^{-1} Z^T D^{-1} x,
+// where D^{-1} is applied recursively and the (r_a+r_b) x (r_a+r_b)
+// capacitance matrix is LU-factored once.  The factorization phase
+// pre-computes D^{-1}W bottom-up, so solves are cheap and reusable across
+// right-hand sides (one-vs-all classification, lambda retuning).
+
+#include <memory>
+#include <vector>
+
+#include "cluster/tree.hpp"
+#include "hmat/aca.hpp"
+#include "kernel/kernel.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace khss::hodlr {
+
+struct HODLROptions {
+  double rtol = 1e-2;  // ACA tolerance for the off-diagonal blocks
+  int max_rank = 0;    // 0 => min(m, n)/2 cap per block
+  bool recompress = true;
+};
+
+struct HODLRStats {
+  std::size_t memory_bytes = 0;
+  int max_rank = 0;
+  int num_blocks = 0;
+  double construction_seconds = 0.0;
+};
+
+/// HODLR approximation of a symmetric kernel matrix (+ lambda I) over a
+/// cluster tree.  Mirrors the ClusterTree node indexing.
+class HODLRMatrix {
+ public:
+  HODLRMatrix(const kernel::KernelMatrix& kernel,
+              const cluster::ClusterTree& tree, const HODLROptions& opts = {});
+
+  int n() const { return n_; }
+
+  la::Vector matvec(const la::Vector& x) const;
+  la::Matrix matmat(const la::Matrix& x) const;
+
+  /// Dense reconstruction (tests, small n).
+  la::Matrix dense() const;
+
+  /// Add delta to the diagonal (leaf dense blocks only) — the same O(n)
+  /// lambda update HSS supports.
+  void shift_diagonal(double delta);
+
+  const HODLRStats& stats() const { return stats_; }
+
+  struct Node {
+    int lo = 0, hi = 0, left = -1, right = -1;
+    la::Matrix d;           // leaf: dense diagonal block
+    hmat::LowRank upper;    // internal: block (left, right) ~= U V^T
+    hmat::LowRank lower;    // internal: block (right, left)
+    bool is_leaf() const { return left < 0; }
+    int size() const { return hi - lo; }
+  };
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<int>& postorder() const { return postorder_; }
+
+ private:
+  int n_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int> postorder_;
+  HODLRStats stats_;
+};
+
+/// Recursive Sherman-Morrison-Woodbury factorization of a HODLR matrix —
+/// the INV-ASKIT-style comparator to hss::ULVFactorization.
+class SMWFactorization {
+ public:
+  /// The HODLR matrix must stay alive while the factorization is used.
+  explicit SMWFactorization(const HODLRMatrix& hodlr);
+
+  la::Vector solve(const la::Vector& b) const;
+  la::Matrix solve(const la::Matrix& b) const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  // Recursive application of this subtree's inverse to columns of B
+  // (B rows span the node's index range).
+  void apply_inverse(int node_id, la::Matrix* b) const;
+
+  struct NodeFactor {
+    std::unique_ptr<la::LUFactor> leaf_lu;   // leaves
+    la::Matrix dinv_w;                       // internal: D^{-1} W (m x r1+r2)
+    la::Matrix z;                            // internal: Z (m x r1+r2)
+    std::unique_ptr<la::LUFactor> cap_lu;    // internal: I + Z^T D^{-1} W
+  };
+
+  const HODLRMatrix& hodlr_;
+  std::vector<NodeFactor> nf_;
+};
+
+}  // namespace khss::hodlr

@@ -1,0 +1,399 @@
+#include "hss/build.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/rrqr.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace khss::hss {
+
+namespace {
+
+la::TruncationOptions id_truncation(const HSSOptions& opts) {
+  la::TruncationOptions t;
+  t.rtol = opts.rtol;
+  t.atol = opts.atol;
+  t.max_rank = opts.max_rank > 0 ? opts.max_rank : -1;
+  return t;
+}
+
+// Node levels (root = 0); nodes on the same level are independent in the
+// bottom-up pass and are processed in parallel.
+std::vector<std::vector<int>> levels_bottom_up(const std::vector<HSSNode>& nodes) {
+  std::vector<int> depth(nodes.size(), 0);
+  int maxd = 0;
+  for (std::size_t id = 1; id < nodes.size(); ++id) {
+    depth[id] = depth[nodes[id].parent] + 1;
+    maxd = std::max(maxd, depth[id]);
+  }
+  std::vector<std::vector<int>> by_level(maxd + 1);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    by_level[depth[id]].push_back(static_cast<int>(id));
+  }
+  std::reverse(by_level.begin(), by_level.end());  // deepest first
+  return by_level;
+}
+
+std::vector<int> range_indices(int lo, int hi) {
+  std::vector<int> idx(hi - lo);
+  for (int i = lo; i < hi; ++i) idx[i - lo] = i;
+  return idx;
+}
+
+std::vector<int> complement_indices(int lo, int hi, int n) {
+  std::vector<int> idx;
+  idx.reserve(n - (hi - lo));
+  for (int i = 0; i < lo; ++i) idx.push_back(i);
+  for (int i = hi; i < n; ++i) idx.push_back(i);
+  return idx;
+}
+
+template <typename T>
+std::vector<T> select(const std::vector<T>& v, const std::vector<int>& idx) {
+  std::vector<T> out;
+  out.reserve(idx.size());
+  for (int i : idx) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Direct (reference) builder
+// ---------------------------------------------------------------------------
+
+HSSMatrix build_hss_direct(const cluster::ClusterTree& tree,
+                           const ExtractFn& extract, const HSSOptions& opts) {
+  util::Timer total_timer;
+  const int n = tree.num_points();
+  std::vector<HSSNode> nodes = skeleton_from_tree(tree);
+  const la::TruncationOptions trunc = id_truncation(opts);
+  const auto by_level = levels_bottom_up(nodes);
+
+  for (const auto& level : by_level) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t t = 0; t < level.size(); ++t) {
+      const int id = level[t];
+      HSSNode& nd = nodes[id];
+
+      if (nd.is_leaf()) {
+        nd.d = extract(range_indices(nd.lo, nd.hi),
+                       range_indices(nd.lo, nd.hi));
+      } else {
+        // Couplings between the children (already compressed).
+        HSSNode& l = nodes[nd.left];
+        HSSNode& r = nodes[nd.right];
+        nd.b01 = extract(l.jrow, r.jcol);
+        nd.b10 = extract(r.jrow, l.jcol);
+      }
+
+      if (id == 0) continue;  // root stores only D / B couplings
+
+      const std::vector<int> comp = complement_indices(nd.lo, nd.hi, n);
+
+      // Row side: the hanger A(rows, comp), restricted to the children's
+      // selected rows for internal nodes (nested basis).
+      std::vector<int> row_candidates;
+      if (nd.is_leaf()) {
+        row_candidates = range_indices(nd.lo, nd.hi);
+      } else {
+        row_candidates = nodes[nd.left].jrow;
+        row_candidates.insert(row_candidates.end(), nodes[nd.right].jrow.begin(),
+                              nodes[nd.right].jrow.end());
+      }
+      {
+        la::Matrix hanger = extract(row_candidates, comp);
+        la::RowID rid = la::interpolative_rows(hanger, trunc);
+        nd.u = std::move(rid.basis);
+        nd.jrow = select(row_candidates, rid.rows);
+      }
+
+      // Column side (or mirror the row side for symmetric matrices).
+      if (opts.symmetric) {
+        nd.v = nd.u;
+        nd.jcol = nd.jrow;
+      } else {
+        std::vector<int> col_candidates;
+        if (nd.is_leaf()) {
+          col_candidates = range_indices(nd.lo, nd.hi);
+        } else {
+          col_candidates = nodes[nd.left].jcol;
+          col_candidates.insert(col_candidates.end(),
+                                nodes[nd.right].jcol.begin(),
+                                nodes[nd.right].jcol.end());
+        }
+        la::Matrix hanger = extract(comp, col_candidates);
+        la::ColumnID cid = la::interpolative_cols(hanger, trunc);
+        nd.v = cid.coeff.transposed();
+        nd.jcol = select(col_candidates, cid.cols);
+      }
+    }
+  }
+
+  HSSMatrix out(std::move(nodes), tree.postorder(), n);
+  out.construction_seconds_ = total_timer.seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized builder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-node scratch of one randomized construction attempt.
+struct NodeScratch {
+  la::Matrix sloc;        // local row sample (rows x s)
+  la::Matrix scloc;       // local column-side sample
+  la::Matrix rt;          // V^T R(I)   (rv x s)
+  la::Matrix rct;         // U^T Rc(I)  (ru x s)
+  std::vector<int> jloc_row;  // selected local rows of sloc
+  std::vector<int> jloc_col;
+};
+
+// One construction attempt with a fixed sample count.  Returns false when
+// some node's rank saturated the sample budget (caller doubles and retries).
+bool try_randomized_build(std::vector<HSSNode>& nodes,
+                          const std::vector<std::vector<int>>& by_level,
+                          const ExtractFn& extract, const la::Matrix& r_block,
+                          const la::Matrix& s_block, const la::Matrix& rc_block,
+                          const la::Matrix& sc_block, const HSSOptions& opts) {
+  const int s = r_block.cols();
+  const la::TruncationOptions trunc = id_truncation(opts);
+  const int rank_budget = s - opts.oversampling;
+  std::vector<NodeScratch> scratch(nodes.size());
+  bool failed = false;
+
+  for (const auto& level : by_level) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t t = 0; t < level.size(); ++t) {
+      if (failed) continue;
+      const int id = level[t];
+      HSSNode& nd = nodes[id];
+      NodeScratch& sc = scratch[id];
+
+      if (nd.is_leaf()) {
+        const std::vector<int> idx = range_indices(nd.lo, nd.hi);
+        nd.d = extract(idx, idx);
+        la::Matrix rloc = r_block.block(nd.lo, 0, nd.size(), s);
+        sc.sloc = s_block.block(nd.lo, 0, nd.size(), s);
+        la::gemm(-1.0, nd.d, la::Trans::kNo, rloc, la::Trans::kNo, 1.0,
+                 sc.sloc);
+        if (!opts.symmetric) {
+          la::Matrix rcloc = rc_block.block(nd.lo, 0, nd.size(), s);
+          sc.scloc = sc_block.block(nd.lo, 0, nd.size(), s);
+          la::gemm(-1.0, nd.d, la::Trans::kYes, rcloc, la::Trans::kNo, 1.0,
+                   sc.scloc);
+        }
+      } else {
+        HSSNode& l = nodes[nd.left];
+        HSSNode& r = nodes[nd.right];
+        NodeScratch& scl = scratch[nd.left];
+        NodeScratch& scr = scratch[nd.right];
+
+        nd.b01 = extract(l.jrow, r.jcol);
+        nd.b10 = extract(r.jrow, l.jcol);
+
+        // Merged row-side sample with the children's cross contribution
+        // removed: rows Jrow_left see  - B01 * (V_r^T R(I_r)).
+        la::Matrix top = scl.sloc.rows_subset(scl.jloc_row);
+        la::gemm(-1.0, nd.b01, la::Trans::kNo, scr.rt, la::Trans::kNo, 1.0,
+                 top);
+        la::Matrix bot = scr.sloc.rows_subset(scr.jloc_row);
+        la::gemm(-1.0, nd.b10, la::Trans::kNo, scl.rt, la::Trans::kNo, 1.0,
+                 bot);
+        sc.sloc = la::Matrix(top.rows() + bot.rows(), s);
+        sc.sloc.set_block(0, 0, top);
+        sc.sloc.set_block(top.rows(), 0, bot);
+
+        if (!opts.symmetric) {
+          la::Matrix ctop = scl.scloc.rows_subset(scl.jloc_col);
+          la::gemm(-1.0, nd.b10, la::Trans::kYes, scr.rct, la::Trans::kNo, 1.0,
+                   ctop);
+          la::Matrix cbot = scr.scloc.rows_subset(scr.jloc_col);
+          la::gemm(-1.0, nd.b01, la::Trans::kYes, scl.rct, la::Trans::kNo, 1.0,
+                   cbot);
+          sc.scloc = la::Matrix(ctop.rows() + cbot.rows(), s);
+          sc.scloc.set_block(0, 0, ctop);
+          sc.scloc.set_block(ctop.rows(), 0, cbot);
+        }
+
+        // Children scratch no longer needed once merged.
+        scl.sloc = la::Matrix();
+        scr.sloc = la::Matrix();
+        scl.scloc = la::Matrix();
+        scr.scloc = la::Matrix();
+      }
+
+      if (id == 0) continue;  // root keeps only B couplings
+
+      // Row-side interpolative compression of the local sample.
+      {
+        la::RowID rid = la::interpolative_rows(sc.sloc, trunc);
+        const int k = static_cast<int>(rid.rows.size());
+        if (k > rank_budget) {
+#pragma omp atomic write
+          failed = true;
+          continue;
+        }
+        nd.u = std::move(rid.basis);
+        sc.jloc_row = std::move(rid.rows);
+        if (nd.is_leaf()) {
+          nd.jrow.clear();
+          for (int j : sc.jloc_row) nd.jrow.push_back(nd.lo + j);
+        } else {
+          std::vector<int> merged = nodes[nd.left].jrow;
+          merged.insert(merged.end(), nodes[nd.right].jrow.begin(),
+                        nodes[nd.right].jrow.end());
+          nd.jrow = select(merged, sc.jloc_row);
+        }
+      }
+
+      // Column side.
+      if (opts.symmetric) {
+        nd.v = nd.u;
+        nd.jcol = nd.jrow;
+        sc.jloc_col = sc.jloc_row;
+      } else {
+        la::RowID cid = la::interpolative_rows(sc.scloc, trunc);
+        const int k = static_cast<int>(cid.rows.size());
+        if (k > rank_budget) {
+#pragma omp atomic write
+          failed = true;
+          continue;
+        }
+        nd.v = std::move(cid.basis);
+        sc.jloc_col = std::move(cid.rows);
+        if (nd.is_leaf()) {
+          nd.jcol.clear();
+          for (int j : sc.jloc_col) nd.jcol.push_back(nd.lo + j);
+        } else {
+          std::vector<int> merged = nodes[nd.left].jcol;
+          merged.insert(merged.end(), nodes[nd.right].jcol.begin(),
+                        nodes[nd.right].jcol.end());
+          nd.jcol = select(merged, sc.jloc_col);
+        }
+      }
+
+      // Accumulated compressed random blocks for the parent's subtraction.
+      if (nd.is_leaf()) {
+        la::Matrix rloc = r_block.block(nd.lo, 0, nd.size(), s);
+        sc.rt = la::matmul(nd.v, rloc, la::Trans::kYes, la::Trans::kNo);
+        if (!opts.symmetric) {
+          la::Matrix rcloc = rc_block.block(nd.lo, 0, nd.size(), s);
+          sc.rct = la::matmul(nd.u, rcloc, la::Trans::kYes, la::Trans::kNo);
+        } else {
+          sc.rct = sc.rt;
+        }
+      } else {
+        NodeScratch& scl = scratch[nd.left];
+        NodeScratch& scr = scratch[nd.right];
+        la::Matrix stacked(scl.rt.rows() + scr.rt.rows(), s);
+        stacked.set_block(0, 0, scl.rt);
+        stacked.set_block(scl.rt.rows(), 0, scr.rt);
+        sc.rt = la::matmul(nd.v, stacked, la::Trans::kYes, la::Trans::kNo);
+        if (!opts.symmetric) {
+          la::Matrix cstacked(scl.rct.rows() + scr.rct.rows(), s);
+          cstacked.set_block(0, 0, scl.rct);
+          cstacked.set_block(scl.rct.rows(), 0, scr.rct);
+          sc.rct = la::matmul(nd.u, cstacked, la::Trans::kYes, la::Trans::kNo);
+        } else {
+          sc.rct = sc.rt;
+        }
+        scl.rt = la::Matrix();
+        scr.rt = la::Matrix();
+        scl.rct = la::Matrix();
+        scr.rct = la::Matrix();
+      }
+    }
+    if (failed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HSSMatrix build_hss_randomized(const cluster::ClusterTree& tree,
+                               const ExtractFn& extract,
+                               const SampleFn& sample,
+                               const SampleFn& sample_transpose,
+                               const HSSOptions& opts) {
+  if (!opts.symmetric && !sample_transpose) {
+    throw std::invalid_argument(
+        "build_hss_randomized: non-symmetric build needs a transpose sampler");
+  }
+  util::Timer total_timer;
+  const int n = tree.num_points();
+  util::Rng rng(opts.seed);
+
+  int s = std::min(std::max(opts.init_samples, opts.oversampling + 8), n);
+  double sampling_seconds = 0.0;
+  int restarts = 0;
+
+  for (;; ++restarts) {
+    la::Matrix r_block(n, s);
+    rng.fill_normal(r_block.data(), r_block.size());
+    util::Timer sample_timer;
+    la::Matrix s_block = sample(r_block);
+    sampling_seconds += sample_timer.seconds();
+
+    la::Matrix rc_block, sc_block;
+    if (!opts.symmetric) {
+      rc_block = la::Matrix(n, s);
+      rng.fill_normal(rc_block.data(), rc_block.size());
+      util::Timer tt;
+      sc_block = sample_transpose(rc_block);
+      sampling_seconds += tt.seconds();
+    }
+
+    std::vector<HSSNode> nodes = skeleton_from_tree(tree);
+    const auto by_level = levels_bottom_up(nodes);
+    if (try_randomized_build(nodes, by_level, extract, r_block, s_block,
+                             rc_block, sc_block, opts)) {
+      HSSMatrix out(std::move(nodes), tree.postorder(), n);
+      out.samples_used_ = s;
+      out.restarts_ = restarts;
+      out.sampling_seconds_ = sampling_seconds;
+      out.construction_seconds_ = total_timer.seconds();
+      return out;
+    }
+
+    if (s >= n || restarts >= opts.max_restarts) {
+      throw std::runtime_error(
+          "build_hss_randomized: rank did not stabilize within the sampling "
+          "budget; the matrix is likely not HSS-compressible at this "
+          "tolerance");
+    }
+    s = std::min(2 * s, n);
+  }
+}
+
+HSSMatrix build_hss_from_dense(const la::Matrix& a,
+                               const cluster::ClusterTree& tree,
+                               const HSSOptions& opts, bool randomized) {
+  assert(a.rows() == a.cols());
+  assert(a.rows() == tree.num_points());
+  ExtractFn extract = [&a](const std::vector<int>& rows,
+                           const std::vector<int>& cols) {
+    la::Matrix out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        out(static_cast<int>(i), static_cast<int>(j)) = a(rows[i], cols[j]);
+      }
+    }
+    return out;
+  };
+  if (!randomized) return build_hss_direct(tree, extract, opts);
+
+  SampleFn sample = [&a](const la::Matrix& r) { return la::matmul(a, r); };
+  SampleFn sample_t = [&a](const la::Matrix& r) {
+    return la::matmul(a, r, la::Trans::kYes, la::Trans::kNo);
+  };
+  return build_hss_randomized(tree, extract, sample, sample_t, opts);
+}
+
+}  // namespace khss::hss

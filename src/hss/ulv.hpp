@@ -1,0 +1,68 @@
+#pragma once
+// ULV factorization and solve for HSS matrices
+// (Chandrasekaran, Gu, Pals 2006 — the algorithm STRUMPACK uses; the paper
+// contrasts it with the Sherman-Morrison-Woodbury approach of INV-ASKIT).
+//
+// Sketch of the elimination at a node with m unknowns and row basis U (m x r):
+//   1. An orthogonal Omega with  Omega U = [0; Uhat]  zeroes the top
+//      me = m - r rows of U: in those rows the equations decouple from every
+//      other block of the matrix.
+//   2. An LQ factorization of the first me rows of Omega*D triangularizes
+//      them; forward substitution eliminates me unknowns outright.
+//   3. The r "kept" unknowns of the two siblings are merged at the parent
+//      into a reduced (r_left + r_right) system, with the coupling blocks
+//      Uhat B Vhat^T, and the process repeats up the tree.
+//   4. The root's reduced dense system is solved with partially-pivoted LU.
+//
+// Factorization and solve are separate phases (many right-hand sides reuse
+// one factorization), and refactorizing after a diagonal (lambda) update
+// needs no recompression — the properties Sections 2 and 5.3 of the paper
+// rely on.
+
+#include <memory>
+#include <vector>
+
+#include "hss/hss_matrix.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace khss::hss {
+
+class ULVFactorization {
+ public:
+  /// Factor an HSS matrix.  The HSS matrix must stay alive and unmodified
+  /// while this factorization is used (it is referenced during solve).
+  explicit ULVFactorization(const HSSMatrix& hss);
+
+  /// Solve A x = b.
+  la::Vector solve(const la::Vector& b) const;
+
+  /// Solve for multiple right-hand sides (columns of B).
+  la::Matrix solve(const la::Matrix& b) const;
+
+  /// Factor memory footprint in bytes.
+  std::size_t memory_bytes() const;
+
+  /// ||A x - b|| / ||b|| for a given solve (diagnostic helper).
+  double relative_residual(const la::Vector& x, const la::Vector& b) const;
+
+ private:
+  struct NodeFactor {
+    int m = 0;    // reduced system size at this node
+    int me = 0;   // unknowns eliminated here (m - urank)
+    la::Matrix omega;  // m x m orthogonal (empty when me == 0)
+    la::Matrix dhat;   // m x m: Omega * D * Qlq^T; top-left me x me is L
+    la::Matrix qlq;    // m x m orthogonal from the LQ step (empty if me == 0)
+    la::Matrix uhat;   // r x r transformed row basis (non-root)
+    la::Matrix vhat;   // kept rows of Qlq * V (r x rv)
+    la::Matrix v1;     // eliminated rows of Qlq * V (me x rv)
+  };
+
+  void factor();
+
+  const HSSMatrix& hss_;
+  std::vector<NodeFactor> nf_;
+  std::unique_ptr<la::LUFactor> root_lu_;
+};
+
+}  // namespace khss::hss

@@ -1,0 +1,221 @@
+#include "kernel/kernel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace khss::kernel {
+
+namespace {
+constexpr int kTile = 128;  // tile edge for blocked evaluation
+}
+
+std::string kernel_name(KernelType t) {
+  switch (t) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kLaplacian:
+      return "laplacian";
+    case KernelType::kPolynomial:
+      return "polynomial";
+  }
+  return "?";
+}
+
+KernelMatrix::KernelMatrix(la::Matrix points, KernelParams params,
+                           double lambda)
+    : points_(std::move(points)), params_(params), lambda_(lambda) {
+  sqnorm_.resize(points_.rows());
+  for (int i = 0; i < points_.rows(); ++i) {
+    const double* row = points_.row(i);
+    double s = 0.0;
+    for (int j = 0; j < points_.cols(); ++j) s += row[j] * row[j];
+    sqnorm_[i] = s;
+  }
+}
+
+double KernelMatrix::from_products(double dot_xy, double nx, double ny) const {
+  switch (params_.type) {
+    case KernelType::kGaussian: {
+      double d2 = nx + ny - 2.0 * dot_xy;
+      if (d2 < 0.0) d2 = 0.0;  // rounding
+      return std::exp(-d2 / (2.0 * params_.h * params_.h));
+    }
+    case KernelType::kLaplacian: {
+      double d2 = nx + ny - 2.0 * dot_xy;
+      if (d2 < 0.0) d2 = 0.0;
+      return std::exp(-std::sqrt(d2) / params_.h);
+    }
+    case KernelType::kPolynomial: {
+      double base = dot_xy / (params_.h * params_.h) + params_.coef0;
+      double r = 1.0;
+      for (int p = 0; p < params_.degree; ++p) r *= base;
+      return r;
+    }
+  }
+  return 0.0;
+}
+
+double KernelMatrix::entry(int i, int j) const {
+  assert(i >= 0 && i < n() && j >= 0 && j < n());
+  const double* xi = points_.row(i);
+  const double* xj = points_.row(j);
+  double dot = 0.0;
+  for (int k = 0; k < points_.cols(); ++k) dot += xi[k] * xj[k];
+  double v = from_products(dot, sqnorm_[i], sqnorm_[j]);
+  if (i == j) v += lambda_;
+  return v;
+}
+
+la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
+                                 const std::vector<int>& cols) const {
+  la::Matrix out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+#pragma omp atomic
+  element_evals_ += static_cast<long>(rows.size()) * cols.size();
+  const int d = points_.cols();
+#pragma omp parallel for schedule(static) if (out.size() > 4096)
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const int i = rows[r];
+    const double* xi = points_.row(i);
+    double* orow = out.row(static_cast<int>(r));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const int j = cols[c];
+      const double* xj = points_.row(j);
+      double dot = 0.0;
+      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
+      double v = from_products(dot, sqnorm_[i], sqnorm_[j]);
+      if (i == j) v += lambda_;
+      orow[c] = v;
+    }
+  }
+  return out;
+}
+
+la::Matrix KernelMatrix::dense() const {
+  const int nn = n();
+  la::Matrix out(nn, nn);
+  element_evals_ += static_cast<long>(nn) * nn;
+  const int d = points_.cols();
+#pragma omp parallel for schedule(dynamic, 8)
+  for (int i = 0; i < nn; ++i) {
+    const double* xi = points_.row(i);
+    double* orow = out.row(i);
+    for (int j = 0; j <= i; ++j) {
+      const double* xj = points_.row(j);
+      double dot = 0.0;
+      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
+      orow[j] = from_products(dot, sqnorm_[i], sqnorm_[j]);
+    }
+  }
+  // Mirror the lower triangle and add the diagonal shift.
+  for (int i = 0; i < nn; ++i) {
+    for (int j = i + 1; j < nn; ++j) out(i, j) = out(j, i);
+    out(i, i) += lambda_;
+  }
+  return out;
+}
+
+la::Matrix KernelMatrix::multiply(const la::Matrix& x) const {
+  assert(x.rows() == n());
+  const int nn = n(), d = points_.cols(), s = x.cols();
+  la::Matrix out(nn, s);
+
+  // Tiles of K are materialized once, transformed, and immediately folded
+  // into the output: S(I,:) += K(I,J) * X(J,:).  Parallel over row tiles —
+  // each thread owns disjoint output rows.
+#pragma omp parallel
+  {
+    la::Matrix tile(kTile, kTile);
+#pragma omp for schedule(dynamic)
+    for (int ib = 0; ib < nn; ib += kTile) {
+      const int ni = std::min(kTile, nn - ib);
+      for (int jb = 0; jb < nn; jb += kTile) {
+        const int nj = std::min(kTile, nn - jb);
+        // tile = X_I * X_J^T  then elementwise kernel transform.
+        for (int i = 0; i < ni; ++i) {
+          const double* xi = points_.row(ib + i);
+          double* trow = tile.row(i);
+          for (int j = 0; j < nj; ++j) {
+            const double* xj = points_.row(jb + j);
+            double dot = 0.0;
+            for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
+            trow[j] = from_products(dot, sqnorm_[ib + i], sqnorm_[jb + j]);
+          }
+        }
+        // S(I,:) += tile * X(J,:)
+        for (int i = 0; i < ni; ++i) {
+          double* orow = out.row(ib + i);
+          const double* trow = tile.row(i);
+          for (int j = 0; j < nj; ++j) {
+            const double t = trow[j];
+            if (t == 0.0) continue;
+            const double* xrow = x.row(jb + j);
+            for (int c = 0; c < s; ++c) orow[c] += t * xrow[c];
+          }
+        }
+      }
+      // Diagonal shift.
+      if (lambda_ != 0.0) {
+        for (int i = 0; i < ni; ++i) {
+          double* orow = out.row(ib + i);
+          const double* xrow = x.row(ib + i);
+          for (int c = 0; c < s; ++c) orow[c] += lambda_ * xrow[c];
+        }
+      }
+    }
+  }
+#pragma omp atomic
+  element_evals_ += static_cast<long>(nn) * nn;
+  return out;
+}
+
+la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
+                                            const la::Vector& w) const {
+  assert(other_points.cols() == dim());
+  assert(static_cast<int>(w.size()) == n());
+  const int m = other_points.rows(), nn = n(), d = dim();
+  la::Vector y(m, 0.0);
+
+#pragma omp parallel for schedule(dynamic, 8)
+  for (int i = 0; i < m; ++i) {
+    const double* xi = other_points.row(i);
+    double ni = 0.0;
+    for (int k = 0; k < d; ++k) ni += xi[k] * xi[k];
+    double acc = 0.0;
+    for (int j = 0; j < nn; ++j) {
+      const double* xj = points_.row(j);
+      double dot = 0.0;
+      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
+      acc += w[j] * from_products(dot, ni, sqnorm_[j]);
+    }
+    y[i] = acc;
+  }
+#pragma omp atomic
+  element_evals_ += static_cast<long>(m) * nn;
+  return y;
+}
+
+la::Matrix KernelMatrix::cross(const la::Matrix& other_points) const {
+  assert(other_points.cols() == dim());
+  const int m = other_points.rows(), nn = n(), d = dim();
+  la::Matrix out(m, nn);
+#pragma omp atomic
+  element_evals_ += static_cast<long>(m) * nn;
+#pragma omp parallel for schedule(dynamic, 8)
+  for (int i = 0; i < m; ++i) {
+    const double* xi = other_points.row(i);
+    double ni = 0.0;
+    for (int k = 0; k < d; ++k) ni += xi[k] * xi[k];
+    double* orow = out.row(i);
+    for (int j = 0; j < nn; ++j) {
+      const double* xj = points_.row(j);
+      double dot = 0.0;
+      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
+      orow[j] = from_products(dot, ni, sqnorm_[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace khss::kernel

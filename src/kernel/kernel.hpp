@@ -1,0 +1,88 @@
+#pragma once
+// Kernel functions and the (implicit) kernel matrix.
+//
+// KernelMatrix is the "partially matrix-free interface" of the paper
+// (Section 1.1): the HSS construction never forms K — it only needs
+//   (a) selected elements  K(i, j)            -> entry() / extract()
+//   (b) products           (K + lambda I) X   -> multiply()
+// The dense multiply here is the honest O(n^2 (d+s)) sampling path; the
+// H-matrix module provides the fast sampling alternative the paper builds.
+//
+// The Gaussian kernel (Eq. 1.1 of the paper) is the primary citizen;
+// Laplacian and polynomial kernels are provided as extensions.  All three
+// evaluate from inner products and squared norms, so tile evaluation reduces
+// to a GEMM plus an elementwise transform.
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace khss::kernel {
+
+enum class KernelType { kGaussian, kLaplacian, kPolynomial };
+
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  double h = 1.0;      // bandwidth (Gaussian/Laplacian)
+  int degree = 2;      // polynomial only
+  double coef0 = 1.0;  // polynomial only
+};
+
+std::string kernel_name(KernelType t);
+
+/// Symmetric kernel matrix K + lambda*I over a fixed point set, evaluated
+/// lazily.  Points are stored in the order given (callers pass the
+/// cluster-permuted points, making this the *reordered* kernel matrix).
+class KernelMatrix {
+ public:
+  KernelMatrix(la::Matrix points, KernelParams params, double lambda = 0.0);
+
+  int n() const { return points_.rows(); }
+  int dim() const { return points_.cols(); }
+  const la::Matrix& points() const { return points_; }
+  const KernelParams& params() const { return params_; }
+
+  double lambda() const { return lambda_; }
+  /// O(1): only the implicit diagonal shift changes (paper Section 5.3 —
+  /// retuning lambda does not require recompression).
+  void set_lambda(double lambda) { lambda_ = lambda; }
+
+  /// K(i, j) + lambda * [i == j].
+  double entry(int i, int j) const;
+
+  /// Dense submatrix K(rows, cols) (+lambda on coincident indices).
+  la::Matrix extract(const std::vector<int>& rows,
+                     const std::vector<int>& cols) const;
+
+  /// Full dense matrix (small n only; used by tests and the exact baseline).
+  la::Matrix dense() const;
+
+  /// S = (K + lambda I) * X, blocked and OpenMP-parallel, without forming K.
+  la::Matrix multiply(const la::Matrix& x) const;
+
+  /// y = K(other, train) * w  — prediction scores, no lambda, never stores
+  /// the m x n cross matrix.
+  la::Vector cross_times_vector(const la::Matrix& other_points,
+                                const la::Vector& w) const;
+
+  /// Dense cross-kernel block K(other, train) (small sizes; tests/examples).
+  la::Matrix cross(const la::Matrix& other_points) const;
+
+  /// Approximate number of kernel element evaluations since construction
+  /// (bulk operations only; single entry() calls are not counted to keep the
+  /// hot path free of synchronization).  Profiling aid for the partially
+  /// matrix-free interface.
+  long element_evals() const { return element_evals_; }
+
+ private:
+  double from_products(double dot_xy, double nx, double ny) const;
+
+  la::Matrix points_;
+  KernelParams params_;
+  double lambda_ = 0.0;
+  std::vector<double> sqnorm_;  // ||x_i||^2 precomputed
+  mutable long element_evals_ = 0;
+};
+
+}  // namespace khss::kernel

@@ -1,0 +1,310 @@
+#include "krr/krr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/iterative.hpp"
+#include "util/timer.hpp"
+
+namespace khss::krr {
+
+std::string backend_name(SolverBackend b) {
+  switch (b) {
+    case SolverBackend::kDenseExact:
+      return "dense";
+    case SolverBackend::kHSSDirect:
+      return "hss-direct";
+    case SolverBackend::kHSSRandomDense:
+      return "hss-rand-dense";
+    case SolverBackend::kHSSRandomH:
+      return "hss-rand-h";
+    case SolverBackend::kIterativeHSSPrecond:
+      return "pcg-hss-precond";
+  }
+  return "?";
+}
+
+KRRModel::KRRModel(KRROptions opts) : opts_(std::move(opts)) {}
+
+void KRRModel::fit(const la::Matrix& train_points) {
+  stats_ = KRRStats{};
+  n_ = train_points.rows();
+  if (n_ == 0) throw std::invalid_argument("KRRModel::fit: empty training set");
+
+  // Step 0 of Algorithm 1: clustering-based reordering.
+  {
+    util::Timer t;
+    cluster::OrderingOptions copts;
+    copts.leaf_size = opts_.leaf_size;
+    copts.seed = opts_.seed;
+    tree_ = cluster::build_cluster_tree(train_points, opts_.ordering, copts);
+    stats_.cluster_seconds = t.seconds();
+  }
+
+  // Step 1: the (implicit) kernel matrix on the permuted points.
+  la::Matrix permuted = cluster::apply_row_permutation(train_points,
+                                                       tree_.perm());
+  kernel_ = std::make_unique<kernel::KernelMatrix>(std::move(permuted),
+                                                   opts_.kernel, opts_.lambda);
+  compress();
+  fitted_ = true;
+}
+
+void KRRModel::compress() {
+  hmat_.reset();
+  ulv_.reset();
+  dense_chol_.reset();
+  hss_ = hss::HSSMatrix();
+
+  if (opts_.backend == SolverBackend::kDenseExact) {
+    util::Timer t;
+    la::Matrix k = kernel_->dense();
+    stats_.dense_memory_bytes = k.bytes();
+    dense_chol_.emplace(std::move(k));
+    stats_.factor_seconds = t.seconds();
+    return;
+  }
+
+  hss::ExtractFn extract = [this](const std::vector<int>& rows,
+                                  const std::vector<int>& cols) {
+    return kernel_->extract(rows, cols);
+  };
+
+  hss::HSSOptions hopts;
+  hopts.rtol = opts_.hss_rtol;
+  hopts.init_samples = opts_.hss_init_samples;
+  hopts.max_rank = opts_.hss_max_rank;
+  hopts.symmetric = true;
+  hopts.seed = opts_.seed;
+
+  const bool iterative = opts_.backend == SolverBackend::kIterativeHSSPrecond;
+  if (iterative) {
+    // The preconditioner only has to capture the operator coarsely.
+    hopts.rtol = opts_.precond_rtol;
+  }
+
+  if (opts_.backend == SolverBackend::kHSSDirect) {
+    hss_ = hss::build_hss_direct(tree_, extract, hopts);
+  } else {
+    hss::SampleFn sampler;
+    if (opts_.backend == SolverBackend::kHSSRandomH || iterative) {
+      util::Timer t;
+      hmat::HOptions h_opts = opts_.hmatrix;
+      if (h_opts.rtol <= 0.0) h_opts.rtol = opts_.hss_rtol;
+      hmat_ = std::make_unique<hmat::HMatrix>(*kernel_, tree_, h_opts);
+      stats_.h_construction_seconds = t.seconds();
+      stats_.h_memory_bytes = hmat_->stats().memory_bytes;
+      sampler = [this](const la::Matrix& r) { return hmat_->multiply(r); };
+    } else {
+      sampler = [this](const la::Matrix& r) { return kernel_->multiply(r); };
+    }
+    hss_ = hss::build_hss_randomized(tree_, extract, sampler, {}, hopts);
+  }
+  stats_.hss_construction_seconds = hss_.construction_seconds_;
+  stats_.hss_sampling_seconds = hss_.sampling_seconds_;
+  stats_.hss_memory_bytes = hss_.memory_bytes();
+  stats_.hss_max_rank = hss_.max_rank();
+  stats_.hss_samples = hss_.samples_used_;
+  stats_.hss_restarts = hss_.restarts_;
+
+  // Step 2 (factorization part): ULV.
+  util::Timer t;
+  ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
+  stats_.factor_seconds = t.seconds();
+  stats_.factor_memory_bytes = ulv_->memory_bytes();
+}
+
+la::Vector KRRModel::solve(const la::Vector& y) {
+  if (!fitted_) throw std::logic_error("KRRModel::solve before fit");
+  assert(static_cast<int>(y.size()) == n_);
+
+  // Permute RHS into tree order, solve, permute back.
+  la::Vector yp(n_);
+  for (int i = 0; i < n_; ++i) yp[i] = y[tree_.perm()[i]];
+
+  util::Timer t;
+  la::Vector wp;
+  if (dense_chol_) {
+    wp = dense_chol_->solve(yp);
+  } else if (opts_.backend == SolverBackend::kIterativeHSSPrecond) {
+    // PCG on the H operator with the loose ULV factorization as M^{-1}
+    // (the paper's Section 6 future-work configuration).
+    la::MatVecFn op = [this](const la::Vector& v) {
+      return hmat_->multiply(v);
+    };
+    la::MatVecFn precond = [this](const la::Vector& v) {
+      return ulv_->solve(v);
+    };
+    wp.assign(n_, 0.0);
+    la::IterativeOptions iopts;
+    iopts.rtol = opts_.iterative_rtol;
+    iopts.max_iterations = opts_.iterative_max_iterations;
+    la::IterativeResult ir = la::pcg(op, precond, yp, &wp, iopts);
+    stats_.solve_iterations = ir.iterations;
+  } else {
+    wp = ulv_->solve(yp);
+  }
+  stats_.solve_seconds = t.seconds();
+
+  la::Vector w(n_);
+  for (int i = 0; i < n_; ++i) w[tree_.perm()[i]] = wp[i];
+  return w;
+}
+
+void KRRModel::set_lambda(double lambda) {
+  if (!fitted_) {
+    opts_.lambda = lambda;
+    return;
+  }
+  const double delta = lambda - opts_.lambda;
+  opts_.lambda = lambda;
+  if (delta == 0.0) return;
+  kernel_->set_lambda(lambda);
+
+  util::Timer t;
+  if (dense_chol_) {
+    // Dense baseline: refactor the shifted matrix.
+    la::Matrix k = kernel_->dense();
+    dense_chol_.emplace(std::move(k));
+  } else {
+    hss_.shift_diagonal(delta);
+    if (hmat_) hmat_->set_lambda(lambda);  // keep the operator in sync
+    ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
+    stats_.factor_memory_bytes = ulv_->memory_bytes();
+  }
+  stats_.factor_seconds = t.seconds();
+}
+
+la::Vector KRRModel::decision_scores(const la::Matrix& test_points,
+                                     const la::Vector& weights) const {
+  if (!fitted_) throw std::logic_error("KRRModel::decision_scores before fit");
+  // Kernel holds permuted training points; permute the weights to match.
+  la::Vector wp(n_);
+  for (int i = 0; i < n_; ++i) wp[i] = weights[tree_.perm()[i]];
+  return kernel_->cross_times_vector(test_points, wp);
+}
+
+double KRRModel::training_residual(const la::Vector& weights,
+                                   const la::Vector& y) const {
+  la::Vector wp(n_), yp(n_);
+  for (int i = 0; i < n_; ++i) {
+    wp[i] = weights[tree_.perm()[i]];
+    yp[i] = y[tree_.perm()[i]];
+  }
+  // Residual in the operator actually solved against: the exact kernel for
+  // the dense backend, the H operator for the iterative backend, and the
+  // compressed HSS operator otherwise.
+  la::Matrix wm(n_, 1);
+  for (int i = 0; i < n_; ++i) wm(i, 0) = wp[i];
+  la::Matrix km;
+  if (dense_chol_) {
+    km = kernel_->multiply(wm);
+  } else if (opts_.backend == SolverBackend::kIterativeHSSPrecond && hmat_) {
+    km = hmat_->multiply(wm);
+  } else {
+    km = hss_.matmat(wm);
+  }
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const double r = km(i, 0) - yp[i];
+    num += r * r;
+    den += yp[i] * yp[i];
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+void KRRClassifier::fit(const la::Matrix& train_points,
+                        const std::vector<int>& y) {
+  assert(train_points.rows() == static_cast<int>(y.size()));
+  model_.fit(train_points);
+  y_.assign(y.size(), 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 1 && y[i] != -1) {
+      throw std::invalid_argument("KRRClassifier: labels must be +-1");
+    }
+    y_[i] = static_cast<double>(y[i]);
+  }
+  weights_ = model_.solve(y_);
+}
+
+la::Vector KRRClassifier::decision_function(
+    const la::Matrix& test_points) const {
+  return model_.decision_scores(test_points, weights_);
+}
+
+std::vector<int> KRRClassifier::predict(const la::Matrix& test_points) const {
+  la::Vector scores = decision_function(test_points);
+  std::vector<int> out(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] >= 0.0 ? +1 : -1;
+  }
+  return out;
+}
+
+double KRRClassifier::accuracy(const la::Matrix& test_points,
+                               const std::vector<int>& y_true) const {
+  return accuracy_score(predict(test_points), y_true);
+}
+
+void KRRClassifier::set_lambda(double lambda) {
+  model_.set_lambda(lambda);
+  if (model_.fitted() && !y_.empty()) {
+    weights_ = model_.solve(y_);  // cheap: factorization reused per solve
+  }
+}
+
+void OneVsAllKRR::fit(const la::Matrix& train_points,
+                      const std::vector<int>& labels, int num_classes) {
+  assert(train_points.rows() == static_cast<int>(labels.size()));
+  model_.fit(train_points);
+  class_weights_.clear();
+  class_weights_.reserve(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    la::Vector y(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      y[i] = labels[i] == c ? 1.0 : -1.0;
+    }
+    class_weights_.push_back(model_.solve(y));
+  }
+}
+
+std::vector<int> OneVsAllKRR::predict(const la::Matrix& test_points) const {
+  const int m = test_points.rows();
+  const int c = static_cast<int>(class_weights_.size());
+  std::vector<int> out(m, 0);
+  std::vector<double> best(m, -1e300);
+  for (int cls = 0; cls < c; ++cls) {
+    la::Vector scores = model_.decision_scores(test_points,
+                                               class_weights_[cls]);
+    for (int i = 0; i < m; ++i) {
+      // Section 2: the one-vs-all confidence is |w^T K'(i)| interpreted as
+      // the raw score; argmax over classes.
+      if (scores[i] > best[i]) {
+        best[i] = scores[i];
+        out[i] = cls;
+      }
+    }
+  }
+  return out;
+}
+
+double OneVsAllKRR::accuracy(const la::Matrix& test_points,
+                             const std::vector<int>& labels_true) const {
+  return accuracy_score(predict(test_points), labels_true);
+}
+
+double accuracy_score(const std::vector<int>& predicted,
+                      const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  int correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predicted.size();
+}
+
+}  // namespace khss::krr

@@ -1,0 +1,191 @@
+#pragma once
+// Kernel ridge regression classification — Algorithm 1 of the paper.
+//
+//   0. Preprocess: reorder the training points with a clustering method
+//      (Section 4) so nearby points get nearby indices.
+//   1. The kernel matrix K is *implicit* (kernel::KernelMatrix).
+//   2. Train: solve (K + lambda I) w = y with a chosen backend:
+//        kDenseExact      — full K + Cholesky (the paper's exact reference)
+//        kHSSDirect       — deterministic ID-based HSS + ULV
+//        kHSSRandomDense  — randomized HSS, dense O(n^2) sampling + ULV
+//        kHSSRandomH      — randomized HSS, H-matrix fast sampling + ULV
+//                           (the paper's headline pipeline)
+//   3./4. Predict: y' = sign(K' w) streamed over test points.
+//
+// KRRModel owns the label-independent part (ordering, compression,
+// factorization) and can solve for many right-hand sides, which is what makes
+// one-vs-all multi-class classification (Section 2) cheap: c classes reuse
+// one compression.  set_lambda() re-factors without re-compressing
+// (Section 5.3).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/ordering.hpp"
+#include "hmat/hmatrix.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "la/chol.hpp"
+#include "la/matrix.hpp"
+
+namespace khss::krr {
+
+enum class SolverBackend {
+  kDenseExact,
+  kHSSDirect,
+  kHSSRandomDense,
+  kHSSRandomH,
+  /// The paper's stated future work (Section 6): keep the H matrix as the
+  /// operator and use a *loose-tolerance* HSS ULV factorization as a
+  /// preconditioner for conjugate gradients, instead of solving directly
+  /// with a tight factorization.
+  kIterativeHSSPrecond,
+};
+
+std::string backend_name(SolverBackend b);
+
+struct KRROptions {
+  cluster::OrderingMethod ordering = cluster::OrderingMethod::kTwoMeans;
+  SolverBackend backend = SolverBackend::kHSSRandomDense;
+  kernel::KernelParams kernel;  // h lives here
+  double lambda = 1.0;
+  int leaf_size = 16;  // the paper's HSS leaf size
+  double hss_rtol = 1e-2;
+  int hss_init_samples = 64;
+  int hss_max_rank = 0;
+  /// Only used by kHSSRandomH.  hmatrix.rtol <= 0 (the default here) means
+  /// "track hss_rtol": the H matrix only has to be as accurate as the HSS
+  /// approximation it feeds samples to.
+  hmat::HOptions hmatrix{.rtol = 0.0};
+  std::uint64_t seed = 42;
+
+  // kIterativeHSSPrecond settings: the preconditioner is an HSS
+  // factorization at `precond_rtol` (much looser than a direct solve would
+  // need); PCG iterates on the H operator until `iterative_rtol`.
+  double precond_rtol = 0.3;
+  double iterative_rtol = 1e-8;
+  int iterative_max_iterations = 200;
+};
+
+/// Phase timings + compression statistics, mirroring the rows of the paper's
+/// Table 4 and the metrics of Section 4.2.
+struct KRRStats {
+  double cluster_seconds = 0.0;
+  double h_construction_seconds = 0.0;
+  double hss_construction_seconds = 0.0;  // includes sampling
+  double hss_sampling_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  std::size_t hss_memory_bytes = 0;
+  std::size_t h_memory_bytes = 0;
+  std::size_t factor_memory_bytes = 0;
+  std::size_t dense_memory_bytes = 0;  // dense backend only
+  int hss_max_rank = 0;
+  int hss_samples = 0;
+  int hss_restarts = 0;
+  int solve_iterations = 0;  // iterative backend only
+};
+
+/// Label-independent model: ordering + compression + factorization.
+class KRRModel {
+ public:
+  explicit KRRModel(KRROptions opts);
+
+  /// Build compression/factorization for the training points (copied).
+  void fit(const la::Matrix& train_points);
+
+  bool fitted() const { return fitted_; }
+  int n() const { return n_; }
+  const KRROptions& options() const { return opts_; }
+  const KRRStats& stats() const { return stats_; }
+  const cluster::ClusterTree& tree() const { return tree_; }
+  const kernel::KernelMatrix& kernel() const { return *kernel_; }
+  const hss::HSSMatrix& hss() const { return hss_; }
+
+  /// Solve (K + lambda I) w = y.  y in the *original* (unpermuted) point
+  /// order; the returned weights are also in original order.
+  la::Vector solve(const la::Vector& y);
+
+  /// Change the regularization; re-factors without recompressing.
+  void set_lambda(double lambda);
+  double lambda() const { return opts_.lambda; }
+
+  /// Decision scores K(test, train) * w for weights from solve().
+  la::Vector decision_scores(const la::Matrix& test_points,
+                             const la::Vector& weights) const;
+
+  /// ||(K + lambda I) w - y|| / ||y|| in the compressed operator (diagnostic).
+  double training_residual(const la::Vector& weights,
+                           const la::Vector& y) const;
+
+ private:
+  void compress();
+
+  KRROptions opts_;
+  bool fitted_ = false;
+  int n_ = 0;
+  cluster::ClusterTree tree_;
+  std::unique_ptr<kernel::KernelMatrix> kernel_;  // holds permuted points
+  std::unique_ptr<hmat::HMatrix> hmat_;
+  hss::HSSMatrix hss_;
+  std::unique_ptr<hss::ULVFactorization> ulv_;
+  std::optional<la::CholeskyFactor> dense_chol_;
+  KRRStats stats_;
+};
+
+/// Binary classifier (labels +-1), Algorithm 1 end-to-end.
+class KRRClassifier {
+ public:
+  explicit KRRClassifier(KRROptions opts) : model_(std::move(opts)) {}
+
+  /// y entries must be +-1.
+  void fit(const la::Matrix& train_points, const std::vector<int>& y);
+
+  std::vector<int> predict(const la::Matrix& test_points) const;
+  la::Vector decision_function(const la::Matrix& test_points) const;
+
+  /// Fraction of correctly predicted labels (Eq. 2.1).
+  double accuracy(const la::Matrix& test_points,
+                  const std::vector<int>& y_true) const;
+
+  /// Cheap (h fixed) retune: update lambda, re-solve the weights.
+  void set_lambda(double lambda);
+
+  KRRModel& model() { return model_; }
+  const KRRModel& model() const { return model_; }
+
+ private:
+  KRRModel model_;
+  la::Vector weights_;
+  la::Vector y_;  // cached training labels for cheap lambda retuning
+};
+
+/// One-vs-all multi-class classifier (Section 2): c binary weight vectors on
+/// one shared compression; prediction takes the argmax of the scores.
+class OneVsAllKRR {
+ public:
+  explicit OneVsAllKRR(KRROptions opts) : model_(std::move(opts)) {}
+
+  void fit(const la::Matrix& train_points, const std::vector<int>& labels,
+           int num_classes);
+
+  std::vector<int> predict(const la::Matrix& test_points) const;
+  double accuracy(const la::Matrix& test_points,
+                  const std::vector<int>& labels_true) const;
+
+  KRRModel& model() { return model_; }
+
+ private:
+  KRRModel model_;
+  std::vector<la::Vector> class_weights_;
+};
+
+/// Fraction of matching labels (Eq. 2.1 of the paper).
+double accuracy_score(const std::vector<int>& predicted,
+                      const std::vector<int>& truth);
+
+}  // namespace khss::krr

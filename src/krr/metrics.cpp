@@ -1,0 +1,105 @@
+#include "krr/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace khss::krr {
+
+double ConfusionMatrix::accuracy() const {
+  const long t = total();
+  return t == 0 ? 0.0
+               : static_cast<double>(true_positive + true_negative) / t;
+}
+
+double ConfusionMatrix::precision() const {
+  const long denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double ConfusionMatrix::recall() const {
+  const long denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision(), r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix confusion(const std::vector<int>& predicted,
+                          const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool pos = predicted[i] == 1;
+    const bool is_pos = truth[i] == 1;
+    if (pos && is_pos) ++cm.true_positive;
+    if (pos && !is_pos) ++cm.false_positive;
+    if (!pos && is_pos) ++cm.false_negative;
+    if (!pos && !is_pos) ++cm.true_negative;
+  }
+  return cm;
+}
+
+double roc_auc(const la::Vector& scores, const std::vector<int>& truth) {
+  assert(scores.size() == truth.size());
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Rank-sum with average ranks over tied score groups.
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg = 0.5 * (static_cast<double>(i) + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  long npos = 0, nneg = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (truth[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++npos;
+    } else {
+      ++nneg;
+    }
+  }
+  if (npos == 0 || nneg == 0) return 0.5;  // degenerate: undefined, neutral
+  const double u = pos_rank_sum - 0.5 * npos * (npos + 1.0);
+  return u / (static_cast<double>(npos) * nneg);
+}
+
+double rmse(const la::Vector& predicted, const la::Vector& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / predicted.size());
+}
+
+double r_squared(const la::Vector& predicted, const la::Vector& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : truth) mean += v;
+  mean /= truth.size();
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  return ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace khss::krr

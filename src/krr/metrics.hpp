@@ -1,0 +1,42 @@
+#pragma once
+// Classification / regression quality metrics beyond plain accuracy
+// (Eq. 2.1 of the paper).  One-vs-all prediction of a rare class (e.g.
+// LETTER 'A' at ~1/26 prevalence) can score high accuracy while being
+// useless, so the examples also report precision/recall/F1/AUC.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace khss::krr {
+
+/// Binary confusion counts for +-1 labels.
+struct ConfusionMatrix {
+  long true_positive = 0;
+  long false_positive = 0;
+  long true_negative = 0;
+  long false_negative = 0;
+
+  long total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+ConfusionMatrix confusion(const std::vector<int>& predicted,
+                          const std::vector<int>& truth);
+
+/// Area under the ROC curve from raw decision scores (+-1 truth labels).
+/// Equivalent to the Mann-Whitney U statistic; ties share credit.
+double roc_auc(const la::Vector& scores, const std::vector<int>& truth);
+
+/// Root-mean-square error (regression).
+double rmse(const la::Vector& predicted, const la::Vector& truth);
+
+/// Coefficient of determination R^2 (regression).
+double r_squared(const la::Vector& predicted, const la::Vector& truth);
+
+}  // namespace khss::krr

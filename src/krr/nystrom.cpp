@@ -1,0 +1,79 @@
+#include "krr/nystrom.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace khss::krr {
+
+void NystromKRR::fit(const la::Matrix& train_points) {
+  util::Timer timer;
+  const int n = train_points.rows();
+  const int m = std::min(opts_.landmarks, n);
+  if (m <= 0) throw std::invalid_argument("NystromKRR: landmarks must be > 0");
+
+  util::Rng rng(opts_.seed);
+  const auto idx = rng.sample_without_replacement(n, m);
+  std::vector<int> rows(idx.begin(), idx.end());
+  landmarks_ = train_points.rows_subset(rows);
+
+  // K_nm: kernel between all training points and the landmarks.
+  kernel::KernelMatrix landmark_kernel(landmarks_, opts_.kernel, 0.0);
+  k_nm_ = landmark_kernel.cross(train_points);  // n x m
+
+  // Normal matrix K_nm^T K_nm + lambda K_mm.
+  la::Matrix kmm(m, m);
+  {
+    std::vector<int> all(m);
+    for (int i = 0; i < m; ++i) all[i] = i;
+    kmm = landmark_kernel.extract(all, all);
+  }
+  normal_ = la::matmul(k_nm_, k_nm_, la::Trans::kYes, la::Trans::kNo);
+  normal_.add(kmm, opts_.lambda);
+  // Tiny ridge keeps the normal matrix factorable when landmarks coincide.
+  normal_.shift_diagonal(1e-10);
+
+  stats_.construction_seconds = timer.seconds();
+  stats_.memory_bytes = k_nm_.bytes() + normal_.bytes() + landmarks_.bytes();
+  fitted_ = true;
+}
+
+la::Vector NystromKRR::solve(const la::Vector& y) {
+  if (!fitted_) throw std::logic_error("NystromKRR::solve before fit");
+  util::Timer timer;
+  la::Vector rhs = la::matvec(k_nm_, y, la::Trans::kYes);
+  la::LUFactor lu(normal_);
+  la::Vector alpha = lu.solve(rhs);
+  stats_.solve_seconds = timer.seconds();
+  return alpha;
+}
+
+la::Vector NystromKRR::decision_scores(const la::Matrix& test_points,
+                                       const la::Vector& alpha) const {
+  if (!fitted_) {
+    throw std::logic_error("NystromKRR::decision_scores before fit");
+  }
+  kernel::KernelMatrix landmark_kernel(landmarks_, opts_.kernel, 0.0);
+  return landmark_kernel.cross_times_vector(test_points, alpha);
+}
+
+double NystromKRR::classify_accuracy(const la::Matrix& train_points,
+                                     const std::vector<int>& y_train,
+                                     const la::Matrix& test_points,
+                                     const std::vector<int>& y_test) {
+  fit(train_points);
+  la::Vector y(y_train.size());
+  for (std::size_t i = 0; i < y_train.size(); ++i) y[i] = y_train[i];
+  la::Vector alpha = solve(y);
+  la::Vector scores = decision_scores(test_points, alpha);
+  int correct = 0;
+  for (std::size_t i = 0; i < y_test.size(); ++i) {
+    if ((scores[i] >= 0 ? 1 : -1) == y_test[i]) ++correct;
+  }
+  return y_test.empty() ? 0.0 : static_cast<double>(correct) / y_test.size();
+}
+
+}  // namespace khss::krr

@@ -1,0 +1,25 @@
+#include "krr/regressor.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace khss::krr {
+
+void KRRRegressor::fit(const la::Matrix& train_points, const la::Vector& y) {
+  assert(train_points.rows() == static_cast<int>(y.size()));
+  model_.fit(train_points);
+  y_ = y;
+  weights_ = model_.solve(y_);
+}
+
+la::Vector KRRRegressor::predict(const la::Matrix& test_points) const {
+  if (weights_.empty()) throw std::logic_error("KRRRegressor: not fitted");
+  return model_.decision_scores(test_points, weights_);
+}
+
+void KRRRegressor::set_lambda(double lambda) {
+  model_.set_lambda(lambda);
+  if (model_.fitted() && !y_.empty()) weights_ = model_.solve(y_);
+}
+
+}  // namespace khss::krr

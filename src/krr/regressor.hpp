@@ -1,0 +1,34 @@
+#pragma once
+// Kernel ridge *regression* proper (continuous targets).
+//
+// The paper uses ridge regression only as a classifier (Algorithm 1 takes
+// the sign of the scores), but the underlying solver is the same linear
+// system (K + lambda I) w = y; this thin wrapper exposes the regression use
+// case on top of KRRModel so the library covers both.
+
+#include "krr/krr.hpp"
+
+namespace khss::krr {
+
+class KRRRegressor {
+ public:
+  explicit KRRRegressor(KRROptions opts) : model_(std::move(opts)) {}
+
+  void fit(const la::Matrix& train_points, const la::Vector& y);
+
+  /// Predicted values for test points.
+  la::Vector predict(const la::Matrix& test_points) const;
+
+  /// Cheap lambda retuning: diagonal update + refactor + resolve.
+  void set_lambda(double lambda);
+
+  KRRModel& model() { return model_; }
+  const KRRModel& model() const { return model_; }
+
+ private:
+  KRRModel model_;
+  la::Vector weights_;
+  la::Vector y_;
+};
+
+}  // namespace khss::krr

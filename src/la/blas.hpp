@@ -1,0 +1,61 @@
+#pragma once
+// BLAS-like dense kernels (OpenMP-parallel) on la::Matrix / la::Vector.
+//
+// Naming follows BLAS loosely; all routines are straightforward, portable
+// C++ tuned for the matrix sizes this library actually uses (leaf blocks of
+// tens of rows up to sample blocks of a few thousand).  The gemm micro-kernel
+// uses an i-k-j loop order so the inner loop is a contiguous saxpy the
+// compiler vectorizes.
+
+#include "la/matrix.hpp"
+
+namespace khss::la {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C.  Shapes are checked with asserts.
+void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          double beta, Matrix& c);
+
+/// Convenience: returns op(A) * op(B).
+Matrix matmul(const Matrix& a, const Matrix& b, Trans ta = Trans::kNo,
+              Trans tb = Trans::kNo);
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(double alpha, const Matrix& a, Trans ta, const Vector& x, double beta,
+          Vector& y);
+
+/// Returns op(A) * x.
+Vector matvec(const Matrix& a, const Vector& x, Trans ta = Trans::kNo);
+
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+double dot(const Vector& x, const Vector& y);
+double nrm2(const Vector& x);
+
+/// Frobenius norm.
+double norm_f(const Matrix& a);
+
+/// Max-abs entry.
+double norm_max(const Matrix& a);
+
+/// Frobenius norm of (A - B); shapes must match.
+double diff_f(const Matrix& a, const Matrix& b);
+
+/// Solve L * X = B in place of B, L lower-triangular (unit or not).
+void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal);
+
+/// Solve U * X = B in place of B, U upper-triangular.
+void trsm_upper_left(const Matrix& u, Matrix& b);
+
+/// Solve X * U = B in place of B (i.e. U^T from the left on B^T), U upper.
+void trsm_upper_right(const Matrix& u, Matrix& b);
+
+/// Forward substitution: solve L * x = b, L lower-triangular.
+Vector solve_lower(const Matrix& l, const Vector& b, bool unit_diagonal);
+
+/// Back substitution: solve U * x = b, U upper-triangular.
+Vector solve_upper(const Matrix& u, const Vector& b);
+
+}  // namespace khss::la

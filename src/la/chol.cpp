@@ -1,0 +1,98 @@
+#include "la/chol.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace khss::la {
+
+namespace {
+
+// Returns false on a non-positive pivot instead of throwing.
+bool cholesky_inplace(Matrix& a) {
+  assert(a.rows() == a.cols());
+  const int n = a.rows();
+  for (int k = 0; k < n; ++k) {
+    double d = a(k, k);
+    for (int p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    d = std::sqrt(d);
+    a(k, k) = d;
+    const double inv = 1.0 / d;
+#pragma omp parallel for schedule(static) if ((n - k) > 256)
+    for (int i = k + 1; i < n; ++i) {
+      double s = a(i, k);
+      const double* ai = a.row(i);
+      const double* ak = a.row(k);
+      for (int p = 0; p < k; ++p) s -= ai[p] * ak[p];
+      a(i, k) = s * inv;
+    }
+  }
+  // Zero the strict upper triangle so l() is clean.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+CholeskyFactor::CholeskyFactor(Matrix a) : l_(std::move(a)) {
+  if (!cholesky_inplace(l_)) {
+    throw std::runtime_error("CholeskyFactor: matrix is not SPD");
+  }
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  const int n = l_.rows();
+  assert(static_cast<int>(b.size()) == n);
+  Vector x = b;
+  for (int i = 0; i < n; ++i) {
+    double s = x[i];
+    const double* li = l_.row(i);
+    for (int j = 0; j < i; ++j) s -= li[j] * x[j];
+    x[i] = s / li[i];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double s = x[i];
+    for (int j = i + 1; j < n; ++j) s -= l_(j, i) * x[j];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+void CholeskyFactor::solve_inplace(Matrix& b) const {
+  const int n = l_.rows();
+  assert(b.rows() == n);
+  const int nrhs = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* li = l_.row(i);
+    double* bi = b.row(i);
+    for (int j = 0; j < i; ++j) {
+      const double lij = li[j];
+      if (lij == 0.0) continue;
+      const double* bj = b.row(j);
+      for (int c = 0; c < nrhs; ++c) bi[c] -= lij * bj[c];
+    }
+    const double inv = 1.0 / li[i];
+    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double* bi = b.row(i);
+    for (int j = i + 1; j < n; ++j) {
+      const double lji = l_(j, i);
+      if (lji == 0.0) continue;
+      const double* bj = b.row(j);
+      for (int c = 0; c < nrhs; ++c) bi[c] -= lji * bj[c];
+    }
+    const double inv = 1.0 / l_(i, i);
+    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
+  }
+}
+
+bool CholeskyFactor::is_spd(const Matrix& a) {
+  Matrix copy = a;
+  return cholesky_inplace(copy);
+}
+
+}  // namespace khss::la

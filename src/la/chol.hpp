@@ -1,0 +1,30 @@
+#pragma once
+// Cholesky factorization for symmetric positive definite systems.
+// The dense (exact) KRR baseline factors K + lambda*I with this; it is also
+// the SPD check used by the kernel property tests.
+
+#include "la/matrix.hpp"
+
+namespace khss::la {
+
+class CholeskyFactor {
+ public:
+  /// Factor SPD matrix A = L L^T (copied).  Throws std::runtime_error if a
+  /// non-positive pivot is met (matrix not numerically SPD).
+  explicit CholeskyFactor(Matrix a);
+
+  int n() const { return l_.rows(); }
+
+  Vector solve(const Vector& b) const;
+  void solve_inplace(Matrix& b) const;
+
+  const Matrix& l() const { return l_; }
+
+  /// Attempt a factorization; returns false instead of throwing.
+  static bool is_spd(const Matrix& a);
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace khss::la

@@ -1,0 +1,110 @@
+#include "la/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace khss::la {
+
+LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
+  assert(a_.rows() == a_.cols());
+  const int n = a_.rows();
+  piv_.resize(n);
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    int piv = k;
+    double best = std::fabs(a_(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    piv_[k] = piv;
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(a_(k, j), a_(piv, j));
+    }
+    if (a_(k, k) == 0.0) {
+      throw std::runtime_error("LUFactor: singular matrix");
+    }
+
+    const double inv = 1.0 / a_(k, k);
+    for (int i = k + 1; i < n; ++i) a_(i, k) *= inv;
+
+    // Trailing update, parallel over rows for larger root systems.
+#pragma omp parallel for schedule(static) if ((n - k) > 128)
+    for (int i = k + 1; i < n; ++i) {
+      const double lik = a_(i, k);
+      if (lik == 0.0) continue;
+      const double* ak = a_.row(k);
+      double* ai = a_.row(i);
+      for (int j = k + 1; j < n; ++j) ai[j] -= lik * ak[j];
+    }
+  }
+}
+
+Vector LUFactor::solve(const Vector& b) const {
+  const int n = a_.rows();
+  assert(static_cast<int>(b.size()) == n);
+  Vector x = b;
+  for (int k = 0; k < n; ++k) {
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+  }
+  // Forward (unit lower), then backward (upper).
+  for (int i = 0; i < n; ++i) {
+    double s = x[i];
+    const double* ai = a_.row(i);
+    for (int j = 0; j < i; ++j) s -= ai[j] * x[j];
+    x[i] = s;
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double s = x[i];
+    const double* ai = a_.row(i);
+    for (int j = i + 1; j < n; ++j) s -= ai[j] * x[j];
+    x[i] = s / ai[i];
+  }
+  return x;
+}
+
+void LUFactor::solve_inplace(Matrix& b) const {
+  const int n = a_.rows();
+  assert(b.rows() == n);
+  const int nrhs = b.cols();
+  for (int k = 0; k < n; ++k) {
+    if (piv_[k] != k) {
+      for (int c = 0; c < nrhs; ++c) std::swap(b(k, c), b(piv_[k], c));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const double* ai = a_.row(i);
+    double* bi = b.row(i);
+    for (int j = 0; j < i; ++j) {
+      const double lij = ai[j];
+      if (lij == 0.0) continue;
+      const double* bj = b.row(j);
+      for (int c = 0; c < nrhs; ++c) bi[c] -= lij * bj[c];
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    const double* ai = a_.row(i);
+    double* bi = b.row(i);
+    for (int j = i + 1; j < n; ++j) {
+      const double uij = ai[j];
+      if (uij == 0.0) continue;
+      const double* bj = b.row(j);
+      for (int c = 0; c < nrhs; ++c) bi[c] -= uij * bj[c];
+    }
+    const double inv = 1.0 / ai[i];
+    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
+  }
+}
+
+double LUFactor::log_abs_det() const {
+  double s = 0.0;
+  for (int i = 0; i < a_.rows(); ++i) s += std::log(std::fabs(a_(i, i)));
+  return s;
+}
+
+}  // namespace khss::la

@@ -1,0 +1,33 @@
+#pragma once
+// LU factorization with partial pivoting.  Used for the dense root system of
+// the ULV solver and as a reference solver in tests.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace khss::la {
+
+class LUFactor {
+ public:
+  /// Factor a square matrix (copied).  Throws std::runtime_error on exact
+  /// singularity (zero pivot).
+  explicit LUFactor(Matrix a);
+
+  int n() const { return a_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B (B has n rows), result overwrites B.
+  void solve_inplace(Matrix& b) const;
+
+  /// |det(A)| on a log scale (useful for conditioning diagnostics).
+  double log_abs_det() const;
+
+ private:
+  Matrix a_;               // packed L (unit lower) and U
+  std::vector<int> piv_;   // row swaps applied at each step
+};
+
+}  // namespace khss::la

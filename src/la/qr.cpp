@@ -1,0 +1,181 @@
+#include "la/qr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace khss::la {
+
+namespace {
+
+// Reverse the rows of A in place.
+void reverse_rows(Matrix& a) {
+  for (int i = 0, j = a.rows() - 1; i < j; ++i, --j) {
+    for (int c = 0; c < a.cols(); ++c) std::swap(a(i, c), a(j, c));
+  }
+}
+
+// Reverse the columns of A in place.
+void reverse_cols(Matrix& a) {
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int i = 0, j = a.cols() - 1; i < j; ++i, --j) {
+      std::swap(a(r, i), a(r, j));
+    }
+  }
+}
+
+}  // namespace
+
+QRFactor::QRFactor(Matrix a) : a_(std::move(a)) {
+  const int m = a_.rows(), n = a_.cols();
+  const int k = m < n ? m : n;
+  tau_.assign(k, 0.0);
+
+  for (int j = 0; j < k; ++j) {
+    // Build the Householder reflector for column j, rows j..m-1.
+    double norm = 0.0;
+    for (int i = j; i < m; ++i) norm += a_(i, j) * a_(i, j);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[j] = 0.0;
+      continue;
+    }
+    const double alpha = a_(j, j) >= 0 ? -norm : norm;
+    const double v0 = a_(j, j) - alpha;
+    // Normalize so v(j) = 1; store v(j+1..) below the diagonal.
+    for (int i = j + 1; i < m; ++i) a_(i, j) /= v0;
+    tau_[j] = -v0 / alpha;  // = 2 / (v^T v) with v(j) = 1 scaling
+    a_(j, j) = alpha;
+
+    // Apply (I - tau v v^T) to the trailing columns.
+    for (int c = j + 1; c < n; ++c) {
+      double s = a_(j, c);
+      for (int i = j + 1; i < m; ++i) s += a_(i, j) * a_(i, c);
+      s *= tau_[j];
+      a_(j, c) -= s;
+      for (int i = j + 1; i < m; ++i) a_(i, c) -= s * a_(i, j);
+    }
+  }
+}
+
+Matrix QRFactor::r() const {
+  const int m = a_.rows(), n = a_.cols();
+  const int k = m < n ? m : n;
+  Matrix out(k, n);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i; j < n; ++j) out(i, j) = a_(i, j);
+  }
+  return out;
+}
+
+void QRFactor::apply_qt(Matrix& b) const {
+  // Q^T = H_{k-1} ... H_1 H_0; apply in forward order.
+  assert(b.rows() == a_.rows());
+  const int m = a_.rows(), nrhs = b.cols();
+  for (std::size_t j = 0; j < tau_.size(); ++j) {
+    const double t = tau_[j];
+    if (t == 0.0) continue;
+    for (int c = 0; c < nrhs; ++c) {
+      double s = b(static_cast<int>(j), c);
+      for (int i = static_cast<int>(j) + 1; i < m; ++i) {
+        s += a_(i, static_cast<int>(j)) * b(i, c);
+      }
+      s *= t;
+      b(static_cast<int>(j), c) -= s;
+      for (int i = static_cast<int>(j) + 1; i < m; ++i) {
+        b(i, c) -= s * a_(i, static_cast<int>(j));
+      }
+    }
+  }
+}
+
+void QRFactor::apply_q(Matrix& b) const {
+  // Q = H_0 H_1 ... H_{k-1}; apply in reverse order.
+  assert(b.rows() == a_.rows());
+  const int m = a_.rows(), nrhs = b.cols();
+  for (int j = static_cast<int>(tau_.size()) - 1; j >= 0; --j) {
+    const double t = tau_[j];
+    if (t == 0.0) continue;
+    for (int c = 0; c < nrhs; ++c) {
+      double s = b(j, c);
+      for (int i = j + 1; i < m; ++i) s += a_(i, j) * b(i, c);
+      s *= t;
+      b(j, c) -= s;
+      for (int i = j + 1; i < m; ++i) b(i, c) -= s * a_(i, j);
+    }
+  }
+}
+
+Matrix QRFactor::q_thin() const {
+  const int m = a_.rows(), n = a_.cols();
+  const int k = m < n ? m : n;
+  Matrix q(m, k);
+  for (int i = 0; i < k; ++i) q(i, i) = 1.0;
+  apply_q(q);
+  return q;
+}
+
+Matrix QRFactor::q_full() const {
+  Matrix q = Matrix::identity(a_.rows());
+  apply_q(q);
+  return q;
+}
+
+QLResult ql_zero_top(const Matrix& u) {
+  const int m = u.rows(), r = u.cols();
+  assert(m >= r);
+
+  // Reverse rows and columns, factor with plain QR, then map back:
+  //   P_m U P_r = Q R  =>  U = (P_m Q P_m) (P_m R P_r)
+  // and P_m R P_r has the [0; L] shape with L lower triangular.
+  Matrix w = u;
+  reverse_rows(w);
+  reverse_cols(w);
+  QRFactor qr(std::move(w));
+
+  Matrix qfull = qr.q_full();  // m x m
+  // omega = P_m Q^T P_m: transpose then reverse rows and columns.
+  Matrix omega = qfull.transposed();
+  reverse_rows(omega);
+  reverse_cols(omega);
+
+  QLResult out;
+  out.omega = std::move(omega);
+  // L = bottom-right r x r of P_m R P_r where R is the m x r trapezoid.
+  Matrix rfac(m, r);
+  {
+    Matrix rr = qr.r();  // k x r with k = min(m, r) = r
+    for (int i = 0; i < rr.rows(); ++i) {
+      for (int j = 0; j < r; ++j) rfac(i, j) = rr(i, j);
+    }
+  }
+  reverse_rows(rfac);
+  reverse_cols(rfac);
+  out.l = rfac.block(m - r, 0, r, r);
+  return out;
+}
+
+LQResult lq(const Matrix& a) {
+  const int me = a.rows(), m = a.cols();
+  assert(me <= m);
+  (void)me;
+  (void)m;
+
+  // A^T = Q2 R2 (full Q2 m x m, R2 upper-trapezoid m x me)
+  // => A = R2^T Q2^T = [L 0] Q with Q = Q2^T, L = top me x me of R2, transposed.
+  QRFactor qr(a.transposed());
+  LQResult out;
+  Matrix r2 = qr.r();  // me x me upper triangular (min(m, me) = me rows)
+  out.l = r2.transposed();
+  out.q = qr.q_full().transposed();
+  return out;
+}
+
+double orthogonality_error(const Matrix& q) {
+  Matrix g = matmul(q, q, Trans::kYes, Trans::kNo);
+  g.shift_diagonal(-1.0);
+  return norm_f(g);
+}
+
+}  // namespace khss::la

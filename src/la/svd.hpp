@@ -1,0 +1,39 @@
+#pragma once
+// One-sided Jacobi SVD.
+//
+// Chosen over bidiagonalization because it is simple, numerically robust for
+// the well-scaled kernel blocks this library feeds it, and embarrassingly
+// parallel: within each sweep the column pairs of a round-robin tournament
+// schedule are independent and processed with OpenMP.  Used by the Fig. 1 /
+// Table 1 reproduction (singular value decay of kernel blocks) and by the
+// H-matrix recompression step.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace khss::la {
+
+struct SVDResult {
+  std::vector<double> s;  // singular values, descending
+  Matrix u;               // m x k left vectors (empty unless requested)
+  Matrix v;               // n x k right vectors (empty unless requested)
+};
+
+struct SVDOptions {
+  bool compute_uv = false;
+  int max_sweeps = 30;
+  double tol = 1e-12;  // relative off-diagonal threshold
+};
+
+/// Full SVD of an m x n matrix; k = min(m, n).
+SVDResult svd(const Matrix& a, const SVDOptions& opts = {});
+
+/// Singular values only, descending.
+std::vector<double> singular_values(const Matrix& a);
+
+/// Number of singular values strictly greater than `threshold` — the paper's
+/// "effective rank" metric (Table 1 uses threshold 0.01).
+int effective_rank(const std::vector<double>& sigma, double threshold);
+
+}  // namespace khss::la

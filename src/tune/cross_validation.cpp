@@ -1,0 +1,63 @@
+#include "tune/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace khss::tune {
+
+std::vector<std::vector<int>> kfold_indices(int n, int k, std::uint64_t seed) {
+  if (k < 2 || k > n) {
+    throw std::invalid_argument("kfold_indices: need 2 <= k <= n");
+  }
+  util::Rng rng(seed);
+  std::vector<int> perm = rng.permutation(n);
+  std::vector<std::vector<int>> folds(k);
+  for (int i = 0; i < n; ++i) folds[i % k].push_back(perm[i]);
+  return folds;
+}
+
+CVResult cross_validate_krr(const data::Dataset& dataset, int target_class,
+                            const krr::KRROptions& opts, int folds,
+                            std::uint64_t seed) {
+  const int n = dataset.n();
+  const auto fold_idx = kfold_indices(n, folds, seed);
+  const auto y_all = dataset.one_vs_all(target_class);
+
+  CVResult result;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<char> in_test(n, 0);
+    for (int i : fold_idx[f]) in_test[i] = 1;
+    std::vector<int> train_rows, test_rows;
+    for (int i = 0; i < n; ++i) {
+      (in_test[i] ? test_rows : train_rows).push_back(i);
+    }
+
+    data::Dataset train = data::subset(dataset, train_rows);
+    data::Dataset test = data::subset(dataset, test_rows);
+    // Normalization fitted per fold on the training part only.
+    data::ColumnTransform t = data::fit_zscore(train.points);
+    t.apply(train.points);
+    t.apply(test.points);
+
+    std::vector<int> y_train, y_test;
+    for (int i : train_rows) y_train.push_back(y_all[i]);
+    for (int i : test_rows) y_test.push_back(y_all[i]);
+
+    krr::KRRClassifier clf(opts);
+    clf.fit(train.points, y_train);
+    result.fold_accuracy.push_back(clf.accuracy(test.points, y_test));
+  }
+
+  double mean = 0.0;
+  for (double a : result.fold_accuracy) mean += a;
+  mean /= folds;
+  double var = 0.0;
+  for (double a : result.fold_accuracy) var += (a - mean) * (a - mean);
+  result.mean_accuracy = mean;
+  result.stddev_accuracy = std::sqrt(var / folds);
+  return result;
+}
+
+}  // namespace khss::tune

@@ -1,0 +1,33 @@
+#pragma once
+// k-fold cross-validation (the paper: "The choice of parameters (h, lambda)
+// is based on a particular dataset and usually made by a cross-validation").
+//
+// The folds respect the cheap-lambda-update structure when used through
+// KRRObjective-style evaluators: fold models are rebuilt per h, re-factored
+// per lambda.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "krr/krr.hpp"
+
+namespace khss::tune {
+
+/// Partition [0, n) into k disjoint shuffled folds (sizes differ by <= 1).
+std::vector<std::vector<int>> kfold_indices(int n, int k, std::uint64_t seed);
+
+struct CVResult {
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  std::vector<double> fold_accuracy;
+};
+
+/// k-fold CV of a binary KRR classifier at fixed (h, lambda) hyperparameters
+/// in `opts`.  `target_class` selects the one-vs-all task.
+CVResult cross_validate_krr(const data::Dataset& dataset, int target_class,
+                            const krr::KRROptions& opts, int folds,
+                            std::uint64_t seed = 42);
+
+}  // namespace khss::tune

@@ -1,0 +1,195 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace khss::tune {
+
+KRRObjective::KRRObjective(krr::KRROptions base, const la::Matrix& train,
+                           const std::vector<int>& y_train,
+                           const la::Matrix& valid,
+                           const std::vector<int>& y_valid)
+    : base_(std::move(base)),
+      train_(train),
+      valid_(valid),
+      y_valid_(y_valid) {
+  y_train_.assign(y_train.size(), 0.0);
+  for (std::size_t i = 0; i < y_train.size(); ++i) {
+    y_train_[i] = static_cast<double>(y_train[i]);
+  }
+}
+
+double KRRObjective::operator()(double h, double lambda) {
+  ++evaluations_;
+  if (!model_ || current_h_ != h) {
+    // h changed: full recompression (the expensive path).
+    krr::KRROptions opts = base_;
+    opts.kernel.h = h;
+    opts.lambda = lambda;
+    model_ = std::make_unique<krr::KRRModel>(opts);
+    model_->fit(train_);
+    current_h_ = h;
+    ++compressions_;
+  } else if (model_->lambda() != lambda) {
+    // lambda-only change: diagonal update + refactor.
+    model_->set_lambda(lambda);
+  }
+
+  la::Vector w = model_->solve(y_train_);
+  la::Vector scores = model_->decision_scores(valid_, w);
+  int correct = 0;
+  for (std::size_t i = 0; i < y_valid_.size(); ++i) {
+    const int pred = scores[i] >= 0.0 ? +1 : -1;
+    if (pred == y_valid_[i]) ++correct;
+  }
+  return y_valid_.empty() ? 0.0
+                          : static_cast<double>(correct) / y_valid_.size();
+}
+
+namespace {
+
+double lerp_scale(double lo, double hi, double t, bool log_scale) {
+  if (log_scale) return lo * std::pow(hi / lo, t);
+  return lo + (hi - lo) * t;
+}
+
+void record(TuneResult& res, double h, double lambda, double acc) {
+  res.history.push_back({h, lambda, acc});
+  ++res.evaluations;
+  if (acc > res.best_accuracy) {
+    res.best_accuracy = acc;
+    res.best_h = h;
+    res.best_lambda = lambda;
+  }
+}
+
+}  // namespace
+
+TuneResult grid_search(Objective& objective, const GridSpec& grid) {
+  TuneResult res;
+  for (int ih = 0; ih < grid.h_points; ++ih) {
+    const double th = grid.h_points > 1
+                          ? static_cast<double>(ih) / (grid.h_points - 1)
+                          : 0.5;
+    const double h = lerp_scale(grid.h_min, grid.h_max, th, grid.log_scale);
+    for (int il = 0; il < grid.lambda_points; ++il) {
+      const double tl = grid.lambda_points > 1
+                            ? static_cast<double>(il) / (grid.lambda_points - 1)
+                            : 0.5;
+      const double lambda =
+          lerp_scale(grid.lambda_min, grid.lambda_max, tl, grid.log_scale);
+      record(res, h, lambda, objective(h, lambda));
+    }
+  }
+  return res;
+}
+
+namespace {
+
+// 2-D Nelder-Mead in z = (log h, log lambda), maximizing the objective.
+// Runs until the shared evaluation budget is exhausted or the simplex
+// collapses; standard reflection/expansion/contraction/shrink coefficients.
+struct Simplex2D {
+  struct Point {
+    double z[2];
+    double value;
+  };
+
+  static double clampd(double v, double lo, double hi) {
+    return std::min(hi, std::max(lo, v));
+  }
+};
+
+}  // namespace
+
+TuneResult black_box_search(Objective& objective, const BlackBoxSpec& spec) {
+  TuneResult res;
+  util::Rng rng(spec.seed);
+
+  const double zlo[2] = {std::log(spec.h_min), std::log(spec.lambda_min)};
+  const double zhi[2] = {std::log(spec.h_max), std::log(spec.lambda_max)};
+
+  auto eval_z = [&](const double z[2]) {
+    const double h = std::exp(Simplex2D::clampd(z[0], zlo[0], zhi[0]));
+    const double lambda = std::exp(Simplex2D::clampd(z[1], zlo[1], zhi[1]));
+    const double acc = objective(h, lambda);
+    record(res, h, lambda, acc);
+    return acc;
+  };
+
+  for (int restart = 0; restart < spec.restarts; ++restart) {
+    if (res.evaluations >= spec.budget) break;
+
+    // Random initial simplex.
+    Simplex2D::Point simplex[3];
+    for (auto& p : simplex) {
+      for (int j = 0; j < 2; ++j) {
+        p.z[j] = zlo[j] + (zhi[j] - zlo[j]) * rng.uniform();
+      }
+      p.value = eval_z(p.z);
+      if (res.evaluations >= spec.budget) break;
+    }
+    if (res.evaluations >= spec.budget) break;
+
+    while (res.evaluations < spec.budget) {
+      // Sort descending by value (maximization).
+      std::sort(std::begin(simplex), std::end(simplex),
+                [](const auto& a, const auto& b) { return a.value > b.value; });
+      const auto& best = simplex[0];
+      auto& worst = simplex[2];
+
+      // Converged when the simplex is tiny in z-space.
+      const double spanz =
+          std::fabs(best.z[0] - worst.z[0]) + std::fabs(best.z[1] - worst.z[1]);
+      if (spanz < 1e-3) break;
+
+      double centroid[2] = {(simplex[0].z[0] + simplex[1].z[0]) / 2.0,
+                            (simplex[0].z[1] + simplex[1].z[1]) / 2.0};
+
+      // Reflect.
+      double zr[2] = {centroid[0] + (centroid[0] - worst.z[0]),
+                      centroid[1] + (centroid[1] - worst.z[1])};
+      const double vr = eval_z(zr);
+      if (res.evaluations >= spec.budget) break;
+
+      if (vr > best.value) {
+        // Expand.
+        double ze[2] = {centroid[0] + 2.0 * (centroid[0] - worst.z[0]),
+                        centroid[1] + 2.0 * (centroid[1] - worst.z[1])};
+        const double ve = eval_z(ze);
+        if (ve > vr) {
+          worst = {{ze[0], ze[1]}, ve};
+        } else {
+          worst = {{zr[0], zr[1]}, vr};
+        }
+      } else if (vr > simplex[1].value) {
+        worst = {{zr[0], zr[1]}, vr};
+      } else {
+        // Contract toward the centroid.
+        double zc[2] = {centroid[0] + 0.5 * (worst.z[0] - centroid[0]),
+                        centroid[1] + 0.5 * (worst.z[1] - centroid[1])};
+        const double vc = eval_z(zc);
+        if (res.evaluations >= spec.budget) break;
+        if (vc > worst.value) {
+          worst = {{zc[0], zc[1]}, vc};
+        } else {
+          // Shrink toward the best point.
+          for (int i = 1; i < 3; ++i) {
+            for (int j = 0; j < 2; ++j) {
+              simplex[i].z[j] =
+                  best.z[j] + 0.5 * (simplex[i].z[j] - best.z[j]);
+            }
+            simplex[i].value = eval_z(simplex[i].z);
+            if (res.evaluations >= spec.budget) break;
+          }
+          if (res.evaluations >= spec.budget) break;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace khss::tune

@@ -1,0 +1,91 @@
+#pragma once
+// Hyperparameter tuning for (h, lambda) — Section 5.3 of the paper.
+//
+// The paper contrasts a fine grid search (128^2 = 16384 runs, Fig. 6a) with
+// black-box optimization via OpenTuner (~100 runs, Fig. 6b).  OpenTuner is a
+// Python framework; the stand-in here is a random-multistart Nelder-Mead
+// simplex over (log h, log lambda) with the same evaluation budget.
+//
+// Both tuners exploit the structure the paper points out: changing lambda
+// only updates the diagonal of the compressed matrix (cheap re-factorization,
+// no recompression), while changing h requires rebuilding the compression.
+// The evaluation cache therefore keys the expensive part on h alone.
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "krr/krr.hpp"
+
+namespace khss::tune {
+
+struct Trial {
+  double h;
+  double lambda;
+  double accuracy;
+};
+
+struct TuneResult {
+  double best_h = 1.0;
+  double best_lambda = 1.0;
+  double best_accuracy = 0.0;
+  int evaluations = 0;
+  int compressions = 0;  // number of (expensive) h rebuilds
+  std::vector<Trial> history;
+};
+
+/// Objective: validation accuracy for a given (h, lambda).
+using Objective = std::function<double(double h, double lambda)>;
+
+/// Evaluator that owns a KRRModel and reuses the compression across lambda
+/// changes.  This is the objective used by both tuners.
+class KRRObjective {
+ public:
+  /// train/validation points and +-1 labels; `base` provides everything but
+  /// (h, lambda).
+  KRRObjective(krr::KRROptions base, const la::Matrix& train,
+               const std::vector<int>& y_train, const la::Matrix& valid,
+               const std::vector<int>& y_valid);
+
+  double operator()(double h, double lambda);
+
+  int evaluations() const { return evaluations_; }
+  int compressions() const { return compressions_; }
+
+ private:
+  krr::KRROptions base_;
+  const la::Matrix& train_;
+  la::Vector y_train_;
+  const la::Matrix& valid_;
+  std::vector<int> y_valid_;
+  std::unique_ptr<krr::KRRModel> model_;
+  double current_h_ = -1.0;
+  int evaluations_ = 0;
+  int compressions_ = 0;
+};
+
+struct GridSpec {
+  double h_min = 0.25, h_max = 2.0;
+  double lambda_min = 0.5, lambda_max = 10.0;
+  int h_points = 8;
+  int lambda_points = 8;
+  bool log_scale = true;
+};
+
+/// Exhaustive grid search (Fig. 6a).  Iterates h in the outer loop so each
+/// compression serves a full lambda sweep.
+TuneResult grid_search(Objective& objective, const GridSpec& grid);
+
+struct BlackBoxSpec {
+  double h_min = 0.05, h_max = 8.0;
+  double lambda_min = 0.05, lambda_max = 16.0;
+  int budget = 100;     // total objective evaluations (the paper's count)
+  int restarts = 3;     // Nelder-Mead restarts from random simplices
+  std::uint64_t seed = 123;
+};
+
+/// Budgeted black-box optimization (Fig. 6b): random initialization +
+/// Nelder-Mead on (log h, log lambda), clamped to the search box.
+TuneResult black_box_search(Objective& objective, const BlackBoxSpec& spec);
+
+}  // namespace khss::tune

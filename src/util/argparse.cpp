@@ -1,0 +1,62 @@
+#include "util/argparse.hpp"
+
+#include <cstdlib>
+
+namespace khss::util {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another option or missing.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+long ArgParser::get_int(const std::string& name, long def) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double def) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& def) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return def;
+  return it->second;
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return def;
+  if (it->second.empty()) return true;  // bare --flag
+  return it->second == "1" || it->second == "true" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace khss::util

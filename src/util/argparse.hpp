@@ -1,0 +1,38 @@
+#pragma once
+// Minimal command-line option parsing for the bench/example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.  All
+// bench binaries must run with no arguments (defaults sized for a single
+// node), so every option has a default.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace khss::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True if --name was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// The binary name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace khss::util

@@ -1,0 +1,43 @@
+#pragma once
+// Leveled stderr logging.  Quiet by default; benches raise the level with
+// --verbose so test output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace khss::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace khss::util

@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// All randomized algorithms in this library (2-means seeding, randomized HSS
+// sampling, dataset synthesis) draw from util::Rng so that every experiment is
+// reproducible from a single 64-bit seed.  The generator is xoshiro256**,
+// seeded through SplitMix64 as its authors recommend; it is small enough to
+// copy into per-thread instances (see split()) without false sharing.
+
+#include <cstdint>
+#include <vector>
+
+namespace khss::util {
+
+/// xoshiro256** PRNG with normal/uniform helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t index(std::uint64_t n);
+
+  /// Fill `out` with standard normal deviates.
+  void fill_normal(double* out, std::size_t count);
+
+  /// A statistically independent generator derived from this one.
+  /// Used to hand one RNG per OpenMP thread / per tree node.
+  Rng split();
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Random permutation of [0, n).
+  std::vector<int> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace khss::util

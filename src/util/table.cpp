@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace khss::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%ld", v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+std::string Table::fmt_mb(double bytes, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    os << '+';
+    for (auto w : width) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < width[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace khss::util

@@ -1,0 +1,36 @@
+#pragma once
+// Aligned ASCII table printing shared by the benchmark harness.  Every bench
+// binary prints the rows/series of one table or figure from the paper; this
+// helper keeps their output uniform and diff-friendly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace khss::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_sci(double v, int precision = 2);
+  static std::string fmt_int(long v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+  static std::string fmt_mb(double bytes, int precision = 2);
+
+  /// Render with column alignment; optional title banner.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace khss::util

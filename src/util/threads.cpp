@@ -1,0 +1,22 @@
+#include "util/threads.hpp"
+
+#include <omp.h>
+
+#include <thread>
+
+namespace khss::util {
+
+int max_threads() { return omp_get_max_threads(); }
+
+void set_threads(int n) {
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int thread_id() { return omp_get_thread_num(); }
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace khss::util

@@ -1,0 +1,20 @@
+#pragma once
+// Thin wrapper over the OpenMP runtime so the rest of the library never
+// includes <omp.h> directly.  "Cores" in the paper's scaling experiments map
+// to OpenMP threads here (see DESIGN.md substitution #3).
+
+namespace khss::util {
+
+/// Maximum number of OpenMP threads the runtime will use.
+int max_threads();
+
+/// Set the number of OpenMP threads for subsequent parallel regions.
+void set_threads(int n);
+
+/// Calling thread's id inside a parallel region (0 outside).
+int thread_id();
+
+/// Number of hardware threads reported by the OS.
+int hardware_threads();
+
+}  // namespace khss::util

@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this TU pins the vtable-free classes into the
+// library so downstream link lines stay uniform.

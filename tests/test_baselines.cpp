@@ -1,0 +1,257 @@
+// Tests for the comparison baselines and auxiliary modules: Nystrom KRR,
+// classification metrics, the regression wrapper, and cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "data/synthetic.hpp"
+#include "krr/metrics.hpp"
+#include "krr/nystrom.hpp"
+#include "krr/regressor.hpp"
+#include "tune/cross_validation.hpp"
+#include "util/rng.hpp"
+
+namespace data = khss::data;
+namespace krr = khss::krr;
+namespace la = khss::la;
+namespace tune = khss::tune;
+
+namespace {
+
+data::Split binary_split(int n, int d, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 2;
+  spec.center_spread = 4.0;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  return data::split_and_normalize(ds, 0.8, 0.0, 0.2, rng);
+}
+
+}  // namespace
+
+// ----------------------------- Nystrom --------------------------------
+
+TEST(Nystrom, LearnsSeparableProblem) {
+  data::Split s = binary_split(800, 6, 1);
+  krr::NystromOptions opts;
+  opts.landmarks = 200;
+  opts.kernel.h = 1.0;
+  opts.lambda = 1.0;
+  krr::NystromKRR ny(opts);
+  const double acc = ny.classify_accuracy(
+      s.train.points, s.train.one_vs_all(1), s.test.points,
+      s.test.one_vs_all(1));
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Nystrom, MoreLandmarksNeverMuchWorse) {
+  data::Split s = binary_split(600, 5, 2);
+  double prev = 0.0;
+  for (int m : {16, 64, 256}) {
+    krr::NystromOptions opts;
+    opts.landmarks = m;
+    opts.kernel.h = 1.0;
+    opts.lambda = 1.0;
+    krr::NystromKRR ny(opts);
+    const double acc = ny.classify_accuracy(
+        s.train.points, s.train.one_vs_all(1), s.test.points,
+        s.test.one_vs_all(1));
+    EXPECT_GT(acc, prev - 0.05);
+    prev = acc;
+  }
+}
+
+TEST(Nystrom, LandmarksClampedToN) {
+  data::Split s = binary_split(120, 3, 3);
+  krr::NystromOptions opts;
+  opts.landmarks = 10000;  // > n: must clamp, not crash
+  opts.kernel.h = 1.0;
+  opts.lambda = 1.0;
+  krr::NystromKRR ny(opts);
+  const double acc = ny.classify_accuracy(
+      s.train.points, s.train.one_vs_all(1), s.test.points,
+      s.test.one_vs_all(1));
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(Nystrom, SolveBeforeFitThrows) {
+  krr::NystromOptions opts;
+  krr::NystromKRR ny(opts);
+  EXPECT_THROW(ny.solve(la::Vector(5, 1.0)), std::logic_error);
+}
+
+TEST(Nystrom, GloballyLowRankRegimeIsMemoryEfficient) {
+  // Paper Section 1.2: at huge h the kernel matrix is globally ~rank-1 and
+  // Nystrom with a handful of landmarks suffices.
+  data::Split s = binary_split(600, 5, 4);
+  krr::NystromOptions opts;
+  opts.landmarks = 8;
+  opts.kernel.h = 100.0;
+  opts.lambda = 1.0;
+  krr::NystromKRR ny(opts);
+  ny.fit(s.train.points);
+  EXPECT_LT(ny.stats().memory_bytes,
+            static_cast<std::size_t>(600) * 600 * 8 / 10);
+}
+
+// ----------------------------- metrics --------------------------------
+
+TEST(Metrics, ConfusionCounts) {
+  std::vector<int> pred{1, 1, -1, -1, 1};
+  std::vector<int> truth{1, -1, -1, 1, 1};
+  krr::ConfusionMatrix cm = krr::confusion(pred, truth);
+  EXPECT_EQ(cm.true_positive, 2);
+  EXPECT_EQ(cm.false_positive, 1);
+  EXPECT_EQ(cm.true_negative, 1);
+  EXPECT_EQ(cm.false_negative, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ConfusionDegenerateDenominators) {
+  krr::ConfusionMatrix cm;  // all zero
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.precision(), 0.0);
+  EXPECT_EQ(cm.recall(), 0.0);
+  EXPECT_EQ(cm.f1(), 0.0);
+}
+
+TEST(Metrics, AucPerfectAndRandom) {
+  la::Vector scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<int> truth{1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(krr::roc_auc(scores, truth), 1.0);
+
+  la::Vector inv{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(krr::roc_auc(inv, truth), 0.0);
+
+  la::Vector ties{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(krr::roc_auc(ties, truth), 0.5);
+}
+
+TEST(Metrics, AucDegenerateSingleClass) {
+  la::Vector scores{0.1, 0.9};
+  std::vector<int> truth{1, 1};
+  EXPECT_DOUBLE_EQ(krr::roc_auc(scores, truth), 0.5);
+}
+
+TEST(Metrics, RmseAndR2) {
+  la::Vector pred{1.0, 2.0, 3.0};
+  la::Vector truth{1.0, 2.0, 5.0};
+  EXPECT_NEAR(krr::rmse(pred, truth), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_GT(krr::r_squared(truth, truth), 0.999999);
+  EXPECT_LT(krr::r_squared(pred, truth), 1.0);
+}
+
+// ----------------------------- regressor ------------------------------
+
+TEST(Regressor, RecoversSmoothFunction) {
+  // y = sin(sum x) + noise; Gaussian-kernel ridge regression should fit it.
+  khss::util::Rng rng(5);
+  const int n = 600, d = 3;
+  la::Matrix pts(n, d);
+  la::Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      pts(i, j) = rng.uniform(-2.0, 2.0);
+      sum += pts(i, j);
+    }
+    y[i] = std::sin(sum) + rng.normal(0.0, 0.05);
+  }
+
+  krr::KRROptions opts;
+  opts.kernel.h = 1.0;
+  opts.lambda = 0.1;
+  opts.hss_rtol = 1e-4;
+  krr::KRRRegressor reg(opts);
+
+  la::Matrix train = pts.block(0, 0, 500, d);
+  la::Vector ytrain(y.begin(), y.begin() + 500);
+  reg.fit(train, ytrain);
+
+  la::Matrix test = pts.block(500, 0, 100, d);
+  la::Vector ytest(y.begin() + 500, y.end());
+  la::Vector pred = reg.predict(test);
+  EXPECT_LT(krr::rmse(pred, ytest), 0.15);
+  EXPECT_GT(krr::r_squared(pred, ytest), 0.9);
+}
+
+TEST(Regressor, LambdaRetuneChangesFit) {
+  khss::util::Rng rng(6);
+  const int n = 300;
+  la::Matrix pts(n, 2);
+  la::Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    pts(i, 0) = rng.uniform(-1, 1);
+    pts(i, 1) = rng.uniform(-1, 1);
+    y[i] = pts(i, 0) + rng.normal(0.0, 0.01);
+  }
+  krr::KRROptions opts;
+  opts.kernel.h = 0.5;
+  opts.lambda = 1e-3;
+  opts.hss_rtol = 1e-5;
+  krr::KRRRegressor reg(opts);
+  reg.fit(pts, y);
+  la::Vector p1 = reg.predict(pts);
+  reg.set_lambda(100.0);  // heavy shrinkage: predictions move toward 0
+  la::Vector p2 = reg.predict(pts);
+  double n1 = 0, n2 = 0;
+  for (int i = 0; i < n; ++i) {
+    n1 += p1[i] * p1[i];
+    n2 += p2[i] * p2[i];
+  }
+  EXPECT_LT(n2, n1);
+}
+
+TEST(Regressor, PredictBeforeFitThrows) {
+  krr::KRROptions opts;
+  krr::KRRRegressor reg(opts);
+  EXPECT_THROW(reg.predict(la::Matrix(3, 2)), std::logic_error);
+}
+
+// ----------------------------- cross-validation -----------------------
+
+TEST(KFold, PartitionIsExact) {
+  auto folds = tune::kfold_indices(103, 5, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<char> seen(103, 0);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 20u);
+    EXPECT_LE(fold.size(), 21u);
+    for (int i : fold) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = 1;
+    }
+  }
+  for (char c : seen) EXPECT_TRUE(c);
+}
+
+TEST(KFold, RejectsBadK) {
+  EXPECT_THROW(tune::kfold_indices(10, 1, 0), std::invalid_argument);
+  EXPECT_THROW(tune::kfold_indices(10, 11, 0), std::invalid_argument);
+}
+
+TEST(CrossValidation, StableAccuracyOnEasyProblem) {
+  khss::util::Rng rng(8);
+  data::BlobSpec spec;
+  spec.n = 500;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.center_spread = 5.0;
+  data::Dataset ds = data::make_blobs(spec, rng);
+
+  krr::KRROptions opts;
+  opts.kernel.h = 1.0;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-2;
+  tune::CVResult cv = tune::cross_validate_krr(ds, 1, opts, 4);
+  ASSERT_EQ(cv.fold_accuracy.size(), 4u);
+  EXPECT_GT(cv.mean_accuracy, 0.9);
+  EXPECT_LT(cv.stddev_accuracy, 0.1);
+}

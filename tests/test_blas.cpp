@@ -1,0 +1,180 @@
+// Tests for the BLAS-like kernels against straightforward references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_matrix(int m, int n, khss::util::Rng& rng) {
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+
+la::Matrix reference_mm(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesReferenceAllTransposes) {
+  auto [m, n, k] = GetParam();
+  khss::util::Rng rng(17);
+  la::Matrix a = random_matrix(m, k, rng);
+  la::Matrix b = random_matrix(k, n, rng);
+  la::Matrix ref = reference_mm(a, b);
+
+  la::Matrix c1 = la::matmul(a, b);
+  EXPECT_LT(la::diff_f(c1, ref), 1e-10 * (1.0 + la::norm_f(ref)));
+
+  la::Matrix at = a.transposed();
+  la::Matrix c2 = la::matmul(at, b, la::Trans::kYes, la::Trans::kNo);
+  EXPECT_LT(la::diff_f(c2, ref), 1e-10 * (1.0 + la::norm_f(ref)));
+
+  la::Matrix bt = b.transposed();
+  la::Matrix c3 = la::matmul(a, bt, la::Trans::kNo, la::Trans::kYes);
+  EXPECT_LT(la::diff_f(c3, ref), 1e-10 * (1.0 + la::norm_f(ref)));
+
+  la::Matrix c4 = la::matmul(at, bt, la::Trans::kYes, la::Trans::kYes);
+  EXPECT_LT(la::diff_f(c4, ref), 1e-10 * (1.0 + la::norm_f(ref)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 2),
+                                           std::make_tuple(16, 16, 16),
+                                           std::make_tuple(33, 7, 65),
+                                           std::make_tuple(128, 96, 64),
+                                           std::make_tuple(2, 200, 3)));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  khss::util::Rng rng(3);
+  la::Matrix a = random_matrix(8, 6, rng);
+  la::Matrix b = random_matrix(6, 4, rng);
+  la::Matrix c0 = random_matrix(8, 4, rng);
+
+  la::Matrix c = c0;
+  la::gemm(2.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.5, c);
+
+  la::Matrix ref = reference_mm(a, b);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0 * ref(i, j) + 0.5 * c0(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Gemm, ZeroInnerDimension) {
+  la::Matrix a(4, 0), b(0, 3), c(4, 3);
+  c.fill(7.0);
+  la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 1.0, c);
+  EXPECT_EQ(c(0, 0), 7.0);  // beta=1 keeps C
+  la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, c);
+  EXPECT_EQ(c(0, 0), 0.0);  // beta=0 clears C even with k == 0
+}
+
+TEST(Gemv, MatchesReferenceBothTransposes) {
+  khss::util::Rng rng(29);
+  la::Matrix a = random_matrix(20, 13, rng);
+  la::Vector x(13), xt(20);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : xt) v = rng.normal();
+
+  la::Vector y = la::matvec(a, x);
+  for (int i = 0; i < 20; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 13; ++j) s += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], s, 1e-12);
+  }
+
+  la::Vector z = la::matvec(a, xt, la::Trans::kYes);
+  for (int j = 0; j < 13; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < 20; ++i) s += a(i, j) * xt[i];
+    EXPECT_NEAR(z[j], s, 1e-12);
+  }
+}
+
+TEST(Blas, DotAxpyNrm2) {
+  la::Vector x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(la::dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(la::nrm2(x), std::sqrt(14.0));
+  la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(Blas, Norms) {
+  la::Matrix m{{3, 0}, {0, -4}};
+  EXPECT_DOUBLE_EQ(la::norm_f(m), 5.0);
+  EXPECT_DOUBLE_EQ(la::norm_max(m), 4.0);
+  la::Matrix z{{3, 0}, {0, -4}};
+  EXPECT_DOUBLE_EQ(la::diff_f(m, z), 0.0);
+}
+
+TEST(Trsm, LowerLeft) {
+  la::Matrix l{{2, 0, 0}, {1, 3, 0}, {-1, 2, 4}};
+  khss::util::Rng rng(5);
+  la::Matrix x0(3, 2);
+  rng.fill_normal(x0.data(), x0.size());
+  la::Matrix b = la::matmul(l, x0);
+  la::trsm_lower_left(l, b, false);
+  EXPECT_LT(la::diff_f(b, x0), 1e-12);
+}
+
+TEST(Trsm, LowerLeftUnitDiagonal) {
+  la::Matrix l{{1, 0}, {5, 1}};
+  la::Matrix x0{{2}, {3}};
+  la::Matrix b = la::matmul(l, x0);
+  la::trsm_lower_left(l, b, true);
+  EXPECT_LT(la::diff_f(b, x0), 1e-12);
+}
+
+TEST(Trsm, UpperLeft) {
+  la::Matrix u{{2, 1, -1}, {0, 3, 2}, {0, 0, 4}};
+  khss::util::Rng rng(6);
+  la::Matrix x0(3, 3);
+  rng.fill_normal(x0.data(), x0.size());
+  la::Matrix b = la::matmul(u, x0);
+  la::trsm_upper_left(u, b);
+  EXPECT_LT(la::diff_f(b, x0), 1e-12);
+}
+
+TEST(Trsm, UpperRight) {
+  la::Matrix u{{2, 1}, {0, 3}};
+  khss::util::Rng rng(8);
+  la::Matrix x0(4, 2);
+  rng.fill_normal(x0.data(), x0.size());
+  la::Matrix b = la::matmul(x0, u);
+  la::trsm_upper_right(u, b);
+  EXPECT_LT(la::diff_f(b, x0), 1e-12);
+}
+
+TEST(Solve, TriangularVectors) {
+  la::Matrix l{{2, 0}, {1, 4}};
+  la::Vector b{4, 10};
+  la::Vector x = la::solve_lower(l, b, false);
+  EXPECT_NEAR(x[0], 2.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+
+  la::Matrix u{{3, 1}, {0, 2}};
+  la::Vector b2{5, 4};
+  la::Vector x2 = la::solve_upper(u, b2);
+  EXPECT_NEAR(x2[1], 2.0, 1e-14);
+  EXPECT_NEAR(x2[0], 1.0, 1e-14);
+}

@@ -1,0 +1,233 @@
+// Tests for dataset generation, normalization, splitting and I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "data/dataset.hpp"
+#include "data/datasets.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+
+namespace data = khss::data;
+namespace la = khss::la;
+
+TEST(Blobs, ShapeAndLabels) {
+  khss::util::Rng rng(1);
+  data::BlobSpec spec;
+  spec.n = 500;
+  spec.dim = 6;
+  spec.num_classes = 3;
+  data::Dataset d = data::make_blobs(spec, rng);
+  EXPECT_EQ(d.n(), 500);
+  EXPECT_EQ(d.dim(), 6);
+  for (int label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(Blobs, LatentEmbeddingKeepsDimension) {
+  khss::util::Rng rng(2);
+  data::BlobSpec spec;
+  spec.n = 200;
+  spec.dim = 50;
+  spec.latent_dim = 5;
+  data::Dataset d = data::make_blobs(spec, rng);
+  EXPECT_EQ(d.dim(), 50);
+}
+
+TEST(Blobs, InvalidSpecThrows) {
+  khss::util::Rng rng(3);
+  data::BlobSpec spec;
+  spec.n = 0;
+  EXPECT_THROW(data::make_blobs(spec, rng), std::invalid_argument);
+  spec.n = 10;
+  spec.latent_dim = 100;
+  spec.dim = 5;
+  EXPECT_THROW(data::make_blobs(spec, rng), std::invalid_argument);
+}
+
+TEST(Zscore, NormalizesColumns) {
+  khss::util::Rng rng(4);
+  data::BlobSpec spec;
+  spec.n = 2000;
+  spec.dim = 4;
+  data::Dataset d = data::make_blobs(spec, rng);
+  data::ColumnTransform t = data::fit_zscore(d.points);
+  t.apply(d.points);
+
+  for (int j = 0; j < d.dim(); ++j) {
+    double mean = 0.0, var = 0.0;
+    for (int i = 0; i < d.n(); ++i) mean += d.points(i, j);
+    mean /= d.n();
+    for (int i = 0; i < d.n(); ++i) {
+      const double c = d.points(i, j) - mean;
+      var += c * c;
+    }
+    var /= (d.n() - 1);
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-8);
+  }
+}
+
+TEST(Zscore, ConstantColumnPassesThrough) {
+  la::Matrix pts(10, 2);
+  for (int i = 0; i < 10; ++i) {
+    pts(i, 0) = 5.0;  // constant
+    pts(i, 1) = i;
+  }
+  data::ColumnTransform t = data::fit_zscore(pts);
+  t.apply(pts);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(pts(i, 0), 0.0, 1e-12);
+}
+
+TEST(MaxAbs, ScalesToUnitMax) {
+  la::Matrix pts(4, 1);
+  pts(0, 0) = -8.0;
+  pts(1, 0) = 4.0;
+  pts(2, 0) = 2.0;
+  pts(3, 0) = 0.0;
+  data::ColumnTransform t = data::fit_maxabs(pts);
+  t.apply(pts);
+  EXPECT_NEAR(pts(0, 0), -1.0, 1e-12);
+  EXPECT_NEAR(pts(1, 0), 0.5, 1e-12);
+}
+
+TEST(Split, PartitionsWithoutOverlap) {
+  khss::util::Rng rng(5);
+  data::BlobSpec spec;
+  spec.n = 1000;
+  spec.dim = 3;
+  data::Dataset d = data::make_blobs(spec, rng);
+  data::Split s = data::split_dataset(d, 0.7, 0.1, 0.2, rng);
+  EXPECT_EQ(s.train.n(), 700);
+  EXPECT_EQ(s.validation.n(), 100);
+  EXPECT_EQ(s.test.n(), 200);
+  EXPECT_EQ(s.train.dim(), 3);
+}
+
+TEST(Split, FractionsOverOneThrow) {
+  khss::util::Rng rng(6);
+  data::BlobSpec spec;
+  spec.n = 10;
+  data::Dataset d = data::make_blobs(spec, rng);
+  EXPECT_THROW(data::split_dataset(d, 0.8, 0.3, 0.2, rng),
+               std::invalid_argument);
+}
+
+TEST(SplitAndNormalize, TestUsesTrainStatistics) {
+  khss::util::Rng rng(7);
+  data::BlobSpec spec;
+  spec.n = 1000;
+  spec.dim = 2;
+  spec.center_spread = 10.0;
+  data::Dataset d = data::make_blobs(spec, rng);
+  data::Split s = data::split_and_normalize(d, 0.8, 0.0, 0.2, rng);
+  // Train columns ~N(0,1); test columns close but not exactly (they used the
+  // train transform) — just check they are in a sane range.
+  for (int j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < s.train.n(); ++i) mean += s.train.points(i, j);
+    EXPECT_NEAR(mean / s.train.n(), 0.0, 1e-9);
+  }
+  EXPECT_EQ(s.test.n(), 200);
+}
+
+TEST(OneVsAll, BinaryLabels) {
+  data::Dataset d;
+  d.labels = {0, 1, 2, 1, 0};
+  d.num_classes = 3;
+  auto y = d.one_vs_all(1);
+  EXPECT_EQ(y, (std::vector<int>{-1, 1, -1, 1, -1}));
+}
+
+TEST(PaperDatasets, RegistryMatchesPaperTable2) {
+  const auto& reg = data::paper_datasets();
+  ASSERT_EQ(reg.size(), 7u);
+  EXPECT_EQ(reg[0].name, "SUSY");
+  EXPECT_EQ(reg[0].dim, 8);
+  EXPECT_EQ(reg[6].name, "MNIST");
+  EXPECT_EQ(reg[6].dim, 784);
+  EXPECT_DOUBLE_EQ(data::paper_dataset_info("gas").h, 1.5);
+  EXPECT_THROW(data::paper_dataset_info("nope"), std::invalid_argument);
+}
+
+TEST(PaperDatasets, TwinsHaveDeclaredShape) {
+  for (const auto& info : data::paper_datasets()) {
+    data::Dataset d = data::make_paper_dataset(info.name, 300);
+    EXPECT_EQ(d.n(), 300) << info.name;
+    EXPECT_EQ(d.dim(), info.dim) << info.name;
+    EXPECT_EQ(d.num_classes, info.num_classes) << info.name;
+  }
+}
+
+TEST(PaperDatasets, DeterministicGivenSeed) {
+  data::Dataset a = data::make_paper_dataset("SUSY", 100, 9);
+  data::Dataset b = data::make_paper_dataset("SUSY", 100, 9);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.points(50, 3), b.points(50, 3));
+}
+
+TEST(PaperDatasets, Gas1kShape) {
+  data::Dataset d = data::make_gas1k();
+  EXPECT_EQ(d.n(), 1000);
+  EXPECT_EQ(d.dim(), 128);
+}
+
+TEST(IO, CsvRoundTrip) {
+  khss::util::Rng rng(8);
+  data::BlobSpec spec;
+  spec.n = 50;
+  spec.dim = 3;
+  spec.num_classes = 4;
+  data::Dataset d = data::make_blobs(spec, rng);
+
+  const std::string path = "/tmp/khss_test_io.csv";
+  data::save_csv(d, path);
+  data::Dataset d2 = data::load_csv(path);
+  EXPECT_EQ(d2.n(), d.n());
+  EXPECT_EQ(d2.dim(), d.dim());
+  EXPECT_EQ(d2.num_classes, d.num_classes);
+  for (int i = 0; i < d.n(); ++i) {
+    EXPECT_EQ(d2.labels[i], d.labels[i]);
+    for (int j = 0; j < d.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(d2.points(i, j), d.points(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IO, MissingFileThrows) {
+  EXPECT_THROW(data::load_csv("/nonexistent/file.csv"), std::runtime_error);
+  EXPECT_THROW(data::load_libsvm("/nonexistent/file.svm"), std::runtime_error);
+}
+
+TEST(IO, LibsvmParsesSparseRows) {
+  const std::string path = "/tmp/khss_test_io.svm";
+  {
+    std::ofstream out(path);
+    out << "+1 1:0.5 3:2.0\n";
+    out << "-1 2:1.5\n";
+  }
+  data::Dataset d = data::load_libsvm(path);
+  EXPECT_EQ(d.n(), 2);
+  EXPECT_EQ(d.dim(), 3);
+  EXPECT_EQ(d.num_classes, 2);
+  EXPECT_DOUBLE_EQ(d.points(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d.points(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d.points(1, 1), 1.5);
+  EXPECT_DOUBLE_EQ(d.points(1, 0), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(IO, LibsvmMalformedThrows) {
+  const std::string path = "/tmp/khss_test_io_bad.svm";
+  {
+    std::ofstream out(path);
+    out << "+1 nonsense\n";
+  }
+  EXPECT_THROW(data::load_libsvm(path), std::runtime_error);
+  std::remove(path.c_str());
+}

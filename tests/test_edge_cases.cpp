@@ -1,0 +1,147 @@
+// Edge-case and small-module coverage: logging, formatter corners, RNG
+// boundary arguments, kernel tile boundaries, and tiny-input behaviour of
+// the compression stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/ordering.hpp"
+#include "data/synthetic.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "la/blas.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cl = khss::cluster;
+namespace hs = khss::hss;
+namespace kn = khss::kernel;
+namespace la = khss::la;
+namespace u = khss::util;
+
+TEST(Logging, LevelFiltering) {
+  const u::LogLevel before = u::log_level();
+  u::set_log_level(u::LogLevel::kError);
+  EXPECT_EQ(u::log_level(), u::LogLevel::kError);
+  // These must not crash regardless of level (output goes to stderr).
+  u::log_error("e", 1);
+  u::log_warn("w", 2.5);
+  u::log_info("i");
+  u::log_debug("d");
+  u::set_log_level(u::LogLevel::kDebug);
+  u::log_debug("visible now ", 42);
+  u::set_log_level(before);
+}
+
+TEST(TableFmt, ScientificAndPrecision) {
+  EXPECT_EQ(u::Table::fmt_sci(12345.678, 2), "1.23e+04");
+  EXPECT_EQ(u::Table::fmt(1.0 / 3.0, 5), "0.33333");
+  EXPECT_EQ(u::Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Rng, IndexOfOneAlwaysZero) {
+  u::Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  u::Rng rng(4);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(Kernel, MultiplyAtTileBoundaries) {
+  // n straddling the 128-wide tile: 127, 128, 129 must all agree with dense.
+  for (int n : {127, 128, 129, 257}) {
+    u::Rng rng(100 + n);
+    la::Matrix pts(n, 3);
+    rng.fill_normal(pts.data(), pts.size());
+    kn::KernelMatrix km(pts, {kn::KernelType::kGaussian, 1.0, 2, 1.0}, 0.4);
+    la::Matrix x(n, 2);
+    rng.fill_normal(x.data(), x.size());
+    la::Matrix y = km.multiply(x);
+    la::Matrix ref = la::matmul(km.dense(), x);
+    EXPECT_LT(la::diff_f(y, ref), 1e-10 * (1.0 + la::norm_f(ref))) << n;
+  }
+}
+
+TEST(Kernel, SinglePointMatrix) {
+  la::Matrix pts(1, 4);
+  pts(0, 0) = 1.0;
+  kn::KernelMatrix km(pts, {}, 2.0);
+  EXPECT_NEAR(km.entry(0, 0), 3.0, 1e-14);
+  la::Matrix d = km.dense();
+  EXPECT_EQ(d.rows(), 1);
+  EXPECT_NEAR(d(0, 0), 3.0, 1e-14);
+}
+
+TEST(HSS, TwoLeafMinimalTree) {
+  // The smallest non-trivial HSS: 32 points, leaf 16 => one internal node.
+  u::Rng rng(7);
+  la::Matrix pts(32, 2);
+  rng.fill_normal(pts.data(), pts.size());
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, copts);
+  ASSERT_EQ(tree.num_nodes(), 3);
+  kn::KernelMatrix km(pts, {kn::KernelType::kGaussian, 1.0, 2, 1.0}, 1.0);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-10;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(km.dense(), tree, opts);
+  EXPECT_TRUE(hss.validate());
+  EXPECT_LT(la::diff_f(hss.dense(), km.dense()),
+            1e-7 * la::norm_f(km.dense()));
+
+  hs::ULVFactorization ulv(hss);
+  la::Vector b(32, 1.0);
+  la::Vector x = ulv.solve(b);
+  EXPECT_LT(ulv.relative_residual(x, b), 1e-9);
+}
+
+TEST(HSS, MatmatZeroColumns) {
+  u::Rng rng(8);
+  la::Matrix pts(64, 2);
+  rng.fill_normal(pts.data(), pts.size());
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, {});
+  kn::KernelMatrix km(pts, {}, 0.5);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(km.dense(), tree, {});
+  la::Matrix x(64, 0);
+  la::Matrix y = hss.matmat(x);
+  EXPECT_EQ(y.rows(), 64);
+  EXPECT_EQ(y.cols(), 0);
+}
+
+TEST(Cluster, LeafSizeOne) {
+  u::Rng rng(9);
+  la::Matrix pts(20, 2);
+  rng.fill_normal(pts.data(), pts.size());
+  cl::OrderingOptions opts;
+  opts.leaf_size = 1;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kKD, opts);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.max_leaf_points(), 1);
+  EXPECT_EQ(tree.num_leaves(), 20);
+}
+
+TEST(Blas, GemvEmptyMatrix) {
+  la::Matrix a(0, 0);
+  la::Vector x, y;
+  la::gemv(1.0, a, la::Trans::kNo, x, 0.0, y);  // must not crash
+  EXPECT_TRUE(y.empty());
+}
+
+TEST(Matrix, SubsetEmptySelection) {
+  la::Matrix m{{1, 2}, {3, 4}};
+  la::Matrix r = m.rows_subset({});
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_EQ(r.cols(), 2);
+  la::Matrix c = m.cols_subset({});
+  EXPECT_EQ(c.cols(), 0);
+}

@@ -1,0 +1,219 @@
+// Tests for the HODLR format and the Sherman-Morrison-Woodbury solver
+// (the INV-ASKIT-style comparator, paper Section 1.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/ordering.hpp"
+#include "data/synthetic.hpp"
+#include "hodlr/hodlr.hpp"
+#include "kernel/kernel.hpp"
+#include "la/blas.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+
+namespace cl = khss::cluster;
+namespace hd = khss::hodlr;
+namespace kn = khss::kernel;
+namespace la = khss::la;
+
+namespace {
+
+struct Case {
+  cl::ClusterTree tree;
+  std::unique_ptr<kn::KernelMatrix> kernel;
+};
+
+Case make_case(int n, int d, double h, double lambda, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  khss::data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 4;
+  spec.center_spread = 6.0;
+  auto ds = khss::data::make_blobs(spec, rng);
+
+  Case c;
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  c.tree = cl::build_cluster_tree(ds.points, cl::OrderingMethod::kTwoMeans,
+                                  copts);
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, c.tree.perm());
+  c.kernel = std::make_unique<kn::KernelMatrix>(
+      std::move(permuted), kn::KernelParams{kn::KernelType::kGaussian, h, 2, 1.0},
+      lambda);
+  return c;
+}
+
+la::Vector random_vec(int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Vector v(n);
+  for (auto& e : v) e = rng.normal();
+  return v;
+}
+
+}  // namespace
+
+TEST(HODLR, DenseReconstructionAccurate) {
+  Case c = make_case(400, 4, 1.0, 0.5, 1);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-7;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  la::Matrix exact = c.kernel->dense();
+  EXPECT_LT(la::diff_f(m.dense(), exact), 1e-4 * la::norm_f(exact));
+}
+
+TEST(HODLR, MatvecMatchesDense) {
+  Case c = make_case(300, 5, 1.0, 0.2, 2);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-8;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  la::Vector x = random_vec(300, 3);
+  la::Vector y = m.matvec(x);
+  la::Vector ref = la::matvec(c.kernel->dense(), x);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-5 * (1.0 + std::fabs(ref[i])));
+  }
+}
+
+TEST(HODLR, MemoryBelowDense) {
+  Case c = make_case(1024, 6, 2.0, 0.0, 3);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-2;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  EXPECT_LT(m.stats().memory_bytes,
+            static_cast<std::size_t>(1024) * 1024 * sizeof(double) / 2);
+  EXPECT_GT(m.stats().max_rank, 0);
+}
+
+TEST(HODLR, ShiftDiagonal) {
+  Case c = make_case(200, 3, 1.0, 0.0, 4);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-8;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  la::Matrix before = m.dense();
+  m.shift_diagonal(3.0);
+  la::Matrix after = m.dense();
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 200; ++j) {
+      EXPECT_NEAR(after(i, j), before(i, j) + (i == j ? 3.0 : 0.0), 1e-12);
+    }
+  }
+}
+
+class SMWSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SMWSizes, SolvesShiftedKernelSystem) {
+  const int n = GetParam();
+  Case c = make_case(n, 4, 1.0, 2.0, 10 + n);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-9;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  hd::SMWFactorization smw(m);
+
+  la::Vector b = random_vec(n, n);
+  la::Vector x = smw.solve(b);
+
+  la::Matrix exact = c.kernel->dense();
+  la::Vector ax = la::matvec(exact, x);
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n; ++i) {
+    num += (ax[i] - b[i]) * (ax[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SMWSizes, ::testing::Values(32, 100, 256, 700));
+
+TEST(SMW, MatchesDenseLU) {
+  Case c = make_case(300, 5, 1.0, 3.0, 5);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-10;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  hd::SMWFactorization smw(m);
+
+  la::Vector b = random_vec(300, 6);
+  la::Vector x = smw.solve(b);
+  la::LUFactor lu(c.kernel->dense());
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < 300; ++i) EXPECT_NEAR(x[i], xref[i], 1e-5);
+}
+
+TEST(SMW, MultipleRhs) {
+  Case c = make_case(200, 4, 1.0, 1.0, 7);
+  hd::HODLRMatrix m(*c.kernel, c.tree, {});
+  hd::SMWFactorization smw(m);
+  khss::util::Rng rng(8);
+  la::Matrix b(200, 3);
+  rng.fill_normal(b.data(), b.size());
+  la::Matrix x = smw.solve(b);
+  for (int col = 0; col < 3; ++col) {
+    la::Vector bc(200);
+    for (int i = 0; i < 200; ++i) bc[i] = b(i, col);
+    la::Vector xc = smw.solve(bc);
+    for (int i = 0; i < 200; ++i) EXPECT_NEAR(x(i, col), xc[i], 1e-10);
+  }
+}
+
+TEST(SMW, SolvesTheCompressedOperatorExactly) {
+  // Like ULV: whatever the compression error, the solve must invert the
+  // *compressed* operator to machine precision.
+  Case c = make_case(400, 6, 0.8, 0.5, 9);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-1;  // loose
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  hd::SMWFactorization smw(m);
+
+  la::Vector b = random_vec(400, 10);
+  la::Vector x = smw.solve(b);
+  la::Vector ax = m.matvec(x);
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    num += (ax[i] - b[i]) * (ax[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-8);
+}
+
+TEST(SMW, LambdaShiftThenRefactor) {
+  Case c = make_case(256, 4, 1.0, 1.0, 11);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-9;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+  m.shift_diagonal(4.0);
+  hd::SMWFactorization smw(m);
+
+  la::Vector b = random_vec(256, 12);
+  la::Vector x = smw.solve(b);
+  la::Matrix shifted = c.kernel->dense();
+  shifted.shift_diagonal(4.0);
+  la::LUFactor lu(shifted);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < 256; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(SMW, SingleLeafTree) {
+  const int n = 12;
+  Case c = make_case(n, 2, 1.0, 2.0, 13);
+  la::Matrix pts(n, 1);
+  for (int i = 0; i < n; ++i) pts(i, 0) = i;
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, copts);
+  hd::HODLRMatrix m(*c.kernel, tree, {});
+  hd::SMWFactorization smw(m);
+  la::Vector b = random_vec(n, 14);
+  la::Vector x = smw.solve(b);
+  la::LUFactor lu(c.kernel->dense());
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+TEST(SMW, MemoryAccounting) {
+  Case c = make_case(256, 4, 1.0, 1.0, 15);
+  hd::HODLRMatrix m(*c.kernel, c.tree, {});
+  hd::SMWFactorization smw(m);
+  EXPECT_GT(smw.memory_bytes(), 0u);
+}

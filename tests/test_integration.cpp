@@ -1,0 +1,249 @@
+// Cross-module integration and paper-shape property tests.
+//
+// These tests exercise the claims the paper's evaluation rests on:
+//  * clustering reduces effective off-diagonal rank (Table 1 shape),
+//  * clustering reduces HSS memory (Table 2 shape),
+//  * H-accelerated sampling gives the same answers as dense sampling,
+//  * the full Algorithm 1 pipeline round-trips on every dataset twin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/ordering.hpp"
+#include "data/datasets.hpp"
+#include "data/synthetic.hpp"
+#include "hmat/hmatrix.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "krr/krr.hpp"
+#include "la/blas.hpp"
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace cl = khss::cluster;
+namespace data = khss::data;
+namespace hm = khss::hmat;
+namespace hs = khss::hss;
+namespace kn = khss::kernel;
+namespace krr = khss::krr;
+namespace la = khss::la;
+
+namespace {
+
+kn::KernelMatrix reordered_kernel(const la::Matrix& points,
+                                  const cl::ClusterTree& tree, double h,
+                                  double lambda) {
+  la::Matrix permuted = cl::apply_row_permutation(points, tree.perm());
+  return kn::KernelMatrix(std::move(permuted),
+                          {kn::KernelType::kGaussian, h, 2, 1.0}, lambda);
+}
+
+}  // namespace
+
+TEST(PaperShape, TwoMeansReducesEffectiveRank) {
+  // Table 1 / Fig. 1a: the effective rank (singular values > 0.01) of the
+  // off-diagonal block drops under 2MN reordering at moderate h.
+  data::Dataset gas = data::make_gas1k();
+  data::ColumnTransform t = data::fit_zscore(gas.points);
+  t.apply(gas.points);
+
+  const int n = gas.n();
+  const double h = 1.0;
+
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree np = cl::build_cluster_tree(
+      gas.points, cl::OrderingMethod::kNatural, copts);
+  cl::ClusterTree mn = cl::build_cluster_tree(
+      gas.points, cl::OrderingMethod::kTwoMeans, copts);
+
+  auto offdiag_effective_rank = [&](const cl::ClusterTree& tree) {
+    kn::KernelMatrix km = reordered_kernel(gas.points, tree, h, 0.0);
+    std::vector<int> rows(n / 2), cols(n - n / 2);
+    for (int i = 0; i < n / 2; ++i) rows[i] = i;
+    for (int i = n / 2; i < n; ++i) cols[i - n / 2] = i;
+    la::Matrix block = km.extract(rows, cols);
+    return la::effective_rank(la::singular_values(block), 0.01);
+  };
+
+  const int rank_np = offdiag_effective_rank(np);
+  const int rank_2mn = offdiag_effective_rank(mn);
+  EXPECT_LT(rank_2mn, rank_np);
+}
+
+TEST(PaperShape, ClusteringReducesHSSMemory) {
+  // Table 2 shape: 2MN memory < natural-ordering memory on clustered data.
+  data::Dataset ds = data::make_paper_dataset("GAS", 1500);
+  data::ColumnTransform t = data::fit_zscore(ds.points);
+  t.apply(ds.points);
+
+  auto memory_for = [&](cl::OrderingMethod method) {
+    cl::OrderingOptions copts;
+    copts.leaf_size = 16;
+    cl::ClusterTree tree = cl::build_cluster_tree(ds.points, method, copts);
+    kn::KernelMatrix km = reordered_kernel(ds.points, tree, 1.5, 4.0);
+    hs::ExtractFn extract = [&](const std::vector<int>& r,
+                                const std::vector<int>& c) {
+      return km.extract(r, c);
+    };
+    hs::SampleFn sample = [&](const la::Matrix& r) { return km.multiply(r); };
+    hs::HSSOptions opts;
+    opts.rtol = 1e-2;
+    hs::HSSMatrix hss = hs::build_hss_randomized(tree, extract, sample, {},
+                                                 opts);
+    return hss.memory_bytes();
+  };
+
+  const std::size_t mem_np = memory_for(cl::OrderingMethod::kNatural);
+  const std::size_t mem_2mn = memory_for(cl::OrderingMethod::kTwoMeans);
+  EXPECT_LT(mem_2mn, mem_np);
+}
+
+TEST(PaperShape, HSamplingAgreesWithDenseSampling) {
+  // The H-accelerated construction must produce an HSS matrix representing
+  // the same operator as dense sampling (both within tolerance of K).
+  data::Dataset ds = data::make_paper_dataset("COVTYPE", 800);
+  data::ColumnTransform t = data::fit_zscore(ds.points);
+  t.apply(ds.points);
+
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, copts);
+  kn::KernelMatrix km = reordered_kernel(ds.points, tree, 1.0, 1.0);
+  la::Matrix exact = km.dense();
+
+  hs::ExtractFn extract = [&](const std::vector<int>& r,
+                              const std::vector<int>& c) {
+    return km.extract(r, c);
+  };
+  hs::HSSOptions opts;
+  opts.rtol = 1e-5;
+
+  hs::SampleFn dense_sample = [&](const la::Matrix& r) {
+    return km.multiply(r);
+  };
+  hs::HSSMatrix hss_dense =
+      hs::build_hss_randomized(tree, extract, dense_sample, {}, opts);
+
+  hm::HOptions hopts;
+  hopts.rtol = 1e-7;  // H must be more accurate than the HSS target
+  hm::HMatrix h(km, tree, hopts);
+  hs::SampleFn h_sample = [&](const la::Matrix& r) { return h.multiply(r); };
+  hs::HSSMatrix hss_h =
+      hs::build_hss_randomized(tree, extract, h_sample, {}, opts);
+
+  const double err_dense =
+      la::diff_f(hss_dense.dense(), exact) / la::norm_f(exact);
+  const double err_h = la::diff_f(hss_h.dense(), exact) / la::norm_f(exact);
+  EXPECT_LT(err_dense, 1e-3);
+  EXPECT_LT(err_h, 1e-3);
+}
+
+TEST(PaperShape, SmallAndLargeHGiveLowRank) {
+  // Section 1: h -> 0 (identity-like) and h -> inf (rank one) are the easy
+  // regimes; intermediate h has the largest rank.
+  data::Dataset ds = data::make_paper_dataset("GAS", 600);
+  data::ColumnTransform t = data::fit_zscore(ds.points);
+  t.apply(ds.points);
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, copts);
+
+  auto max_rank_for = [&](double h) {
+    kn::KernelMatrix km = reordered_kernel(ds.points, tree, h, 0.0);
+    hs::ExtractFn extract = [&](const std::vector<int>& r,
+                                const std::vector<int>& c) {
+      return km.extract(r, c);
+    };
+    hs::SampleFn sample = [&](const la::Matrix& r) { return km.multiply(r); };
+    hs::HSSOptions opts;
+    opts.rtol = 1e-2;
+    return hs::build_hss_randomized(tree, extract, sample, {}, opts)
+        .max_rank();
+  };
+
+  const int rank_tiny = max_rank_for(0.01);
+  const int rank_mid = max_rank_for(1.0);
+  const int rank_huge = max_rank_for(100.0);
+  EXPECT_LE(rank_tiny, 2);
+  EXPECT_LE(rank_huge, 4);
+  EXPECT_GT(rank_mid, rank_tiny);
+  EXPECT_GT(rank_mid, rank_huge);
+}
+
+TEST(Integration, FullPipelineOnEveryTwin) {
+  // Algorithm 1 end-to-end with the headline backend on all seven twins.
+  for (const auto& info : data::paper_datasets()) {
+    data::Dataset ds = data::make_paper_dataset(info.name, 600);
+    khss::util::Rng rng(77);
+    data::Split split = data::split_and_normalize(ds, 0.8, 0.0, 0.2, rng);
+
+    krr::KRROptions opts;
+    opts.backend = krr::SolverBackend::kHSSRandomH;
+    opts.kernel.h = info.h;
+    opts.lambda = info.lambda;
+    opts.hss_rtol = 1e-1;
+    krr::KRRClassifier clf(opts);
+    clf.fit(split.train.points, split.train.one_vs_all(info.target_class));
+    const double acc = clf.accuracy(
+        split.test.points, split.test.one_vs_all(info.target_class));
+
+    // One-vs-all base rate: always predicting "not target".
+    int negatives = 0;
+    for (int label : split.test.labels) {
+      if (label != info.target_class) ++negatives;
+    }
+    const double base_rate =
+        static_cast<double>(negatives) / split.test.n();
+    EXPECT_GT(acc, std::min(0.97, base_rate + 0.01)) << info.name;
+  }
+}
+
+TEST(Integration, SolveMatchesDenseThroughWholePipeline) {
+  data::Dataset ds = data::make_paper_dataset("PEN", 500);
+  khss::util::Rng rng(78);
+  data::Split split = data::split_and_normalize(ds, 0.9, 0.0, 0.1, rng);
+  const auto y = split.train.one_vs_all(5);
+
+  krr::KRROptions hss_opts;
+  hss_opts.backend = krr::SolverBackend::kHSSRandomDense;
+  hss_opts.kernel.h = 1.0;
+  hss_opts.lambda = 1.0;
+  hss_opts.hss_rtol = 1e-9;
+  krr::KRRModel hss_model(hss_opts);
+  hss_model.fit(split.train.points);
+
+  krr::KRROptions dense_opts = hss_opts;
+  dense_opts.backend = krr::SolverBackend::kDenseExact;
+  krr::KRRModel dense_model(dense_opts);
+  dense_model.fit(split.train.points);
+
+  la::Vector yv(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) yv[i] = y[i];
+  la::Vector w1 = hss_model.solve(yv);
+  la::Vector w2 = dense_model.solve(yv);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    num += (w1[i] - w2[i]) * (w1[i] - w2[i]);
+    den += w2[i] * w2[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-5);
+}
+
+TEST(Integration, AgglomerativeOrderingWorksInPipeline) {
+  data::Dataset ds = data::make_paper_dataset("LETTER", 400);
+  khss::util::Rng rng(79);
+  data::Split split = data::split_and_normalize(ds, 0.8, 0.0, 0.2, rng);
+
+  krr::KRROptions opts;
+  opts.ordering = cl::OrderingMethod::kAgglomerative;
+  opts.kernel.h = 0.5;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-2;
+  krr::KRRClassifier clf(opts);
+  clf.fit(split.train.points, split.train.one_vs_all(0));
+  EXPECT_GT(clf.accuracy(split.test.points, split.test.one_vs_all(0)), 0.9);
+}

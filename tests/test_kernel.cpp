@@ -1,0 +1,210 @@
+// Tests for kernel functions and the partially matrix-free KernelMatrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "kernel/kernel.hpp"
+#include "la/blas.hpp"
+#include "la/chol.hpp"
+#include "util/rng.hpp"
+
+namespace k = khss::kernel;
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_points(int n, int d, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix pts(n, d);
+  rng.fill_normal(pts.data(), pts.size());
+  return pts;
+}
+
+double gaussian_ref(const la::Matrix& pts, int i, int j, double h) {
+  double d2 = 0.0;
+  for (int c = 0; c < pts.cols(); ++c) {
+    const double diff = pts(i, c) - pts(j, c);
+    d2 += diff * diff;
+  }
+  return std::exp(-d2 / (2.0 * h * h));
+}
+
+}  // namespace
+
+TEST(Kernel, GaussianEntryMatchesDefinition) {
+  la::Matrix pts = random_points(30, 5, 1);
+  k::KernelMatrix km(pts, {k::KernelType::kGaussian, 1.3, 2, 1.0});
+  for (int i = 0; i < 30; i += 7) {
+    for (int j = 0; j < 30; j += 5) {
+      EXPECT_NEAR(km.entry(i, j), gaussian_ref(pts, i, j, 1.3), 1e-12);
+    }
+  }
+}
+
+TEST(Kernel, DiagonalIsOnePlusLambda) {
+  la::Matrix pts = random_points(10, 3, 2);
+  k::KernelMatrix km(pts, {}, 0.5);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(km.entry(i, i), 1.5, 1e-12);
+}
+
+TEST(Kernel, SymmetricEntries) {
+  la::Matrix pts = random_points(40, 8, 3);
+  k::KernelMatrix km(pts, {k::KernelType::kGaussian, 0.7, 2, 1.0});
+  for (int i = 0; i < 40; i += 3) {
+    for (int j = 0; j < i; j += 3) {
+      EXPECT_DOUBLE_EQ(km.entry(i, j), km.entry(j, i));
+    }
+  }
+}
+
+TEST(Kernel, LimitBehaviourInH) {
+  // Paper Section 1: h -> 0 gives the identity; h -> inf gives all-ones.
+  la::Matrix pts = random_points(15, 4, 4);
+  k::KernelMatrix tiny(pts, {k::KernelType::kGaussian, 1e-4, 2, 1.0});
+  k::KernelMatrix huge(pts, {k::KernelType::kGaussian, 1e6, 2, 1.0});
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 15; ++j) {
+      if (i == j) {
+        EXPECT_NEAR(tiny.entry(i, j), 1.0, 1e-12);
+      } else {
+        EXPECT_NEAR(tiny.entry(i, j), 0.0, 1e-12);
+        EXPECT_NEAR(huge.entry(i, j), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Kernel, DenseMatchesEntries) {
+  la::Matrix pts = random_points(25, 6, 5);
+  k::KernelMatrix km(pts, {k::KernelType::kGaussian, 1.0, 2, 1.0}, 0.25);
+  la::Matrix kd = km.dense();
+  for (int i = 0; i < 25; ++i) {
+    for (int j = 0; j < 25; ++j) EXPECT_NEAR(kd(i, j), km.entry(i, j), 1e-12);
+  }
+}
+
+TEST(Kernel, ExtractMatchesEntries) {
+  la::Matrix pts = random_points(50, 4, 6);
+  k::KernelMatrix km(pts, {}, 0.1);
+  std::vector<int> rows{0, 7, 33, 49}, cols{7, 1, 2};
+  la::Matrix sub = km.extract(rows, cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      EXPECT_NEAR(sub(static_cast<int>(i), static_cast<int>(j)),
+                  km.entry(rows[i], cols[j]), 1e-12);
+    }
+  }
+}
+
+TEST(Kernel, MultiplyMatchesDense) {
+  la::Matrix pts = random_points(300, 5, 7);  // crosses multiple tiles
+  k::KernelMatrix km(pts, {k::KernelType::kGaussian, 0.9, 2, 1.0}, 0.3);
+  khss::util::Rng rng(8);
+  la::Matrix x(300, 6);
+  rng.fill_normal(x.data(), x.size());
+
+  la::Matrix y = km.multiply(x);
+  la::Matrix ref = la::matmul(km.dense(), x);
+  EXPECT_LT(la::diff_f(y, ref), 1e-10 * (1.0 + la::norm_f(ref)));
+}
+
+TEST(Kernel, CrossTimesVectorMatchesDenseCross) {
+  la::Matrix train = random_points(80, 4, 9);
+  la::Matrix test = random_points(15, 4, 10);
+  k::KernelMatrix km(train, {k::KernelType::kGaussian, 1.1, 2, 1.0}, 2.0);
+  khss::util::Rng rng(11);
+  la::Vector w(80);
+  for (auto& v : w) v = rng.normal();
+
+  la::Vector y = km.cross_times_vector(test, w);
+  la::Matrix kc = km.cross(test);
+  la::Vector ref = la::matvec(kc, w);
+  for (int i = 0; i < 15; ++i) EXPECT_NEAR(y[i], ref[i], 1e-10);
+  // Cross matrix must NOT include lambda even for coincident points.
+  k::KernelMatrix km0(train, {k::KernelType::kGaussian, 1.1, 2, 1.0}, 0.0);
+  la::Matrix kc0 = km0.cross(test);
+  EXPECT_LT(la::diff_f(kc, kc0), 1e-12);
+}
+
+TEST(Kernel, SetLambdaOnlyShiftsDiagonal) {
+  la::Matrix pts = random_points(20, 3, 12);
+  k::KernelMatrix km(pts, {}, 0.0);
+  la::Matrix k0 = km.dense();
+  km.set_lambda(3.0);
+  la::Matrix k1 = km.dense();
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_NEAR(k1(i, j), k0(i, j) + (i == j ? 3.0 : 0.0), 1e-12);
+    }
+  }
+}
+
+TEST(Kernel, GaussianPlusLambdaIsSPD) {
+  // K is PSD (Gaussian kernel); K + lambda I must be SPD for lambda > 0.
+  la::Matrix pts = random_points(60, 5, 13);
+  k::KernelMatrix km(pts, {k::KernelType::kGaussian, 1.0, 2, 1.0}, 1e-6);
+  EXPECT_TRUE(la::CholeskyFactor::is_spd(km.dense()));
+}
+
+class KernelTypes : public ::testing::TestWithParam<k::KernelType> {};
+
+TEST_P(KernelTypes, MultiplyConsistentWithDense) {
+  la::Matrix pts = random_points(150, 4, 14);
+  k::KernelParams params;
+  params.type = GetParam();
+  params.h = 1.2;
+  params.degree = 3;
+  k::KernelMatrix km(pts, params, 0.7);
+  khss::util::Rng rng(15);
+  la::Matrix x(150, 3);
+  rng.fill_normal(x.data(), x.size());
+  la::Matrix y = km.multiply(x);
+  la::Matrix ref = la::matmul(km.dense(), x);
+  EXPECT_LT(la::diff_f(y, ref), 1e-9 * (1.0 + la::norm_f(ref)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, KernelTypes,
+                         ::testing::Values(k::KernelType::kGaussian,
+                                           k::KernelType::kLaplacian,
+                                           k::KernelType::kPolynomial));
+
+TEST(Kernel, LaplacianEntry) {
+  la::Matrix pts(2, 1);
+  pts(0, 0) = 0.0;
+  pts(1, 0) = 3.0;
+  k::KernelMatrix km(pts, {k::KernelType::kLaplacian, 1.5, 2, 1.0});
+  EXPECT_NEAR(km.entry(0, 1), std::exp(-2.0), 1e-12);
+}
+
+TEST(Kernel, PolynomialEntry) {
+  la::Matrix pts(2, 2);
+  pts(0, 0) = 1.0;
+  pts(0, 1) = 2.0;
+  pts(1, 0) = 3.0;
+  pts(1, 1) = -1.0;
+  k::KernelParams p;
+  p.type = k::KernelType::kPolynomial;
+  p.h = 1.0;
+  p.degree = 2;
+  p.coef0 = 1.0;
+  k::KernelMatrix km(pts, p);
+  // (x.y + 1)^2 = (3 - 2 + 1)^2 = 4.
+  EXPECT_NEAR(km.entry(0, 1), 4.0, 1e-12);
+}
+
+TEST(Kernel, ElementEvalCounter) {
+  la::Matrix pts = random_points(10, 2, 16);
+  k::KernelMatrix km(pts, {});
+  EXPECT_EQ(km.element_evals(), 0);
+  km.extract({0, 1}, {2, 3, 4});
+  EXPECT_EQ(km.element_evals(), 6);
+  km.dense();
+  EXPECT_EQ(km.element_evals(), 106);
+}
+
+TEST(Kernel, NameStrings) {
+  EXPECT_EQ(k::kernel_name(k::KernelType::kGaussian), "gaussian");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kLaplacian), "laplacian");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kPolynomial), "polynomial");
+}

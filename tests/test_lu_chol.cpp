@@ -1,0 +1,119 @@
+// Tests for LU and Cholesky factorizations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/chol.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+
+la::Matrix random_spd(int n, std::uint64_t seed) {
+  la::Matrix g = random_matrix(n, n, seed);
+  la::Matrix a = la::matmul(g, g, la::Trans::kNo, la::Trans::kYes);
+  a.shift_diagonal(0.5 * n);
+  return a;
+}
+
+}  // namespace
+
+class LUSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LUSizes, SolvesRandomSystem) {
+  const int n = GetParam();
+  la::Matrix a = random_matrix(n, n, 40 + n);
+  khss::util::Rng rng(n);
+  la::Vector x0(n);
+  for (auto& v : x0) v = rng.normal();
+  la::Vector b = la::matvec(a, x0);
+
+  la::LUFactor lu(a);
+  la::Vector x = lu.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x0[i], 1e-7 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LUSizes, ::testing::Values(1, 2, 5, 17, 64, 200));
+
+TEST(LU, MultipleRhs) {
+  const int n = 30, nrhs = 5;
+  la::Matrix a = random_matrix(n, n, 3);
+  la::Matrix x0 = random_matrix(n, nrhs, 4);
+  la::Matrix b = la::matmul(a, x0);
+  la::LUFactor lu(a);
+  lu.solve_inplace(b);
+  EXPECT_LT(la::diff_f(b, x0), 1e-8);
+}
+
+TEST(LU, SingularThrows) {
+  la::Matrix a(3, 3);  // all zeros
+  EXPECT_THROW(la::LUFactor lu(a), std::runtime_error);
+}
+
+TEST(LU, PivotingHandlesZeroDiagonal) {
+  la::Matrix a{{0, 1}, {1, 0}};
+  la::LUFactor lu(a);
+  la::Vector x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(LU, LogAbsDet) {
+  la::Matrix a{{2, 0}, {0, 3}};
+  la::LUFactor lu(a);
+  EXPECT_NEAR(lu.log_abs_det(), std::log(6.0), 1e-12);
+}
+
+class CholSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholSizes, FactorsAndSolvesSPD) {
+  const int n = GetParam();
+  la::Matrix a = random_spd(n, 60 + n);
+  la::CholeskyFactor chol(a);
+
+  // L L^T == A.
+  la::Matrix rec = la::matmul(chol.l(), chol.l(), la::Trans::kNo,
+                              la::Trans::kYes);
+  EXPECT_LT(la::diff_f(rec, a), 1e-8 * la::norm_f(a));
+
+  khss::util::Rng rng(n + 1);
+  la::Vector x0(n);
+  for (auto& v : x0) v = rng.normal();
+  la::Vector b = la::matvec(a, x0);
+  la::Vector x = chol.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x0[i], 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholSizes, ::testing::Values(1, 4, 19, 100));
+
+TEST(Cholesky, MultipleRhs) {
+  const int n = 25, nrhs = 3;
+  la::Matrix a = random_spd(n, 9);
+  la::Matrix x0 = random_matrix(n, nrhs, 10);
+  la::Matrix b = la::matmul(a, x0);
+  la::CholeskyFactor chol(a);
+  chol.solve_inplace(b);
+  EXPECT_LT(la::diff_f(b, x0), 1e-8);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  la::Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(la::CholeskyFactor chol(a), std::runtime_error);
+  EXPECT_FALSE(la::CholeskyFactor::is_spd(a));
+}
+
+TEST(Cholesky, IsSpdPredicate) {
+  EXPECT_TRUE(la::CholeskyFactor::is_spd(random_spd(12, 77)));
+  la::Matrix z(4, 4);
+  EXPECT_FALSE(la::CholeskyFactor::is_spd(z));
+}

@@ -1,0 +1,127 @@
+// Tests for la::Matrix storage and block operations.
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+
+namespace la = khss::la;
+
+TEST(Matrix, ConstructZeroInitialized) {
+  la::Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+  EXPECT_EQ(m.bytes(), 12 * sizeof(double));
+}
+
+TEST(Matrix, InitializerList) {
+  la::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, Identity) {
+  la::Matrix eye = la::Matrix::identity(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  la::Matrix m(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) m(i, j) = 10 * i + j;
+  }
+  la::Matrix b = m.block(1, 2, 3, 2);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), 12.0);
+  EXPECT_EQ(b(2, 1), 33.0);
+
+  la::Matrix m2(5, 5);
+  m2.set_block(1, 2, b);
+  EXPECT_EQ(m2(1, 2), 12.0);
+  EXPECT_EQ(m2(3, 3), 33.0);
+  EXPECT_EQ(m2(0, 0), 0.0);
+}
+
+TEST(Matrix, AddBlock) {
+  la::Matrix m(3, 3);
+  la::Matrix b{{1, 1}, {1, 1}};
+  m.add_block(1, 1, b, 2.0);
+  EXPECT_EQ(m(1, 1), 2.0);
+  EXPECT_EQ(m(2, 2), 2.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowsColsSubset) {
+  la::Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  la::Matrix r = m.rows_subset({2, 0});
+  EXPECT_EQ(r.rows(), 2);
+  EXPECT_EQ(r(0, 0), 7.0);
+  EXPECT_EQ(r(1, 2), 3.0);
+
+  la::Matrix c = m.cols_subset({1});
+  EXPECT_EQ(c.cols(), 1);
+  EXPECT_EQ(c(0, 0), 2.0);
+  EXPECT_EQ(c(2, 0), 8.0);
+}
+
+TEST(Matrix, Transposed) {
+  la::Matrix m{{1, 2, 3}, {4, 5, 6}};
+  la::Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), t(j, i));
+  }
+}
+
+TEST(Matrix, TransposedLargeBlocked) {
+  // Exercise the blocked path (> one 32x32 tile).
+  la::Matrix m(70, 45);
+  for (int i = 0; i < 70; ++i) {
+    for (int j = 0; j < 45; ++j) m(i, j) = i * 1000 + j;
+  }
+  la::Matrix t = m.transposed();
+  for (int i = 0; i < 70; ++i) {
+    for (int j = 0; j < 45; ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+TEST(Matrix, ScaleAddShift) {
+  la::Matrix m{{1, 2}, {3, 4}};
+  m.scale(2.0);
+  EXPECT_EQ(m(1, 1), 8.0);
+  la::Matrix b{{1, 0}, {0, 1}};
+  m.add(b, -1.0);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 1), 7.0);
+  m.shift_diagonal(0.5);
+  EXPECT_EQ(m(0, 0), 1.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+  EXPECT_EQ(m(0, 1), 4.0);
+}
+
+TEST(Matrix, EmptyAndResize) {
+  la::Matrix m;
+  EXPECT_TRUE(m.empty());
+  m.resize(2, 3);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.rows(), 2);
+  m(1, 2) = 5.0;
+  m.resize(2, 3);  // resize zeroes
+  EXPECT_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, ZeroDimensionEdgeCases) {
+  la::Matrix m(0, 5);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  la::Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 0);
+}

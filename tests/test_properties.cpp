@@ -1,0 +1,307 @@
+// Cross-cutting property tests: parameterized sweeps over tolerances,
+// orderings, leaf sizes and kernel types, checking the invariants the whole
+// design rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cluster/ordering.hpp"
+#include "data/synthetic.hpp"
+#include "hodlr/hodlr.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "krr/krr.hpp"
+#include "la/blas.hpp"
+#include "la/chol.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+
+namespace cl = khss::cluster;
+namespace hs = khss::hss;
+namespace kn = khss::kernel;
+namespace la = khss::la;
+
+namespace {
+
+khss::data::Dataset blob_data(int n, int d, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  khss::data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 4;
+  spec.center_spread = 5.0;
+  return khss::data::make_blobs(spec, rng);
+}
+
+la::Vector random_vec(int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Vector v(n);
+  for (auto& e : v) e = rng.normal();
+  return v;
+}
+
+}  // namespace
+
+// --- HSS compression error tracks the tolerance, for every ordering -------
+
+class HSSErrorSweep
+    : public ::testing::TestWithParam<std::tuple<double, cl::OrderingMethod>> {
+};
+
+TEST_P(HSSErrorSweep, CompressionErrorBelowScaledTolerance) {
+  auto [tol, method] = GetParam();
+  auto ds = blob_data(400, 5, 101);
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree = cl::build_cluster_tree(ds.points, method, copts);
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+  kn::KernelMatrix km(std::move(permuted),
+                      {kn::KernelType::kGaussian, 1.0, 2, 1.0}, 0.5);
+  la::Matrix exact = km.dense();
+
+  hs::HSSOptions opts;
+  opts.rtol = tol;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(exact, tree, opts);
+  const double err = la::diff_f(hss.dense(), exact) / la::norm_f(exact);
+  // The ID tolerance is per-block; allow a generous structure factor.
+  EXPECT_LT(err, 100.0 * tol + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HSSErrorSweep,
+    ::testing::Combine(::testing::Values(1e-2, 1e-4, 1e-6),
+                       ::testing::Values(cl::OrderingMethod::kNatural,
+                                         cl::OrderingMethod::kKD,
+                                         cl::OrderingMethod::kPCA,
+                                         cl::OrderingMethod::kTwoMeans)));
+
+// --- ULV solves correctly at every leaf size --------------------------------
+
+class ULVLeafSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ULVLeafSizes, SolveMatchesDense) {
+  const int leaf = GetParam();
+  auto ds = blob_data(500, 4, 102);
+  cl::OrderingOptions copts;
+  copts.leaf_size = leaf;
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, copts);
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+  kn::KernelMatrix km(std::move(permuted),
+                      {kn::KernelType::kGaussian, 1.0, 2, 1.0}, 2.0);
+  la::Matrix exact = km.dense();
+
+  hs::HSSOptions opts;
+  opts.rtol = 1e-9;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(exact, tree, opts);
+  hs::ULVFactorization ulv(hss);
+  la::Vector b = random_vec(500, leaf);
+  la::Vector x = ulv.solve(b);
+  la::LUFactor lu(exact);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < 500; ++i) EXPECT_NEAR(x[i], xref[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafSizes, ULVLeafSizes,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+// --- kernel matrices are PSD for every kernel type and width ---------------
+
+class KernelPSD
+    : public ::testing::TestWithParam<std::tuple<kn::KernelType, double>> {};
+
+TEST_P(KernelPSD, ShiftedMatrixIsSPD) {
+  auto [type, h] = GetParam();
+  auto ds = blob_data(120, 4, 103);
+  kn::KernelParams params;
+  params.type = type;
+  params.h = h;
+  params.degree = 2;  // even degree keeps the polynomial kernel PSD-ish
+  kn::KernelMatrix km(ds.points, params, 1e-4);
+  la::Matrix k = km.dense();
+  // Symmetrize rounding noise before the Cholesky probe.
+  la::Matrix kt = k.transposed();
+  k.add(kt);
+  k.scale(0.5);
+  k.shift_diagonal(1e-6 * la::norm_max(k));
+  EXPECT_TRUE(la::CholeskyFactor::is_spd(k))
+      << kn::kernel_name(type) << " h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelPSD,
+    ::testing::Combine(::testing::Values(kn::KernelType::kGaussian,
+                                         kn::KernelType::kLaplacian),
+                       ::testing::Values(0.1, 0.5, 1.0, 4.0, 32.0)));
+
+// --- reordering is a symmetric permutation of the kernel matrix -------------
+
+TEST(Permutation, ReorderedKernelIsPermutedKernel) {
+  auto ds = blob_data(150, 3, 104);
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, {});
+  kn::KernelMatrix km_orig(ds.points, {kn::KernelType::kGaussian, 1.0, 2, 1.0});
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+  kn::KernelMatrix km_perm(std::move(permuted),
+                           {kn::KernelType::kGaussian, 1.0, 2, 1.0});
+  for (int i = 0; i < 150; i += 7) {
+    for (int j = 0; j < 150; j += 11) {
+      EXPECT_NEAR(km_perm.entry(i, j),
+                  km_orig.entry(tree.perm()[i], tree.perm()[j]), 1e-13);
+    }
+  }
+}
+
+// --- HSS operator is linear and symmetric when built symmetric --------------
+
+TEST(HSSOperator, LinearityAndSymmetry) {
+  auto ds = blob_data(300, 4, 105);
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, {});
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+  kn::KernelMatrix km(std::move(permuted),
+                      {kn::KernelType::kGaussian, 1.0, 2, 1.0}, 0.3);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-6;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(km.dense(), tree, opts);
+
+  la::Vector x = random_vec(300, 1);
+  la::Vector y = random_vec(300, 2);
+
+  // Linearity: A(2x + 3y) == 2Ax + 3Ay.
+  la::Vector xy(300);
+  for (int i = 0; i < 300; ++i) xy[i] = 2.0 * x[i] + 3.0 * y[i];
+  la::Vector lhs = hss.matvec(xy);
+  la::Vector ax = hss.matvec(x);
+  la::Vector ay = hss.matvec(y);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NEAR(lhs[i], 2.0 * ax[i] + 3.0 * ay[i], 1e-9);
+  }
+
+  // Symmetry: x^T A y == y^T A x (symmetric construction path).
+  EXPECT_NEAR(la::dot(x, ay), la::dot(y, ax),
+              1e-8 * (1.0 + std::fabs(la::dot(x, ay))));
+}
+
+// --- ULV and SMW agree on the same problem ----------------------------------
+
+class SolverAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(SolverAgreement, ULVAndSMWMatchAtTightTolerance) {
+  const double h = GetParam();
+  auto ds = blob_data(350, 5, 106);
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, {});
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+  kn::KernelMatrix km(std::move(permuted),
+                      {kn::KernelType::kGaussian, h, 2, 1.0}, 1.0);
+
+  hs::ExtractFn extract = [&](const std::vector<int>& r,
+                              const std::vector<int>& c) {
+    return km.extract(r, c);
+  };
+  hs::SampleFn sample = [&](const la::Matrix& r) { return km.multiply(r); };
+  hs::HSSOptions hopts;
+  hopts.rtol = 1e-10;
+  hs::HSSMatrix hss = hs::build_hss_randomized(tree, extract, sample, {},
+                                               hopts);
+  hs::ULVFactorization ulv(hss);
+
+  khss::hodlr::HODLROptions dopts;
+  dopts.rtol = 1e-10;
+  khss::hodlr::HODLRMatrix hodlr(km, tree, dopts);
+  khss::hodlr::SMWFactorization smw(hodlr);
+
+  la::Vector b = random_vec(350, 3);
+  la::Vector x1 = ulv.solve(b);
+  la::Vector x2 = smw.solve(b);
+  for (int i = 0; i < 350; ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-5 * (1.0 + std::fabs(x1[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SolverAgreement,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+// --- full KRR works for every kernel type ------------------------------------
+
+class KernelTypesKRR : public ::testing::TestWithParam<kn::KernelType> {};
+
+TEST_P(KernelTypesKRR, PipelineLearns) {
+  khss::util::Rng rng(107);
+  khss::data::BlobSpec spec;
+  spec.n = 500;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.center_spread = 4.0;
+  auto ds = khss::data::make_blobs(spec, rng);
+  auto split = khss::data::split_and_normalize(ds, 0.8, 0.0, 0.2, rng);
+
+  khss::krr::KRROptions opts;
+  opts.kernel.type = GetParam();
+  opts.kernel.h = GetParam() == kn::KernelType::kPolynomial ? 2.0 : 1.0;
+  opts.kernel.degree = 3;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-3;
+  khss::krr::KRRClassifier clf(opts);
+  clf.fit(split.train.points, split.train.one_vs_all(1));
+  EXPECT_GT(clf.accuracy(split.test.points, split.test.one_vs_all(1)), 0.85)
+      << kn::kernel_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, KernelTypesKRR,
+                         ::testing::Values(kn::KernelType::kGaussian,
+                                           kn::KernelType::kLaplacian,
+                                           kn::KernelType::kPolynomial));
+
+// --- balanced orderings keep logarithmic tree depth --------------------------
+
+class DepthBound : public ::testing::TestWithParam<cl::OrderingMethod> {};
+
+TEST_P(DepthBound, DepthNearLogarithmic) {
+  auto ds = blob_data(2048, 6, 108);
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree = cl::build_cluster_tree(ds.points, GetParam(), copts);
+  // ceil(log2(2048/16)) = 7; allow generous slack for data-driven splits.
+  EXPECT_LE(tree.depth(), 20);
+  EXPECT_GE(tree.depth(), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DepthBound,
+                         ::testing::Values(cl::OrderingMethod::kNatural,
+                                           cl::OrderingMethod::kKD,
+                                           cl::OrderingMethod::kPCA,
+                                           cl::OrderingMethod::kTwoMeans));
+
+// --- lambda update commutes with recompression -------------------------------
+
+class LambdaPath : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaPath, ShiftedCompressEqualsCompressedShift) {
+  const double lambda = GetParam();
+  auto ds = blob_data(256, 4, 109);
+  cl::ClusterTree tree = cl::build_cluster_tree(
+      ds.points, cl::OrderingMethod::kTwoMeans, {});
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, tree.perm());
+
+  kn::KernelMatrix km0(permuted, {kn::KernelType::kGaussian, 1.0, 2, 1.0},
+                       0.0);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-8;
+  hs::HSSMatrix a = hs::build_hss_from_dense(km0.dense(), tree, opts);
+  a.shift_diagonal(lambda);  // compress K, then shift
+
+  kn::KernelMatrix km1(permuted, {kn::KernelType::kGaussian, 1.0, 2, 1.0},
+                       lambda);
+  hs::HSSMatrix b = hs::build_hss_from_dense(km1.dense(), tree, opts);
+  // compress (K + lambda I) directly
+
+  EXPECT_LT(la::diff_f(a.dense(), b.dense()),
+            1e-5 * (1.0 + la::norm_f(b.dense())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaPath,
+                         ::testing::Values(0.1, 1.0, 10.0, 100.0));

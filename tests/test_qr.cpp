@@ -1,0 +1,132 @@
+// Tests for Householder QR and the QL / LQ variants used by the ULV solver.
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+}  // namespace
+
+class QRShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QRShapes, ReconstructsAndIsOrthogonal) {
+  auto [m, n] = GetParam();
+  la::Matrix a = random_matrix(m, n, 100 + m * 7 + n);
+  la::QRFactor qr(a);
+
+  la::Matrix qfull = qr.q_full();
+  EXPECT_LT(la::orthogonality_error(qfull), 1e-11);
+
+  // Q * [R; 0] == A (apply Q to the padded R).
+  la::Matrix rpad(m, n);
+  la::Matrix r = qr.r();
+  rpad.set_block(0, 0, r);
+  qr.apply_q(rpad);
+  EXPECT_LT(la::diff_f(rpad, a), 1e-10 * (1.0 + la::norm_f(a)));
+
+  // Thin Q has orthonormal columns.
+  la::Matrix qt = qr.q_thin();
+  EXPECT_LT(la::orthogonality_error(qt), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QRShapes,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(5, 5),
+                                           std::make_pair(20, 8),
+                                           std::make_pair(8, 20),
+                                           std::make_pair(64, 64),
+                                           std::make_pair(100, 3)));
+
+TEST(QR, ApplyQtInvertsApplyQ) {
+  la::Matrix a = random_matrix(12, 6, 5);
+  la::QRFactor qr(a);
+  la::Matrix b = random_matrix(12, 4, 6);
+  la::Matrix b0 = b;
+  qr.apply_q(b);
+  qr.apply_qt(b);
+  EXPECT_LT(la::diff_f(b, b0), 1e-11);
+}
+
+TEST(QR, RIsUpperTriangular) {
+  la::Matrix a = random_matrix(10, 7, 8);
+  la::Matrix r = la::QRFactor(a).r();
+  for (int i = 0; i < r.rows(); ++i) {
+    for (int j = 0; j < i && j < r.cols(); ++j) EXPECT_EQ(r(i, j), 0.0);
+  }
+}
+
+TEST(QR, RankDeficientColumnHandled) {
+  la::Matrix a(6, 3);
+  for (int i = 0; i < 6; ++i) a(i, 0) = i;  // col1 = 2*col0, col2 = 0
+  for (int i = 0; i < 6; ++i) a(i, 1) = 2.0 * i;
+  la::QRFactor qr(a);
+  la::Matrix rpad(6, 3);
+  rpad.set_block(0, 0, qr.r());
+  qr.apply_q(rpad);
+  EXPECT_LT(la::diff_f(rpad, a), 1e-10);
+}
+
+class QLShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QLShapes, ZeroesTopRows) {
+  auto [m, r] = GetParam();
+  ASSERT_GE(m, r);
+  la::Matrix u = random_matrix(m, r, 31 + m + r);
+  la::QLResult ql = la::ql_zero_top(u);
+
+  EXPECT_LT(la::orthogonality_error(ql.omega), 1e-11);
+
+  la::Matrix t = la::matmul(ql.omega, u);
+  // Top m-r rows must vanish.
+  for (int i = 0; i < m - r; ++i) {
+    for (int j = 0; j < r; ++j) EXPECT_NEAR(t(i, j), 0.0, 1e-10);
+  }
+  // Bottom block equals L and is lower triangular.
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      EXPECT_NEAR(t(m - r + i, j), ql.l(i, j), 1e-10);
+      if (j > i) EXPECT_NEAR(ql.l(i, j), 0.0, 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QLShapes,
+                         ::testing::Values(std::make_pair(4, 4),
+                                           std::make_pair(10, 4),
+                                           std::make_pair(16, 1),
+                                           std::make_pair(33, 17),
+                                           std::make_pair(5, 0)));
+
+TEST(LQ, FactorizesWideMatrix) {
+  const int me = 5, m = 12;
+  la::Matrix a = random_matrix(me, m, 77);
+  la::LQResult lq = la::lq(a);
+
+  EXPECT_LT(la::orthogonality_error(lq.q), 1e-11);
+  // L lower triangular.
+  for (int i = 0; i < me; ++i) {
+    for (int j = i + 1; j < me; ++j) EXPECT_NEAR(lq.l(i, j), 0.0, 1e-12);
+  }
+  // [L 0] * Q == A.
+  la::Matrix lpad(me, m);
+  lpad.set_block(0, 0, lq.l);
+  la::Matrix rec = la::matmul(lpad, lq.q);
+  EXPECT_LT(la::diff_f(rec, a), 1e-10 * (1.0 + la::norm_f(a)));
+}
+
+TEST(LQ, SquareCase) {
+  const int m = 7;
+  la::Matrix a = random_matrix(m, m, 78);
+  la::LQResult lq = la::lq(a);
+  la::Matrix rec = la::matmul(lq.l, lq.q);
+  EXPECT_LT(la::diff_f(rec, a), 1e-10 * (1.0 + la::norm_f(a)));
+}

@@ -1,0 +1,150 @@
+// Tests for rank-revealing QR and the interpolative decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/rrqr.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+
+// Random matrix with exact rank k.
+la::Matrix rank_k_matrix(int m, int n, int k, std::uint64_t seed) {
+  la::Matrix u = random_matrix(m, k, seed);
+  la::Matrix v = random_matrix(k, n, seed + 1);
+  return la::matmul(u, v);
+}
+
+}  // namespace
+
+TEST(RRQR, FullRankReconstruction) {
+  la::Matrix a = random_matrix(12, 8, 2);
+  la::RRQRResult f = la::rrqr(a, {});
+  EXPECT_EQ(f.rank, 8);
+
+  // Q R == A P  (columns permuted by jpvt).
+  la::Matrix qr = la::matmul(f.q, f.r);
+  la::Matrix ap = a.cols_subset(f.jpvt);
+  EXPECT_LT(la::diff_f(qr, ap), 1e-10 * (1.0 + la::norm_f(a)));
+  EXPECT_LT(la::orthogonality_error(f.q), 1e-11);
+}
+
+TEST(RRQR, DetectsExactLowRank) {
+  la::Matrix a = rank_k_matrix(30, 25, 5, 7);
+  la::TruncationOptions opts;
+  opts.rtol = 1e-10;
+  la::RRQRResult f = la::rrqr(a, opts);
+  EXPECT_EQ(f.rank, 5);
+}
+
+TEST(RRQR, MaxRankCap) {
+  la::Matrix a = random_matrix(20, 20, 9);
+  la::TruncationOptions opts;
+  opts.max_rank = 4;
+  la::RRQRResult f = la::rrqr(a, opts);
+  EXPECT_EQ(f.rank, 4);
+}
+
+TEST(RRQR, ZeroMatrixRankZero) {
+  la::Matrix a(10, 6);
+  la::RRQRResult f = la::rrqr(a, {});
+  EXPECT_EQ(f.rank, 0);
+}
+
+TEST(RRQR, PivotMagnitudesDecrease) {
+  la::Matrix a = random_matrix(30, 30, 11);
+  la::RRQRResult f = la::rrqr(a, {});
+  for (int k = 1; k < f.rank; ++k) {
+    EXPECT_LE(std::fabs(f.r(k, k)), std::fabs(f.r(k - 1, k - 1)) + 1e-12);
+  }
+}
+
+class IDRank : public ::testing::TestWithParam<int> {};
+
+TEST_P(IDRank, ColumnIDReconstructs) {
+  const int k = GetParam();
+  la::Matrix a = rank_k_matrix(40, 35, k, 100 + k);
+  la::TruncationOptions opts;
+  opts.rtol = 1e-9;
+  la::ColumnID cid = la::interpolative_cols(a, opts);
+  EXPECT_EQ(static_cast<int>(cid.cols.size()), k);
+
+  // A ~= A(:, J) * coeff.
+  la::Matrix aj = a.cols_subset(cid.cols);
+  la::Matrix rec = la::matmul(aj, cid.coeff);
+  EXPECT_LT(la::diff_f(rec, a), 1e-7 * (1.0 + la::norm_f(a)));
+
+  // coeff restricted to J must be the identity.
+  for (std::size_t c = 0; c < cid.cols.size(); ++c) {
+    for (std::size_t r = 0; r < cid.cols.size(); ++r) {
+      EXPECT_NEAR(cid.coeff(static_cast<int>(r), cid.cols[c]),
+                  r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, IDRank, ::testing::Values(1, 3, 8, 20));
+
+TEST(ID, RowIDReconstructs) {
+  la::Matrix a = rank_k_matrix(35, 50, 6, 55);
+  la::TruncationOptions opts;
+  opts.rtol = 1e-9;
+  la::RowID rid = la::interpolative_rows(a, opts);
+  EXPECT_EQ(rid.rows.size(), 6u);
+
+  la::Matrix aj = a.rows_subset(rid.rows);
+  la::Matrix rec = la::matmul(rid.basis, aj);
+  EXPECT_LT(la::diff_f(rec, a), 1e-7 * (1.0 + la::norm_f(a)));
+
+  // basis(J, :) == I.
+  for (std::size_t r = 0; r < rid.rows.size(); ++r) {
+    for (std::size_t c = 0; c < rid.rows.size(); ++c) {
+      EXPECT_NEAR(rid.basis(rid.rows[r], static_cast<int>(c)),
+                  r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(ID, ToleranceControlsApproximationError) {
+  // Matrix with geometrically decaying singular values.
+  const int n = 40;
+  khss::util::Rng rng(123);
+  la::Matrix u = random_matrix(n, n, 1);
+  la::Matrix v = random_matrix(n, n, 2);
+  la::QRFactor qu(u), qv(v);
+  la::Matrix uu = qu.q_thin(), vv = qv.q_thin();
+  la::Matrix sv(n, n);
+  for (int i = 0; i < n; ++i) sv(i, i) = std::pow(0.5, i);
+  la::Matrix a = la::matmul(la::matmul(uu, sv), vv, la::Trans::kNo,
+                            la::Trans::kYes);
+
+  for (double tol : {1e-2, 1e-4, 1e-6}) {
+    la::TruncationOptions opts;
+    opts.rtol = tol;
+    la::RowID rid = la::interpolative_rows(a, opts);
+    la::Matrix rec = la::matmul(rid.basis, a.rows_subset(rid.rows));
+    // ID error is bounded by a modest polynomial factor over the singular
+    // value at the truncation rank; allow two orders of slack.
+    EXPECT_LT(la::diff_f(rec, a), 100.0 * tol * la::norm_f(a));
+  }
+}
+
+TEST(ID, EmptyMatrixGivesRankZero) {
+  la::Matrix a(8, 0);
+  la::ColumnID cid = la::interpolative_cols(a, {});
+  EXPECT_TRUE(cid.cols.empty());
+  la::Matrix b(0, 8);
+  la::RowID rid = la::interpolative_rows(b.transposed(), {});
+  EXPECT_TRUE(rid.rows.empty());
+}

@@ -1,0 +1,127 @@
+// Tests for the one-sided Jacobi SVD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace la = khss::la;
+
+namespace {
+
+la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Matrix a(m, n);
+  rng.fill_normal(a.data(), a.size());
+  return a;
+}
+
+// Matrix with prescribed singular values.
+la::Matrix with_singular_values(const std::vector<double>& sv, int m, int n,
+                                std::uint64_t seed) {
+  const int k = static_cast<int>(sv.size());
+  la::Matrix u = la::QRFactor(random_matrix(m, k, seed)).q_thin();
+  la::Matrix v = la::QRFactor(random_matrix(n, k, seed + 1)).q_thin();
+  la::Matrix us = u;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) us(i, j) *= sv[j];
+  }
+  return la::matmul(us, v, la::Trans::kNo, la::Trans::kYes);
+}
+
+}  // namespace
+
+TEST(SVD, DiagonalMatrix) {
+  la::Matrix a{{3, 0}, {0, 4}};
+  auto s = la::singular_values(a);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[0], 4.0, 1e-12);
+  EXPECT_NEAR(s[1], 3.0, 1e-12);
+}
+
+TEST(SVD, KnownSingularValuesRecovered) {
+  const std::vector<double> sv{10.0, 5.0, 1.0, 0.1, 0.01};
+  la::Matrix a = with_singular_values(sv, 30, 20, 5);
+  auto s = la::singular_values(a);
+  ASSERT_EQ(s.size(), 20u);
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_NEAR(s[i], sv[i], 1e-8 * sv[0]);
+  }
+  for (std::size_t i = sv.size(); i < s.size(); ++i) {
+    EXPECT_NEAR(s[i], 0.0, 1e-8 * sv[0]);
+  }
+}
+
+TEST(SVD, WideMatrixTransposePath) {
+  const std::vector<double> sv{7.0, 2.0, 0.5};
+  la::Matrix a = with_singular_values(sv, 10, 40, 9);
+  auto s = la::singular_values(a);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_NEAR(s[0], 7.0, 1e-8);
+  EXPECT_NEAR(s[1], 2.0, 1e-8);
+  EXPECT_NEAR(s[2], 0.5, 1e-8);
+}
+
+TEST(SVD, FrobeniusIdentity) {
+  la::Matrix a = random_matrix(25, 18, 12);
+  auto s = la::singular_values(a);
+  double sum2 = 0.0;
+  for (double v : s) sum2 += v * v;
+  EXPECT_NEAR(std::sqrt(sum2), la::norm_f(a), 1e-9 * la::norm_f(a));
+}
+
+TEST(SVD, FullDecompositionReconstructs) {
+  la::Matrix a = random_matrix(15, 10, 33);
+  la::SVDOptions opts;
+  opts.compute_uv = true;
+  la::SVDResult r = la::svd(a, opts);
+
+  EXPECT_LT(la::orthogonality_error(r.u), 1e-9);
+  EXPECT_LT(la::orthogonality_error(r.v), 1e-9);
+
+  la::Matrix us = r.u;
+  for (int i = 0; i < us.rows(); ++i) {
+    for (int j = 0; j < us.cols(); ++j) us(i, j) *= r.s[j];
+  }
+  la::Matrix rec = la::matmul(us, r.v, la::Trans::kNo, la::Trans::kYes);
+  EXPECT_LT(la::diff_f(rec, a), 1e-9 * la::norm_f(a));
+}
+
+TEST(SVD, WideFullDecompositionReconstructs) {
+  la::Matrix a = random_matrix(8, 21, 34);
+  la::SVDOptions opts;
+  opts.compute_uv = true;
+  la::SVDResult r = la::svd(a, opts);
+  la::Matrix us = r.u;
+  for (int i = 0; i < us.rows(); ++i) {
+    for (int j = 0; j < us.cols(); ++j) us(i, j) *= r.s[j];
+  }
+  la::Matrix rec = la::matmul(us, r.v, la::Trans::kNo, la::Trans::kYes);
+  EXPECT_LT(la::diff_f(rec, a), 1e-9 * (1.0 + la::norm_f(a)));
+}
+
+TEST(SVD, SingularValuesSortedDescending) {
+  la::Matrix a = random_matrix(40, 40, 50);
+  auto s = la::singular_values(a);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i], s[i - 1] + 1e-12);
+}
+
+TEST(SVD, EffectiveRankMetric) {
+  std::vector<double> s{5.0, 1.0, 0.5, 0.009, 1e-6};
+  EXPECT_EQ(la::effective_rank(s, 0.01), 3);
+  EXPECT_EQ(la::effective_rank(s, 10.0), 0);
+  EXPECT_EQ(la::effective_rank(s, 0.0), 5);
+}
+
+TEST(SVD, RankOneMatrix) {
+  la::Matrix u(12, 1), v(9, 1);
+  for (int i = 0; i < 12; ++i) u(i, 0) = 1.0;
+  for (int j = 0; j < 9; ++j) v(j, 0) = 2.0;
+  la::Matrix a = la::matmul(u, v, la::Trans::kNo, la::Trans::kYes);
+  auto s = la::singular_values(a);
+  EXPECT_NEAR(s[0], 2.0 * std::sqrt(12.0 * 9.0), 1e-9);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_NEAR(s[i], 0.0, 1e-9);
+}

@@ -1,0 +1,174 @@
+// Tests for grid search and the black-box (h, lambda) tuner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "tune/tuner.hpp"
+#include "util/rng.hpp"
+
+namespace data = khss::data;
+namespace tune = khss::tune;
+
+namespace {
+
+// Analytic objective with a known unique maximum at (h*, l*) in log space.
+tune::Objective analytic_peak(double h_star, double l_star) {
+  return [=](double h, double lambda) {
+    const double dh = std::log(h / h_star);
+    const double dl = std::log(lambda / l_star);
+    return std::exp(-(dh * dh + dl * dl));
+  };
+}
+
+}  // namespace
+
+TEST(GridSearch, CoversTheGrid) {
+  tune::Objective obj = analytic_peak(1.0, 2.0);
+  tune::GridSpec grid;
+  grid.h_points = 5;
+  grid.lambda_points = 7;
+  tune::TuneResult res = tune::grid_search(obj, grid);
+  EXPECT_EQ(res.evaluations, 35);
+  EXPECT_EQ(res.history.size(), 35u);
+}
+
+TEST(GridSearch, FindsPeakOnGridPoint) {
+  tune::Objective obj = analytic_peak(1.0, 2.0);
+  tune::GridSpec grid;
+  grid.h_min = 0.25;
+  grid.h_max = 4.0;
+  grid.lambda_min = 0.5;
+  grid.lambda_max = 8.0;
+  grid.h_points = 9;  // log grid contains h = 1 exactly
+  grid.lambda_points = 9;
+  tune::TuneResult res = tune::grid_search(obj, grid);
+  EXPECT_NEAR(res.best_h, 1.0, 0.2);
+  EXPECT_NEAR(res.best_lambda, 2.0, 0.4);
+  EXPECT_GT(res.best_accuracy, 0.95);
+}
+
+TEST(BlackBox, RespectsBudget) {
+  tune::Objective obj = analytic_peak(0.8, 3.0);
+  tune::BlackBoxSpec spec;
+  spec.budget = 40;
+  tune::TuneResult res = tune::black_box_search(obj, spec);
+  EXPECT_LE(res.evaluations, 40);
+  EXPECT_GE(res.evaluations, 3);  // at least one simplex was evaluated
+}
+
+TEST(BlackBox, ConvergesNearAnalyticOptimum) {
+  tune::Objective obj = analytic_peak(0.8, 3.0);
+  tune::BlackBoxSpec spec;
+  spec.budget = 100;  // the paper's evaluation count
+  tune::TuneResult res = tune::black_box_search(obj, spec);
+  EXPECT_GT(res.best_accuracy, 0.9);
+  EXPECT_NEAR(std::log(res.best_h), std::log(0.8), 0.5);
+  EXPECT_NEAR(std::log(res.best_lambda), std::log(3.0), 0.7);
+}
+
+TEST(BlackBox, BeatsCoarseGridAtEqualBudget) {
+  // The paper's Fig. 6 argument: ~100 black-box evaluations beat a coarse
+  // grid of comparable size when the peak falls between grid lines.
+  tune::Objective obj = analytic_peak(0.73, 2.63);
+
+  tune::GridSpec grid;
+  grid.h_min = 0.05;
+  grid.h_max = 8.0;
+  grid.lambda_min = 0.05;
+  grid.lambda_max = 16.0;
+  grid.h_points = 10;
+  grid.lambda_points = 10;
+  tune::TuneResult g = tune::grid_search(obj, grid);
+
+  tune::BlackBoxSpec spec;
+  spec.budget = 100;
+  tune::TuneResult b = tune::black_box_search(obj, spec);
+
+  EXPECT_GE(b.best_accuracy, g.best_accuracy - 1e-9);
+}
+
+TEST(BlackBox, DeterministicGivenSeed) {
+  tune::Objective obj = analytic_peak(1.0, 1.0);
+  tune::BlackBoxSpec spec;
+  spec.budget = 30;
+  spec.seed = 5;
+  tune::TuneResult a = tune::black_box_search(obj, spec);
+  tune::TuneResult b = tune::black_box_search(obj, spec);
+  EXPECT_DOUBLE_EQ(a.best_h, b.best_h);
+  EXPECT_DOUBLE_EQ(a.best_lambda, b.best_lambda);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(KRRObjective, ReusesCompressionAcrossLambda) {
+  khss::util::Rng rng(7);
+  data::BlobSpec spec;
+  spec.n = 500;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.center_spread = 4.0;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  data::Split split = data::split_and_normalize(ds, 0.7, 0.3, 0.0, rng);
+
+  khss::krr::KRROptions base;
+  base.hss_rtol = 1e-3;
+  tune::KRRObjective obj(base, split.train.points, split.train.one_vs_all(1),
+                         split.validation.points,
+                         split.validation.one_vs_all(1));
+
+  // Same h, three lambdas: exactly one compression.
+  obj(1.0, 0.5);
+  obj(1.0, 1.0);
+  obj(1.0, 4.0);
+  EXPECT_EQ(obj.evaluations(), 3);
+  EXPECT_EQ(obj.compressions(), 1);
+
+  // New h: one more compression.
+  obj(2.0, 1.0);
+  EXPECT_EQ(obj.compressions(), 2);
+}
+
+TEST(KRRObjective, AccuracyIsInUnitInterval) {
+  khss::util::Rng rng(8);
+  data::BlobSpec spec;
+  spec.n = 300;
+  spec.dim = 3;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  data::Split split = data::split_and_normalize(ds, 0.7, 0.3, 0.0, rng);
+
+  khss::krr::KRROptions base;
+  base.hss_rtol = 1e-2;
+  tune::KRRObjective obj(base, split.train.points, split.train.one_vs_all(1),
+                         split.validation.points,
+                         split.validation.one_vs_all(1));
+  const double acc = obj(1.0, 1.0);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EndToEnd, TuningImprovesAccuracyOnKRR) {
+  khss::util::Rng rng(9);
+  data::BlobSpec spec;
+  spec.n = 600;
+  spec.dim = 5;
+  spec.num_classes = 2;
+  spec.center_spread = 3.0;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  data::Split split = data::split_and_normalize(ds, 0.6, 0.2, 0.2, rng);
+
+  khss::krr::KRROptions base;
+  base.hss_rtol = 1e-2;
+  tune::KRRObjective obj(base, split.train.points, split.train.one_vs_all(1),
+                         split.validation.points,
+                         split.validation.one_vs_all(1));
+  tune::Objective fn = [&obj](double h, double l) { return obj(h, l); };
+
+  tune::BlackBoxSpec spec_bb;
+  spec_bb.budget = 25;
+  tune::TuneResult res = tune::black_box_search(fn, spec_bb);
+
+  // The tuned point must beat a deliberately bad operating point.
+  const double bad = obj(50.0, 1e-3);
+  EXPECT_GE(res.best_accuracy, bad - 1e-9);
+  EXPECT_GT(res.best_accuracy, 0.8);
+}

@@ -1,0 +1,215 @@
+// Tests for the ULV factorization/solve against dense references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/ordering.hpp"
+#include "data/synthetic.hpp"
+#include "hss/build.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "la/blas.hpp"
+#include "la/lu.hpp"
+#include "util/rng.hpp"
+
+namespace cl = khss::cluster;
+namespace hs = khss::hss;
+namespace kn = khss::kernel;
+namespace la = khss::la;
+
+namespace {
+
+struct Case {
+  cl::ClusterTree tree;
+  la::Matrix dense;
+};
+
+Case kernel_case(int n, int d, double h, double lambda, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  khss::data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 4;
+  spec.center_spread = 6.0;
+  auto ds = khss::data::make_blobs(spec, rng);
+
+  Case c;
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  c.tree = cl::build_cluster_tree(ds.points, cl::OrderingMethod::kTwoMeans,
+                                  copts);
+  la::Matrix permuted = cl::apply_row_permutation(ds.points, c.tree.perm());
+  kn::KernelMatrix km(std::move(permuted),
+                      {kn::KernelType::kGaussian, h, 2, 1.0}, lambda);
+  c.dense = km.dense();
+  return c;
+}
+
+la::Vector random_vector(int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+}  // namespace
+
+class ULVSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ULVSizes, SolvesShiftedKernelSystem) {
+  const int n = GetParam();
+  Case c = kernel_case(n, 4, 1.0, 2.0, 100 + n);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-9;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, opts);
+  hs::ULVFactorization ulv(hss);
+
+  la::Vector b = random_vector(n, n);
+  la::Vector x = ulv.solve(b);
+
+  // Residual against the *dense* matrix: both compression and solve must be
+  // accurate at this tight tolerance.
+  la::Vector ax = la::matvec(c.dense, x);
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n; ++i) {
+    num += (ax[i] - b[i]) * (ax[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ULVSizes,
+                         ::testing::Values(32, 64, 100, 256, 777, 1024));
+
+TEST(ULV, MatchesDenseLUSolution) {
+  Case c = kernel_case(300, 5, 1.0, 3.0, 1);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-10;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, opts);
+  hs::ULVFactorization ulv(hss);
+
+  la::Vector b = random_vector(300, 2);
+  la::Vector x = ulv.solve(b);
+  la::LUFactor lu(c.dense);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < 300; ++i) EXPECT_NEAR(x[i], xref[i], 1e-5);
+}
+
+TEST(ULV, MultipleRhsConsistent) {
+  Case c = kernel_case(200, 4, 1.0, 1.5, 3);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, {});
+  hs::ULVFactorization ulv(hss);
+
+  khss::util::Rng rng(4);
+  la::Matrix b(200, 4);
+  rng.fill_normal(b.data(), b.size());
+  la::Matrix x = ulv.solve(b);
+
+  for (int col = 0; col < 4; ++col) {
+    la::Vector bc(200);
+    for (int i = 0; i < 200; ++i) bc[i] = b(i, col);
+    la::Vector xc = ulv.solve(bc);
+    for (int i = 0; i < 200; ++i) EXPECT_NEAR(x(i, col), xc[i], 1e-10);
+  }
+}
+
+TEST(ULV, SolveInCompressedOperatorIsExact) {
+  // Even at loose compression tolerance, ULV solves the *compressed*
+  // operator essentially exactly: residual measured in the HSS matvec.
+  Case c = kernel_case(400, 6, 0.8, 0.5, 5);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-2;  // loose, like the paper's classification setting
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, opts);
+  hs::ULVFactorization ulv(hss);
+
+  la::Vector b = random_vector(400, 6);
+  la::Vector x = ulv.solve(b);
+  EXPECT_LT(ulv.relative_residual(x, b), 1e-9);
+}
+
+TEST(ULV, NonSymmetricSystem) {
+  const int n = 200;
+  la::Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / (1.0 + std::abs(i - 2 * j) / 3.0) + (i == j ? 4.0 : 0.0);
+    }
+  }
+  la::Matrix pts(n, 1);
+  for (int i = 0; i < n; ++i) pts(i, 0) = i;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, {});
+  hs::HSSOptions opts;
+  opts.rtol = 1e-9;
+  opts.symmetric = false;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(a, tree, opts);
+  hs::ULVFactorization ulv(hss);
+
+  la::Vector b = random_vector(n, 7);
+  la::Vector x = ulv.solve(b);
+  la::LUFactor lu(a);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-5);
+}
+
+TEST(ULV, DiagonalShiftThenRefactor) {
+  // The lambda-update path: shift the HSS diagonal, refactor, solve again.
+  Case c = kernel_case(256, 4, 1.0, 1.0, 8);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-9;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, opts);
+
+  hss.shift_diagonal(4.0);  // lambda: 1 -> 5
+  hs::ULVFactorization ulv(hss);
+  la::Vector b = random_vector(256, 9);
+  la::Vector x = ulv.solve(b);
+
+  la::Matrix shifted = c.dense;
+  shifted.shift_diagonal(4.0);
+  la::LUFactor lu(shifted);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < 256; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(ULV, SingleLeafTree) {
+  const int n = 12;
+  Case c = kernel_case(n, 2, 1.0, 2.0, 10);
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  // Rebuild with a tree that is a single leaf.
+  la::Matrix pts(n, 1);
+  for (int i = 0; i < n; ++i) pts(i, 0) = i;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, copts);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, tree, {});
+  hs::ULVFactorization ulv(hss);
+
+  la::Vector b = random_vector(n, 11);
+  la::Vector x = ulv.solve(b);
+  la::LUFactor lu(c.dense);
+  la::Vector xref = lu.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+TEST(ULV, IdentityMatrix) {
+  const int n = 64;
+  la::Matrix eye = la::Matrix::identity(n);
+  la::Matrix pts(n, 1);
+  for (int i = 0; i < n; ++i) pts(i, 0) = i;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kNatural, {});
+  hs::HSSMatrix hss = hs::build_hss_from_dense(eye, tree, {});
+  hs::ULVFactorization ulv(hss);
+  la::Vector b = random_vector(n, 12);
+  la::Vector x = ulv.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], b[i], 1e-11);
+}
+
+TEST(ULV, MemoryAccounting) {
+  Case c = kernel_case(256, 4, 1.0, 1.0, 13);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, {});
+  hs::ULVFactorization ulv(hss);
+  EXPECT_GT(ulv.memory_bytes(), 0u);
+  // Factor memory should be comparable to (not wildly above) the HSS size.
+  EXPECT_LT(ulv.memory_bytes(), 20 * hss.memory_bytes() + (1u << 20));
+}
