@@ -121,4 +121,18 @@ void save_csv(const Dataset& d, const std::string& path) {
   }
 }
 
+void save_libsvm(const Dataset& d, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_libsvm: cannot open " + path);
+  out.precision(17);
+  for (int i = 0; i < d.n(); ++i) {
+    out << d.labels[i];
+    const double* row = d.points.row(i);
+    for (int j = 0; j < d.dim(); ++j) {
+      if (row[j] != 0.0) out << ' ' << (j + 1) << ':' << row[j];
+    }
+    out << '\n';
+  }
+}
+
 }  // namespace khss::data

@@ -20,4 +20,8 @@ Dataset load_libsvm(const std::string& path, int dim = 0);
 /// Write a dataset as CSV (label first), for interchange with plotting tools.
 void save_csv(const Dataset& d, const std::string& path);
 
+/// Write a dataset in LIBSVM sparse format (1-based indices, zeros omitted).
+/// Reload with load_libsvm(path, d.dim()) to recover trailing zero columns.
+void save_libsvm(const Dataset& d, const std::string& path);
+
 }  // namespace khss::data

@@ -171,7 +171,10 @@ bool try_randomized_build(std::vector<HSSNode>& nodes,
   for (const auto& level : by_level) {
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t t = 0; t < level.size(); ++t) {
-      if (failed) continue;
+      bool bail;
+#pragma omp atomic read
+      bail = failed;
+      if (bail) continue;
       const int id = level[t];
       HSSNode& nd = nodes[id];
       NodeScratch& sc = scratch[id];

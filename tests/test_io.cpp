@@ -1,0 +1,129 @@
+// Round-trip and error-path tests for data/io (CSV and LIBSVM).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/io.hpp"
+
+namespace data = khss::data;
+
+namespace {
+
+// Unique scratch path inside gtest's per-run temp dir; removed on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(testing::TempDir() + "khss_io_" + name) {}
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  void write(const std::string& contents) const {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+ private:
+  std::string path_;
+};
+
+void expect_datasets_equal(const data::Dataset& a, const data::Dataset& b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.labels, b.labels);
+  for (int i = 0; i < a.n(); ++i) {
+    for (int j = 0; j < a.dim(); ++j) {
+      // precision(17) must make the text round trip bit-exact.
+      EXPECT_EQ(a.points(i, j), b.points(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(IoCsv, ReadWriteReadRoundTrip) {
+  ScratchFile first("rt1.csv"), second("rt2.csv");
+  // Awkward values: negatives, tiny magnitudes, and non-terminating binary
+  // fractions that expose insufficient output precision.
+  first.write(
+      "# label, x0, x1, x2\n"
+      "1,0.1,-2.5e-07,0.3333333333333333\n"
+      "\n"
+      "-1,1000000.25,0,-0.1\n"
+      "1,-3,2.2250738585072014e-308,2\n");
+  data::Dataset loaded = data::load_csv(first.path());
+  ASSERT_EQ(loaded.n(), 3);
+  ASSERT_EQ(loaded.dim(), 3);
+  EXPECT_EQ(loaded.num_classes, 2);
+  // Labels {-1, +1} densify order-preservingly to {0, 1}.
+  EXPECT_EQ(loaded.labels, (std::vector<int>{1, 0, 1}));
+
+  data::save_csv(loaded, second.path());
+  data::Dataset reloaded = data::load_csv(second.path());
+  expect_datasets_equal(loaded, reloaded);
+}
+
+TEST(IoCsv, ErrorPaths) {
+  EXPECT_THROW(data::load_csv(testing::TempDir() + "khss_io_nope.csv"),
+               std::runtime_error);
+
+  ScratchFile ragged("ragged.csv");
+  ragged.write("1,2,3\n1,2\n");
+  EXPECT_THROW(data::load_csv(ragged.path()), std::runtime_error);
+
+  ScratchFile empty("empty.csv");
+  empty.write("# only a comment\n");
+  EXPECT_THROW(data::load_csv(empty.path()), std::runtime_error);
+
+  ScratchFile one_col("one_col.csv");
+  one_col.write("1\n2\n");
+  EXPECT_THROW(data::load_csv(one_col.path()), std::runtime_error);
+}
+
+TEST(IoLibsvm, ReadWriteReadRoundTrip) {
+  ScratchFile first("rt1.svm"), second("rt2.svm");
+  // Sparse rows with gaps, an all-zero row, and multi-class labels.
+  first.write(
+      "# comment\n"
+      "3 1:0.5 4:-1.25\n"
+      "1\n"
+      "2 2:0.3333333333333333 3:-2.5e-07\n"
+      "3 1:7 2:-8.5 3:9 4:1e-300\n");
+  data::Dataset loaded = data::load_libsvm(first.path());
+  ASSERT_EQ(loaded.n(), 4);
+  ASSERT_EQ(loaded.dim(), 4);
+  EXPECT_EQ(loaded.num_classes, 3);
+  EXPECT_EQ(loaded.labels, (std::vector<int>{2, 0, 1, 2}));
+  EXPECT_EQ(loaded.points(0, 3), -1.25);
+  EXPECT_EQ(loaded.points(1, 2), 0.0);  // all-zero row
+
+  data::save_libsvm(loaded, second.path());
+  // Pass dim explicitly: the writer omits zeros, so a trailing all-zero
+  // column would otherwise shrink the reloaded dimension.
+  data::Dataset reloaded = data::load_libsvm(second.path(), loaded.dim());
+  expect_datasets_equal(loaded, reloaded);
+}
+
+TEST(IoLibsvm, ErrorPaths) {
+  EXPECT_THROW(data::load_libsvm(testing::TempDir() + "khss_io_nope.svm"),
+               std::runtime_error);
+
+  ScratchFile bad_tok("badtok.svm");
+  bad_tok.write("1 2-0.5\n");
+  EXPECT_THROW(data::load_libsvm(bad_tok.path()), std::runtime_error);
+
+  ScratchFile zero_idx("zeroidx.svm");
+  zero_idx.write("1 0:0.5\n");
+  EXPECT_THROW(data::load_libsvm(zero_idx.path()), std::runtime_error);
+}
+
+TEST(IoCross, CsvAndLibsvmAgree) {
+  ScratchFile csv("cross.csv"), svm("cross.svm");
+  csv.write("5,1.5,0,-2\n7,0,3.25,0\n");
+  data::Dataset from_csv = data::load_csv(csv.path());
+  data::save_libsvm(from_csv, svm.path());
+  data::Dataset from_svm = data::load_libsvm(svm.path(), from_csv.dim());
+  expect_datasets_equal(from_csv, from_svm);
+}
