@@ -16,40 +16,35 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 3000));
-  const std::string name = args.get_string("dataset", "PEN");
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
+  bench::CommonArgs c = bench::parse_common(args, {.n = 3000, .dataset = "PEN"});
 
   bench::print_banner("Ablation", "leaf size, tolerance, sampling engine",
                       "");
 
-  bench::PreparedData d = bench::prepare(name, n, 500, seed);
+  bench::PreparedData d = bench::prepare(c.dataset, c.n, 500, c.seed);
   const auto ytrain = d.train.one_vs_all(d.info.target_class);
   const auto ytest = d.test.one_vs_all(d.info.target_class);
 
   // --- (1) leaf size -----------------------------------------------------
   {
-    util::Table table({"leaf size", "HSS mem (MB)", "max rank",
+    util::Table table({"leaf size", "memory (MB)", "max rank",
                        "construct (s)", "factor (s)", "accuracy"});
     for (int leaf : {8, 16, 32, 64, 128}) {
       krr::KRROptions opts;
       opts.ordering = cluster::OrderingMethod::kTwoMeans;
-      opts.backend = krr::SolverBackend::kHSSRandomDense;
+      opts.backend = c.backend;
       opts.kernel.h = d.info.h;
       opts.lambda = d.info.lambda;
-      opts.hss_rtol = 1e-1;
+      opts.hss_rtol = c.rtol;
       opts.leaf_size = leaf;
       krr::KRRClassifier clf(opts);
       clf.fit(d.train.points, ytrain);
       const auto& st = clf.model().stats();
       table.add_row({util::Table::fmt_int(leaf),
                      util::Table::fmt_mb(
-                         static_cast<double>(st.hss_memory_bytes)),
-                     util::Table::fmt_int(st.hss_max_rank),
-                     util::Table::fmt(st.hss_construction_seconds),
+                         static_cast<double>(st.compressed_memory_bytes)),
+                     util::Table::fmt_int(st.max_rank),
+                     util::Table::fmt(st.compress_seconds),
                      util::Table::fmt(st.factor_seconds),
                      util::Table::fmt_pct(
                          clf.accuracy(d.test.points, ytest))});
@@ -69,17 +64,17 @@ int main(int argc, char** argv) {
     dense_clf.fit(d.train.points, ytrain);
     const double dense_acc = dense_clf.accuracy(d.test.points, ytest);
 
-    util::Table table({"HSS tolerance", "HSS mem (MB)", "accuracy",
+    util::Table table({"tolerance", "memory (MB)", "accuracy",
                        "exact-kernel accuracy"});
     for (double tol : {0.5, 0.1, 0.01, 1e-4, 1e-6}) {
       krr::KRROptions opts = dense_opts;
-      opts.backend = krr::SolverBackend::kHSSRandomDense;
+      opts.backend = c.backend;
       opts.hss_rtol = tol;
       krr::KRRClassifier clf(opts);
       clf.fit(d.train.points, ytrain);
       table.add_row({util::Table::fmt_sci(tol, 0),
                      util::Table::fmt_mb(static_cast<double>(
-                         clf.model().stats().hss_memory_bytes)),
+                         clf.model().stats().compressed_memory_bytes)),
                      util::Table::fmt_pct(
                          clf.accuracy(d.test.points, ytest)),
                      util::Table::fmt_pct(dense_acc)});
@@ -100,7 +95,7 @@ int main(int argc, char** argv) {
                            : krr::SolverBackend::kHSSRandomDense;
       opts.kernel.h = d.info.h;
       opts.lambda = d.info.lambda;
-      opts.hss_rtol = 1e-1;
+      opts.hss_rtol = c.rtol;
       util::Timer t;
       krr::KRRModel model(opts);
       model.fit(d.train.points);
@@ -108,8 +103,8 @@ int main(int argc, char** argv) {
       const auto& st = model.stats();
       table.add_row({use_h ? "H matrix (fast)" : "dense O(n^2)",
                      util::Table::fmt(st.h_construction_seconds),
-                     util::Table::fmt(st.hss_construction_seconds),
-                     util::Table::fmt(st.hss_sampling_seconds),
+                     util::Table::fmt(st.compress_seconds),
+                     util::Table::fmt(st.sampling_seconds),
                      util::Table::fmt(total)});
     }
     table.print(std::cout,

@@ -19,12 +19,12 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 4000));
-  const std::string name = args.get_string("dataset", "COVTYPE");
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
+  bench::CommonArgs c = bench::parse_common(
+      args, {.n = 4000, .dataset = "COVTYPE", .rtol = 1e-2});
+  bench::warn_backend_ignored(args, "ablates the CG preconditioner directly");
+  const int n = c.n;
+  const std::string name = c.dataset;
+  const std::uint64_t seed = c.seed;
 
   bench::print_banner(
       "Ablation (Sec. 6 future work)",
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
   // Operator: H matrix at the pipeline tolerance.
   hmat::HOptions hopts;
-  hopts.rtol = 1e-2;
+  hopts.rtol = c.rtol;
   hmat::HMatrix h(km, tree, hopts);
   la::MatVecFn op = [&h](const la::Vector& v) { return h.multiply(v); };
 

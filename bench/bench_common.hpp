@@ -3,8 +3,13 @@
 //
 // Every binary prints the rows/series of one table or figure from the paper
 // (see DESIGN.md experiment index), runs standalone with single-node-sized
-// defaults, and accepts --n / --threads / --seed overrides.
+// defaults, and accepts the shared flags parsed by parse_common() below
+// (--n / --dataset / --seed / --rtol / --backend / --threads) plus its own.
+// --backend takes any name registered in the solver registry ("dense",
+// "hss-rand-h", "hodlr-smw", "nystrom", ...), so each bench can sweep every
+// pipeline through the same KRRModel path.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,12 +19,73 @@
 #include "data/datasets.hpp"
 #include "kernel/kernel.hpp"
 #include "krr/krr.hpp"
+#include "solver/solver.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/threads.hpp"
 
 namespace khss::bench {
+
+/// Defaults a bench passes to parse_common(); each bench only overrides what
+/// differs from the fleet-wide baseline.
+struct BenchDefaults {
+  int n = 2000;
+  std::string dataset = "SUSY";
+  krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
+  double rtol = 1e-1;  // the paper's classification tolerance
+};
+
+/// The flags every bench shares.  Bench-specific flags stay in the caller.
+struct CommonArgs {
+  int n = 0;
+  std::string dataset;
+  std::uint64_t seed = 42;
+  double rtol = 1e-1;
+  krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
+};
+
+/// Apply --threads (0 = leave the OpenMP default); shared by parse_common()
+/// and the benches that manage thread counts themselves.
+inline void apply_threads(const util::ArgParser& args) {
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) util::set_threads(threads);
+}
+
+/// Exit early when --backend names a pipeline that does not build an HSS
+/// matrix (the Fig. 8 benches re-factor model.hss() directly).
+inline void require_hss_backend(const std::string& program,
+                                krr::SolverBackend backend) {
+  if (solver::make(backend)->hss_matrix() == nullptr) {
+    std::cerr << program << ": backend '" << solver::backend_name(backend)
+              << "' does not build an HSS matrix; pick one of the hss-*"
+              << " or pcg backends\n";
+    std::exit(2);
+  }
+}
+
+/// Warn when --backend was passed to a bench that assembles its pipeline by
+/// hand (the flag would otherwise be silently ignored).
+inline void warn_backend_ignored(const util::ArgParser& args,
+                                 const std::string& what) {
+  if (args.has("backend")) {
+    std::cerr << args.program() << ": note: this bench " << what
+              << "; --backend is ignored\n";
+  }
+}
+
+inline CommonArgs parse_common(const util::ArgParser& args,
+                               const BenchDefaults& def = {}) {
+  CommonArgs c;
+  c.n = static_cast<int>(args.get_int("n", def.n));
+  c.dataset = args.get_string("dataset", def.dataset);
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  c.rtol = args.get_double("rtol", def.rtol);
+  c.backend = solver::backend_from_name_cli(
+      args.get_string("backend", solver::backend_name(def.backend)));
+  apply_threads(args);
+  return c;
+}
 
 /// Train/test split of a paper-twin dataset, z-score normalized on train.
 struct PreparedData {

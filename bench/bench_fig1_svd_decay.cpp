@@ -36,9 +36,7 @@ kernel::KernelMatrix reorder(const la::Matrix& pts,
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const int n = static_cast<int>(args.get_int("n", 1000));
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
+  bench::apply_threads(args);
 
   bench::print_banner(
       "Fig. 1a/1b + Table 1",

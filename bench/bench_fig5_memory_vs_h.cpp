@@ -11,20 +11,16 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 2000));
+  bench::CommonArgs c = bench::parse_common(args, {.n = 2000, .dataset = "GAS"});
   const double hmin = args.get_double("hmin", 0.5);
   const double hmax = args.get_double("hmax", 16.0);
   const int points = static_cast<int>(args.get_int("points", 6));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
 
   bench::print_banner("Fig. 5",
                       "GAS10K memory vs h for the four orderings (lambda=4)",
-                      "GAS10K -> GAS twin at n=" + std::to_string(n));
+                      "GAS10K -> GAS twin at n=" + std::to_string(c.n));
 
-  bench::PreparedData d = bench::prepare("GAS", n, 200, seed);
+  bench::PreparedData d = bench::prepare(c.dataset, c.n, 200, c.seed);
 
   util::Table table({"h", "Natural (MB)", "Kd (MB)", "PCA (MB)",
                      "2 Means (MB)"});
@@ -36,14 +32,14 @@ int main(int argc, char** argv) {
     for (auto method : bench::paper_orderings()) {
       krr::KRROptions opts;
       opts.ordering = method;
-      opts.backend = krr::SolverBackend::kHSSRandomDense;
+      opts.backend = c.backend;
       opts.kernel.h = h;
       opts.lambda = 4.0;  // the paper's Fig. 5 setting
-      opts.hss_rtol = 1e-1;
+      opts.hss_rtol = c.rtol;
       krr::KRRModel model(opts);
       model.fit(d.train.points);
       row.push_back(util::Table::fmt_mb(
-          static_cast<double>(model.stats().hss_memory_bytes)));
+          static_cast<double>(model.stats().compressed_memory_bytes)));
     }
     table.add_row(std::move(row));
   }

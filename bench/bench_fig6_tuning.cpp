@@ -14,29 +14,30 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 1500));
+  bench::CommonArgs c = bench::parse_common(args, {.n = 1500});
+  const int n = c.n;
+  const std::uint64_t seed = c.seed;
   const int grid_points = static_cast<int>(args.get_int("grid", 8));
   const int budget = static_cast<int>(args.get_int("budget", 100));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
 
   bench::print_banner("Fig. 6a/6b",
-                      "grid search vs black-box tuning of (h, lambda), SUSY",
+                      "grid search vs black-box tuning of (h, lambda), " +
+                          c.dataset,
                       "OpenTuner -> random-multistart Nelder-Mead, budget " +
                           std::to_string(budget));
 
-  data::Dataset full = data::make_paper_dataset("SUSY", n + 1000, seed);
+  data::Dataset full = data::make_paper_dataset(c.dataset, n + 1000, seed);
   util::Rng rng(seed + 1);
   data::Split split = data::split_and_normalize(
       full, static_cast<double>(n) / full.n(), 500.0 / full.n(),
       500.0 / full.n(), rng);
 
+  // Any registered backend can drive the tuner: the lambda-only fast path
+  // holds format-independently (diagonal update + refactor).
   krr::KRROptions base;
   base.ordering = cluster::OrderingMethod::kTwoMeans;
-  base.backend = krr::SolverBackend::kHSSRandomDense;
-  base.hss_rtol = 1e-1;
+  base.backend = c.backend;
+  base.hss_rtol = c.rtol;
 
   const auto ytrain = split.train.one_vs_all(1);
   const auto yvalid = split.validation.one_vs_all(1);

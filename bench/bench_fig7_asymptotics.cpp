@@ -14,13 +14,12 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int nmin = static_cast<int>(args.get_int("nmin", 2000));
+  bench::CommonArgs c = bench::parse_common(args, {.n = 2000});
+  bench::warn_backend_ignored(args, "measures the H + HSS formats directly");
+  const int nmin = static_cast<int>(args.get_int("nmin", c.n));  // --n alias
   const int nmax = static_cast<int>(args.get_int("nmax", 16000));
-  const std::string name = args.get_string("dataset", "SUSY");
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
+  const std::string name = c.dataset;
+  const std::uint64_t seed = c.seed;
 
   bench::print_banner(
       "Fig. 7a/7b",
@@ -46,7 +45,7 @@ int main(int argc, char** argv) {
         {kernel::KernelType::kGaussian, d.info.h, 2, 1.0}, d.info.lambda);
 
     hmat::HOptions hopts;
-    hopts.rtol = 1e-1;  // the classification tolerance; H only feeds sampling
+    hopts.rtol = c.rtol;  // the classification tolerance; H only feeds sampling
     hmat::HMatrix h(km, tree, hopts);
 
     hss::ExtractFn extract = [&](const std::vector<int>& r,
@@ -55,7 +54,7 @@ int main(int argc, char** argv) {
     };
     hss::SampleFn sample = [&](const la::Matrix& r) { return h.multiply(r); };
     hss::HSSOptions opts;
-    opts.rtol = 1e-1;
+    opts.rtol = c.rtol;
     hss::HSSMatrix hssm =
         hss::build_hss_randomized(tree, extract, sample, {}, opts);
 

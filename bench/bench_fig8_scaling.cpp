@@ -16,10 +16,13 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 4000));
+  bench::CommonArgs c = bench::parse_common(
+      args, {.n = 4000, .backend = krr::SolverBackend::kHSSRandomH});
+  bench::require_hss_backend(args.program(), c.backend);
   int maxthreads = static_cast<int>(args.get_int("maxthreads", 0));
   if (maxthreads <= 0) maxthreads = util::hardware_threads();
-  const std::uint64_t seed = args.get_int("seed", 42);
+  const int n = c.n;
+  const std::uint64_t seed = c.seed;
 
   bench::print_banner("Fig. 8",
                       "strong scaling of the ULV factorization, 4 datasets",
@@ -49,12 +52,14 @@ int main(int argc, char** argv) {
     // Build the compressed matrix once at full parallelism; Fig. 8 times
     // only the factorization phase.
     util::set_threads(maxthreads);
+    // Any HSS-building backend works here (model.hss() checks); the
+    // factorization being timed is always the ULV.
     krr::KRROptions opts;
     opts.ordering = cluster::OrderingMethod::kTwoMeans;
-    opts.backend = krr::SolverBackend::kHSSRandomH;
+    opts.backend = c.backend;
     opts.kernel.h = d.info.h;
     opts.lambda = d.info.lambda;
-    opts.hss_rtol = 1e-1;
+    opts.hss_rtol = c.rtol;
     krr::KRRModel model(opts);
     model.fit(d.train.points);
 

@@ -17,12 +17,12 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 4000));
+  bench::CommonArgs ca = bench::parse_common(
+      args, {.n = 4000, .backend = krr::SolverBackend::kHSSRandomH});
+  bench::require_hss_backend(args.program(), ca.backend);
   const int maxcores = static_cast<int>(args.get_int("maxcores", 1024));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
+  const int n = ca.n;
+  const std::uint64_t seed = ca.seed;
 
   bench::print_banner(
       "Fig. 8 (simulated)",
@@ -48,10 +48,10 @@ int main(int argc, char** argv) {
 
     krr::KRROptions opts;
     opts.ordering = cluster::OrderingMethod::kTwoMeans;
-    opts.backend = krr::SolverBackend::kHSSRandomH;
+    opts.backend = ca.backend;  // must build an HSS matrix (model.hss())
     opts.kernel.h = d.info.h;
     opts.lambda = d.info.lambda;
-    opts.hss_rtol = 1e-1;
+    opts.hss_rtol = ca.rtol;
     krr::KRRModel model(opts);
     model.fit(d.train.points);
 

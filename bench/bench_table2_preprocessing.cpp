@@ -15,12 +15,9 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 2000));
+  bench::CommonArgs c = bench::parse_common(args, {.n = 2000});
+  const int n = c.n;
   const int ntest = static_cast<int>(args.get_int("ntest", 500));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
 
   std::vector<std::string> names;
   {
@@ -39,7 +36,7 @@ int main(int argc, char** argv) {
   util::Table table({"dataset (dim)", "h", "lambda", "NP", "KD", "PCA", "2MN",
                      "NP/2MN", "acc (2MN)", "paper acc"});
   for (const auto& name : names) {
-    bench::PreparedData d = bench::prepare(name, n, ntest, seed);
+    bench::PreparedData d = bench::prepare(name, n, ntest, c.seed);
 
     std::vector<std::string> row;
     row.push_back(name + " (" + std::to_string(d.info.dim) + ")");
@@ -48,9 +45,8 @@ int main(int argc, char** argv) {
 
     double mem_np = 0.0, mem_2mn = 0.0, acc_2mn = 0.0;
     for (auto method : bench::paper_orderings()) {
-      bench::RunResult r =
-          bench::run_krr(d, method, krr::SolverBackend::kHSSRandomDense);
-      const double mb = static_cast<double>(r.stats.hss_memory_bytes);
+      bench::RunResult r = bench::run_krr(d, method, c.backend, c.rtol);
+      const double mb = static_cast<double>(r.stats.compressed_memory_bytes);
       row.push_back(util::Table::fmt_mb(mb));
       if (method == cluster::OrderingMethod::kNatural) mem_np = mb;
       if (method == cluster::OrderingMethod::kTwoMeans) {

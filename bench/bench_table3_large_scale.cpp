@@ -23,12 +23,10 @@ struct Table3Row {
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 10000));
+  bench::CommonArgs c = bench::parse_common(
+      args, {.n = 10000, .backend = krr::SolverBackend::kHSSRandomH});
+  const int n = c.n;
   const int ntest = static_cast<int>(args.get_int("ntest", 1000));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  if (args.get_int("threads", 0) > 0) {
-    util::set_threads(static_cast<int>(args.get_int("threads", 0)));
-  }
 
   bench::print_banner(
       "Table 3", "large-scale prediction on test data",
@@ -44,16 +42,16 @@ int main(int argc, char** argv) {
   };
 
   util::Table table({"dataset", "paper N", "N here", "d", "h", "lambda",
-                     "acc here", "paper acc", "HSS mem (MB)", "max rank"});
+                     "acc here", "paper acc", "mem (MB)", "max rank"});
   for (const auto& row : rows) {
-    bench::PreparedData d = bench::prepare(row.name, n, ntest, seed);
+    bench::PreparedData d = bench::prepare(row.name, n, ntest, c.seed);
 
     krr::KRROptions opts;
     opts.ordering = cluster::OrderingMethod::kTwoMeans;
-    opts.backend = krr::SolverBackend::kHSSRandomH;
+    opts.backend = c.backend;
     opts.kernel.h = row.h;
     opts.lambda = row.lambda;
-    opts.hss_rtol = 1e-1;
+    opts.hss_rtol = c.rtol;
 
     krr::KRRClassifier clf(opts);
     clf.fit(d.train.points, d.train.one_vs_all(d.info.target_class));
@@ -68,8 +66,8 @@ int main(int argc, char** argv) {
                    util::Table::fmt_pct(acc),
                    util::Table::fmt_pct(row.paper_acc),
                    util::Table::fmt_mb(
-                       static_cast<double>(st.hss_memory_bytes)),
-                   util::Table::fmt_int(st.hss_max_rank)});
+                       static_cast<double>(st.compressed_memory_bytes)),
+                   util::Table::fmt_int(st.max_rank)});
   }
   table.print(std::cout, "Table 3: large-scale prediction");
   std::cout << "note: the paper's (h, lambda) were tuned at million-point\n"

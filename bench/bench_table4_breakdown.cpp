@@ -15,11 +15,12 @@ using namespace khss;
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 8000));
+  bench::CommonArgs c = bench::parse_common(
+      args, {.n = 8000, .backend = krr::SolverBackend::kHSSRandomH});
+  const int n = c.n;
   const int low = static_cast<int>(args.get_int("low", 1));
   int high = static_cast<int>(args.get_int("high", 0));
   if (high <= 0) high = util::hardware_threads();
-  const std::uint64_t seed = args.get_int("seed", 42);
 
   bench::print_banner(
       "Table 4", "phase timing breakdown, SUSY and COVTYPE",
@@ -35,17 +36,16 @@ int main(int argc, char** argv) {
   std::vector<std::array<double, 4>> cells(6);
   int col = 0;
   for (const std::string name : {"SUSY", "COVTYPE"}) {
-    bench::PreparedData d = bench::prepare(name, n, 200, seed);
+    bench::PreparedData d = bench::prepare(name, n, 200, c.seed);
     for (int threads : {low, high}) {
       util::set_threads(threads);
       bench::RunResult r = bench::run_krr(
-          d, cluster::OrderingMethod::kTwoMeans,
-          krr::SolverBackend::kHSSRandomH);
+          d, cluster::OrderingMethod::kTwoMeans, c.backend, c.rtol);
       cells[0][col] = r.stats.h_construction_seconds;
-      cells[1][col] = r.stats.hss_construction_seconds;
-      cells[2][col] = r.stats.hss_sampling_seconds;
-      cells[3][col] = r.stats.hss_construction_seconds -
-                      r.stats.hss_sampling_seconds;
+      cells[1][col] = r.stats.compress_seconds;
+      cells[2][col] = r.stats.sampling_seconds;
+      cells[3][col] = r.stats.compress_seconds -
+                      r.stats.sampling_seconds;
       cells[4][col] = r.stats.factor_seconds;
       cells[5][col] = r.stats.solve_seconds;
       ++col;

@@ -36,12 +36,15 @@ int main(int argc, char** argv) {
     methods.push_back(cluster::OrderingMethod::kAgglomerative);
   }
 
+  const krr::SolverBackend backend = solver::backend_from_name_cli(
+      args.get_string("backend", "hss-rand-dense"));
+
   util::Table table({"ordering", "memory (MB)", "max rank", "accuracy",
                      "construct (s)", "factor (s)", "solve (s)"});
   for (auto method : methods) {
     krr::KRROptions opts;
     opts.ordering = method;
-    opts.backend = krr::SolverBackend::kHSSRandomDense;
+    opts.backend = backend;
     opts.kernel.h = info.h;
     opts.lambda = info.lambda;
     opts.hss_rtol = 1e-1;  // the paper's classification tolerance
@@ -52,10 +55,11 @@ int main(int argc, char** argv) {
     const auto& st = clf.model().stats();
 
     table.add_row({cluster::ordering_name(method),
-                   util::Table::fmt_mb(static_cast<double>(st.hss_memory_bytes)),
-                   util::Table::fmt_int(st.hss_max_rank),
+                   util::Table::fmt_mb(
+                       static_cast<double>(st.compressed_memory_bytes)),
+                   util::Table::fmt_int(st.max_rank),
                    util::Table::fmt_pct(acc),
-                   util::Table::fmt(st.hss_construction_seconds),
+                   util::Table::fmt(st.compress_seconds),
                    util::Table::fmt(st.factor_seconds),
                    util::Table::fmt(st.solve_seconds, 4)});
   }

@@ -1,40 +1,39 @@
-// Format comparison: every solver pipeline in the library on one problem.
+// Format comparison: every registered solver backend on one problem.
 //
-//   ./format_comparison [--n 2500] [--dataset COVTYPE]
+//   ./format_comparison [--n 2500] [--dataset COVTYPE] [--backend <one>]
 //
-// Runs the dense exact baseline, HSS+ULV (direct and randomized, dense- and
-// H-sampled), HODLR+SMW (the INV-ASKIT-style comparator), HSS-preconditioned
-// CG, and the Nystrom global-low-rank baseline on the same one-vs-all task,
-// reporting accuracy, precision/recall/F1/AUC and the compression footprint.
+// Sweeps the solver registry — dense exact, HSS+ULV (direct and randomized,
+// dense- and H-sampled), HSS-preconditioned CG, HODLR+SMW (the
+// INV-ASKIT-style comparator) and the Nystrom global-low-rank baseline — on
+// the same one-vs-all task through the *same* KRRModel path, reporting
+// accuracy, precision/recall/F1/AUC and the compression footprint.  New
+// backends registered in src/solver/ show up here automatically.
 
 #include <iostream>
 
 #include "data/datasets.hpp"
-#include "hodlr/hodlr.hpp"
 #include "krr/krr.hpp"
 #include "krr/metrics.hpp"
-#include "krr/nystrom.hpp"
+#include "solver/solver.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace khss;
 
-namespace {
-
-struct Row {
-  std::string name;
-  double fit_seconds;
-  double mem_mb;
-  la::Vector scores;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const int n = static_cast<int>(args.get_int("n", 2500));
   const std::string name = args.get_string("dataset", "COVTYPE");
+
+  // Default: the full registry.  --backend restricts to one pipeline.
+  std::vector<krr::SolverBackend> backends;
+  if (args.has("backend")) {
+    backends.push_back(
+        solver::backend_from_name_cli(args.get_string("backend", "")));
+  } else {
+    backends = solver::all_backends();
+  }
 
   const auto& info = data::paper_dataset_info(name);
   data::Dataset ds = data::make_paper_dataset(name, n + 1000);
@@ -44,110 +43,42 @@ int main(int argc, char** argv) {
   const auto ytrain = split.train.one_vs_all(info.target_class);
   const auto ytest = split.test.one_vs_all(info.target_class);
 
-  std::vector<Row> rows;
+  util::Table table({"backend", "fit (s)", "memory (MB)", "accuracy",
+                     "precision", "recall", "F1", "AUC"});
 
-  auto run_backend = [&](const std::string& label, krr::SolverBackend backend,
-                         double rtol) {
+  for (krr::SolverBackend backend : backends) {
     krr::KRROptions opts;
     opts.ordering = cluster::OrderingMethod::kTwoMeans;
     opts.backend = backend;
     opts.kernel.h = info.h;
     opts.lambda = info.lambda;
-    opts.hss_rtol = rtol;
+    opts.hss_rtol = 1e-1;
+
     util::Timer t;
     krr::KRRClassifier clf(opts);
     clf.fit(split.train.points, ytrain);
-    Row row;
-    row.name = label;
-    row.fit_seconds = t.seconds();
-    const auto& st = clf.model().stats();
-    row.mem_mb = static_cast<double>(
-                     st.hss_memory_bytes ? st.hss_memory_bytes
-                                         : st.dense_memory_bytes) /
-                 (1024.0 * 1024.0);
-    row.scores = clf.decision_function(split.test.points);
-    rows.push_back(std::move(row));
-  };
+    const double fit_seconds = t.seconds();
 
-  run_backend("dense exact", krr::SolverBackend::kDenseExact, 0.0);
-  run_backend("HSS direct + ULV", krr::SolverBackend::kHSSDirect, 1e-1);
-  run_backend("HSS rand (dense sampling)", krr::SolverBackend::kHSSRandomDense,
-              1e-1);
-  run_backend("HSS rand (H sampling)", krr::SolverBackend::kHSSRandomH, 1e-1);
-  run_backend("CG + HSS preconditioner",
-              krr::SolverBackend::kIterativeHSSPrecond, 1e-1);
-
-  // HODLR + SMW comparator (assembled by hand; it is not a KRR backend).
-  {
-    util::Timer t;
-    cluster::OrderingOptions copts;
-    copts.leaf_size = 16;
-    cluster::ClusterTree tree = cluster::build_cluster_tree(
-        split.train.points, cluster::OrderingMethod::kTwoMeans, copts);
-    la::Matrix permuted =
-        cluster::apply_row_permutation(split.train.points, tree.perm());
-    kernel::KernelMatrix km(
-        std::move(permuted),
-        {kernel::KernelType::kGaussian, info.h, 2, 1.0}, info.lambda);
-    hodlr::HODLROptions hopts;
-    hopts.rtol = 1e-1;
-    hodlr::HODLRMatrix hm(km, tree, hopts);
-    hodlr::SMWFactorization smw(hm);
-
-    la::Vector yp(split.train.n());
-    for (int i = 0; i < split.train.n(); ++i) {
-      yp[i] = ytrain[tree.perm()[i]];
-    }
-    la::Vector wp = smw.solve(yp);
-
-    Row row;
-    row.name = "HODLR + SMW (INV-ASKIT style)";
-    row.fit_seconds = t.seconds();
-    row.mem_mb = static_cast<double>(hm.stats().memory_bytes) /
-                 (1024.0 * 1024.0);
-    row.scores = km.cross_times_vector(split.test.points, wp);
-    rows.push_back(std::move(row));
-  }
-
-  // Nystrom baseline.
-  {
-    krr::NystromOptions opts;
-    opts.landmarks = 256;
-    opts.kernel.h = info.h;
-    opts.lambda = info.lambda;
-    util::Timer t;
-    krr::NystromKRR ny(opts);
-    ny.fit(split.train.points);
-    la::Vector y(ytrain.size());
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] = ytrain[i];
-    la::Vector alpha = ny.solve(y);
-    Row row;
-    row.name = "Nystrom-256 (global low rank)";
-    row.fit_seconds = t.seconds();
-    row.mem_mb = static_cast<double>(ny.stats().memory_bytes) /
-                 (1024.0 * 1024.0);
-    row.scores = ny.decision_scores(split.test.points, alpha);
-    rows.push_back(std::move(row));
-  }
-
-  util::Table table({"pipeline", "fit (s)", "memory (MB)", "accuracy",
-                     "precision", "recall", "F1", "AUC"});
-  for (const auto& row : rows) {
-    std::vector<int> pred(row.scores.size());
-    for (std::size_t i = 0; i < row.scores.size(); ++i) {
-      pred[i] = row.scores[i] >= 0 ? 1 : -1;
+    la::Vector scores = clf.decision_function(split.test.points);
+    std::vector<int> pred(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      pred[i] = scores[i] >= 0 ? 1 : -1;
     }
     krr::ConfusionMatrix cm = krr::confusion(pred, ytest);
-    table.add_row({row.name, util::Table::fmt(row.fit_seconds),
-                   util::Table::fmt(row.mem_mb),
+    const auto& st = clf.model().stats();
+    table.add_row({krr::backend_name(backend),
+                   util::Table::fmt(fit_seconds),
+                   util::Table::fmt_mb(
+                       static_cast<double>(st.compressed_memory_bytes)),
                    util::Table::fmt_pct(cm.accuracy()),
                    util::Table::fmt_pct(cm.precision()),
                    util::Table::fmt_pct(cm.recall()),
                    util::Table::fmt_pct(cm.f1()),
-                   util::Table::fmt(krr::roc_auc(row.scores, ytest), 3)});
+                   util::Table::fmt(krr::roc_auc(scores, ytest), 3)});
   }
+
   table.print(std::cout, name + " twin (" + std::to_string(split.train.n()) +
                              " train / " + std::to_string(split.test.n()) +
-                             " test): every pipeline in the library");
+                             " test): every registered solver backend");
   return 0;
 }

@@ -27,9 +27,13 @@ int main(int argc, char** argv) {
       ds, static_cast<double>(n) / ds.n(), 500.0 / ds.n(), 500.0 / ds.n(),
       rng);
 
+  // Both tuners reuse the compression across lambda changes for *any*
+  // registered backend (the lambda fast path is part of the solver
+  // interface) — sweep --backend to compare.
   krr::KRROptions base;
   base.ordering = cluster::OrderingMethod::kTwoMeans;
-  base.backend = krr::SolverBackend::kHSSRandomDense;
+  base.backend = solver::backend_from_name_cli(
+      args.get_string("backend", "hss-rand-dense"));
   base.hss_rtol = 1e-1;
 
   const auto ytrain = split.train.one_vs_all(1);

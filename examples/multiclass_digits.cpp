@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
 
   krr::KRROptions opts;
   opts.ordering = cluster::OrderingMethod::kTwoMeans;
-  opts.backend = krr::SolverBackend::kHSSRandomDense;
+  opts.backend = solver::backend_from_name_cli(
+      args.get_string("backend", "hss-rand-dense"));
   opts.kernel.h = info.h;
   opts.lambda = info.lambda;
   opts.hss_rtol = 1e-2;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   std::cout << "PEN twin, " << split.train.n() << " train / "
             << split.test.n() << " test\n";
   std::cout << "multi-class accuracy: " << 100.0 * acc << "%\n";
-  std::cout << "one shared compression: " << st.hss_construction_seconds
+  std::cout << "one shared compression: " << st.compress_seconds
             << " s construct, " << st.factor_seconds << " s factor, "
             << info.num_classes << " solves, total fit " << fit_seconds
             << " s\n";

@@ -38,7 +38,10 @@ int main(int argc, char** argv) {
 
   krr::KRROptions opts;
   opts.ordering = cluster::OrderingMethod::kTwoMeans;  // Step 0
-  opts.backend = krr::SolverBackend::kHSSRandomDense;  // Steps 1-2
+  // Steps 1-2: any registered backend ("dense", "hss-rand-h", "hodlr-smw",
+  // "nystrom", ...) drops in via --backend.
+  opts.backend = solver::backend_from_name_cli(
+      args.get_string("backend", "hss-rand-dense"));
   opts.kernel.h = h;
   opts.lambda = lambda;
   opts.hss_rtol = 1e-2;
@@ -50,16 +53,18 @@ int main(int argc, char** argv) {
 
   const auto& st = clf.model().stats();
   util::Table table({"metric", "value"});
+  table.add_row({"backend", krr::backend_name(opts.backend)});
   table.add_row({"train points", util::Table::fmt_int(split.train.n())});
   table.add_row({"test accuracy", util::Table::fmt_pct(acc)});
-  table.add_row({"HSS memory (MB)",
-                 util::Table::fmt_mb(static_cast<double>(st.hss_memory_bytes))});
-  table.add_row({"HSS max rank", util::Table::fmt_int(st.hss_max_rank)});
+  table.add_row({"compressed memory (MB)",
+                 util::Table::fmt_mb(
+                     static_cast<double>(st.compressed_memory_bytes))});
+  table.add_row({"max rank", util::Table::fmt_int(st.max_rank)});
   table.add_row({"cluster time (s)", util::Table::fmt(st.cluster_seconds)});
   table.add_row({"construction time (s)",
-                 util::Table::fmt(st.hss_construction_seconds)});
+                 util::Table::fmt(st.compress_seconds)});
   table.add_row({"factor time (s)", util::Table::fmt(st.factor_seconds)});
   table.add_row({"solve time (s)", util::Table::fmt(st.solve_seconds, 4)});
-  table.print(std::cout, "quickstart: HSS kernel ridge regression");
+  table.print(std::cout, "quickstart: hierarchical kernel ridge regression");
   return 0;
 }

@@ -177,13 +177,22 @@ la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
   const int m = other_points.rows(), nn = n(), d = dim();
   la::Vector y(m, 0.0);
 
+  // Exact zero weights contribute nothing — iterate the nonzero support
+  // only.  Landmark-style solvers (Nystrom) embed m << n coefficients in an
+  // n-vector, so this keeps their prediction at O(m) work per test point.
+  std::vector<int> support;
+  support.reserve(nn);
+  for (int j = 0; j < nn; ++j) {
+    if (w[j] != 0.0) support.push_back(j);
+  }
+
 #pragma omp parallel for schedule(dynamic, 8)
   for (int i = 0; i < m; ++i) {
     const double* xi = other_points.row(i);
     double ni = 0.0;
     for (int k = 0; k < d; ++k) ni += xi[k] * xi[k];
     double acc = 0.0;
-    for (int j = 0; j < nn; ++j) {
+    for (int j : support) {
       const double* xj = points_.row(j);
       double dot = 0.0;
       for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
@@ -192,7 +201,7 @@ la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
     y[i] = acc;
   }
 #pragma omp atomic
-  element_evals_ += static_cast<long>(m) * nn;
+  element_evals_ += static_cast<long>(m) * static_cast<long>(support.size());
   return y;
 }
 

@@ -5,26 +5,24 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "la/blas.hpp"
-#include "la/iterative.hpp"
+#include "hss/hss_matrix.hpp"
 #include "util/timer.hpp"
 
 namespace khss::krr {
 
-std::string backend_name(SolverBackend b) {
-  switch (b) {
-    case SolverBackend::kDenseExact:
-      return "dense";
-    case SolverBackend::kHSSDirect:
-      return "hss-direct";
-    case SolverBackend::kHSSRandomDense:
-      return "hss-rand-dense";
-    case SolverBackend::kHSSRandomH:
-      return "hss-rand-h";
-    case SolverBackend::kIterativeHSSPrecond:
-      return "pcg-hss-precond";
-  }
-  return "?";
+solver::SolverOptions KRROptions::solver_options() const {
+  solver::SolverOptions s;
+  s.lambda = lambda;
+  s.rtol = hss_rtol;
+  s.max_rank = hss_max_rank;
+  s.hss_init_samples = hss_init_samples;
+  s.hmatrix = hmatrix;
+  s.seed = seed;
+  s.precond_rtol = precond_rtol;
+  s.iterative_rtol = iterative_rtol;
+  s.iterative_max_iterations = iterative_max_iterations;
+  s.nystrom_landmarks = nystrom_landmarks;
+  return s;
 }
 
 KRRModel::KRRModel(KRROptions opts) : opts_(std::move(opts)) {}
@@ -41,7 +39,7 @@ void KRRModel::fit(const la::Matrix& train_points) {
     copts.leaf_size = opts_.leaf_size;
     copts.seed = opts_.seed;
     tree_ = cluster::build_cluster_tree(train_points, opts_.ordering, copts);
-    stats_.cluster_seconds = t.seconds();
+    cluster_seconds_ = t.seconds();
   }
 
   // Step 1: the (implicit) kernel matrix on the permuted points.
@@ -49,72 +47,31 @@ void KRRModel::fit(const la::Matrix& train_points) {
                                                        tree_.perm());
   kernel_ = std::make_unique<kernel::KernelMatrix>(std::move(permuted),
                                                    opts_.kernel, opts_.lambda);
-  compress();
+
+  // Step 2: compression + factorization through the registered backend —
+  // every format dispatches here, no per-backend branching.
+  solver_ = solver::make(opts_.backend, opts_.solver_options());
+  solver_->compress(*kernel_, tree_);
+  solver_->factor();
   fitted_ = true;
 }
 
-void KRRModel::compress() {
-  hmat_.reset();
-  ulv_.reset();
-  dense_chol_.reset();
-  hss_ = hss::HSSMatrix();
-
-  if (opts_.backend == SolverBackend::kDenseExact) {
-    util::Timer t;
-    la::Matrix k = kernel_->dense();
-    stats_.dense_memory_bytes = k.bytes();
-    dense_chol_.emplace(std::move(k));
-    stats_.factor_seconds = t.seconds();
-    return;
+const KRRStats& KRRModel::stats() const {
+  if (solver_) {
+    stats_ = solver_->stats();
+    stats_.cluster_seconds = cluster_seconds_;
   }
+  return stats_;
+}
 
-  hss::ExtractFn extract = [this](const std::vector<int>& rows,
-                                  const std::vector<int>& cols) {
-    return kernel_->extract(rows, cols);
-  };
-
-  hss::HSSOptions hopts;
-  hopts.rtol = opts_.hss_rtol;
-  hopts.init_samples = opts_.hss_init_samples;
-  hopts.max_rank = opts_.hss_max_rank;
-  hopts.symmetric = true;
-  hopts.seed = opts_.seed;
-
-  const bool iterative = opts_.backend == SolverBackend::kIterativeHSSPrecond;
-  if (iterative) {
-    // The preconditioner only has to capture the operator coarsely.
-    hopts.rtol = opts_.precond_rtol;
+const hss::HSSMatrix& KRRModel::hss() const {
+  const hss::HSSMatrix* m = solver_ ? solver_->hss_matrix() : nullptr;
+  if (!m) {
+    throw std::logic_error("KRRModel::hss: backend '" +
+                           backend_name(opts_.backend) +
+                           "' does not build an HSS matrix");
   }
-
-  if (opts_.backend == SolverBackend::kHSSDirect) {
-    hss_ = hss::build_hss_direct(tree_, extract, hopts);
-  } else {
-    hss::SampleFn sampler;
-    if (opts_.backend == SolverBackend::kHSSRandomH || iterative) {
-      util::Timer t;
-      hmat::HOptions h_opts = opts_.hmatrix;
-      if (h_opts.rtol <= 0.0) h_opts.rtol = opts_.hss_rtol;
-      hmat_ = std::make_unique<hmat::HMatrix>(*kernel_, tree_, h_opts);
-      stats_.h_construction_seconds = t.seconds();
-      stats_.h_memory_bytes = hmat_->stats().memory_bytes;
-      sampler = [this](const la::Matrix& r) { return hmat_->multiply(r); };
-    } else {
-      sampler = [this](const la::Matrix& r) { return kernel_->multiply(r); };
-    }
-    hss_ = hss::build_hss_randomized(tree_, extract, sampler, {}, hopts);
-  }
-  stats_.hss_construction_seconds = hss_.construction_seconds_;
-  stats_.hss_sampling_seconds = hss_.sampling_seconds_;
-  stats_.hss_memory_bytes = hss_.memory_bytes();
-  stats_.hss_max_rank = hss_.max_rank();
-  stats_.hss_samples = hss_.samples_used_;
-  stats_.hss_restarts = hss_.restarts_;
-
-  // Step 2 (factorization part): ULV.
-  util::Timer t;
-  ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
-  stats_.factor_seconds = t.seconds();
-  stats_.factor_memory_bytes = ulv_->memory_bytes();
+  return *m;
 }
 
 la::Vector KRRModel::solve(const la::Vector& y) {
@@ -125,29 +82,7 @@ la::Vector KRRModel::solve(const la::Vector& y) {
   la::Vector yp(n_);
   for (int i = 0; i < n_; ++i) yp[i] = y[tree_.perm()[i]];
 
-  util::Timer t;
-  la::Vector wp;
-  if (dense_chol_) {
-    wp = dense_chol_->solve(yp);
-  } else if (opts_.backend == SolverBackend::kIterativeHSSPrecond) {
-    // PCG on the H operator with the loose ULV factorization as M^{-1}
-    // (the paper's Section 6 future-work configuration).
-    la::MatVecFn op = [this](const la::Vector& v) {
-      return hmat_->multiply(v);
-    };
-    la::MatVecFn precond = [this](const la::Vector& v) {
-      return ulv_->solve(v);
-    };
-    wp.assign(n_, 0.0);
-    la::IterativeOptions iopts;
-    iopts.rtol = opts_.iterative_rtol;
-    iopts.max_iterations = opts_.iterative_max_iterations;
-    la::IterativeResult ir = la::pcg(op, precond, yp, &wp, iopts);
-    stats_.solve_iterations = ir.iterations;
-  } else {
-    wp = ulv_->solve(yp);
-  }
-  stats_.solve_seconds = t.seconds();
+  la::Vector wp = solver_->solve(yp);
 
   la::Vector w(n_);
   for (int i = 0; i < n_; ++i) w[tree_.perm()[i]] = wp[i];
@@ -163,19 +98,8 @@ void KRRModel::set_lambda(double lambda) {
   opts_.lambda = lambda;
   if (delta == 0.0) return;
   kernel_->set_lambda(lambda);
-
-  util::Timer t;
-  if (dense_chol_) {
-    // Dense baseline: refactor the shifted matrix.
-    la::Matrix k = kernel_->dense();
-    dense_chol_.emplace(std::move(k));
-  } else {
-    hss_.shift_diagonal(delta);
-    if (hmat_) hmat_->set_lambda(lambda);  // keep the operator in sync
-    ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
-    stats_.factor_memory_bytes = ulv_->memory_bytes();
-  }
-  stats_.factor_seconds = t.seconds();
+  solver_->set_lambda(lambda);
+  solver_->factor();
 }
 
 la::Vector KRRModel::decision_scores(const la::Matrix& test_points,
@@ -189,27 +113,18 @@ la::Vector KRRModel::decision_scores(const la::Matrix& test_points,
 
 double KRRModel::training_residual(const la::Vector& weights,
                                    const la::Vector& y) const {
+  if (!fitted_) {
+    throw std::logic_error("KRRModel::training_residual before fit");
+  }
   la::Vector wp(n_), yp(n_);
   for (int i = 0; i < n_; ++i) {
     wp[i] = weights[tree_.perm()[i]];
     yp[i] = y[tree_.perm()[i]];
   }
-  // Residual in the operator actually solved against: the exact kernel for
-  // the dense backend, the H operator for the iterative backend, and the
-  // compressed HSS operator otherwise.
-  la::Matrix wm(n_, 1);
-  for (int i = 0; i < n_; ++i) wm(i, 0) = wp[i];
-  la::Matrix km;
-  if (dense_chol_) {
-    km = kernel_->multiply(wm);
-  } else if (opts_.backend == SolverBackend::kIterativeHSSPrecond && hmat_) {
-    km = hmat_->multiply(wm);
-  } else {
-    km = hss_.matmat(wm);
-  }
+  la::Vector km = solver_->matvec(wp);
   double num = 0.0, den = 0.0;
   for (int i = 0; i < n_; ++i) {
-    const double r = km(i, 0) - yp[i];
+    const double r = km[i] - yp[i];
     num += r * r;
     den += yp[i] * yp[i];
   }

@@ -4,48 +4,40 @@
 //   0. Preprocess: reorder the training points with a clustering method
 //      (Section 4) so nearby points get nearby indices.
 //   1. The kernel matrix K is *implicit* (kernel::KernelMatrix).
-//   2. Train: solve (K + lambda I) w = y with a chosen backend:
-//        kDenseExact      — full K + Cholesky (the paper's exact reference)
-//        kHSSDirect       — deterministic ID-based HSS + ULV
-//        kHSSRandomDense  — randomized HSS, dense O(n^2) sampling + ULV
-//        kHSSRandomH      — randomized HSS, H-matrix fast sampling + ULV
-//                           (the paper's headline pipeline)
+//   2. Train: solve (K + lambda I) w = y with any backend registered in
+//      src/solver/ (dense exact, HSS+ULV direct/randomized/H-sampled,
+//      HSS-preconditioned CG, HODLR+SMW, Nystrom — see solver::SolverBackend
+//      for the paper mapping of each pipeline).
 //   3./4. Predict: y' = sign(K' w) streamed over test points.
 //
-// KRRModel owns the label-independent part (ordering, compression,
-// factorization) and can solve for many right-hand sides, which is what makes
-// one-vs-all multi-class classification (Section 2) cheap: c classes reuse
-// one compression.  set_lambda() re-factors without re-compressing
-// (Section 5.3).
+// KRRModel owns the label-independent part: the clustering/permutation and a
+// solver::KernelSolver instance obtained from the registry — all backend
+// dispatch happens there, never here.  One compression/factorization serves
+// many right-hand sides, which is what makes one-vs-all multi-class
+// classification (Section 2) cheap: c classes reuse one compression.
+// set_lambda() re-factors without re-compressing (Section 5.3).
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/ordering.hpp"
-#include "hmat/hmatrix.hpp"
-#include "hss/build.hpp"
-#include "hss/ulv.hpp"
 #include "kernel/kernel.hpp"
-#include "la/chol.hpp"
 #include "la/matrix.hpp"
+#include "solver/solver.hpp"
+
+namespace khss::hss {
+class HSSMatrix;
+}
 
 namespace khss::krr {
 
-enum class SolverBackend {
-  kDenseExact,
-  kHSSDirect,
-  kHSSRandomDense,
-  kHSSRandomH,
-  /// The paper's stated future work (Section 6): keep the H matrix as the
-  /// operator and use a *loose-tolerance* HSS ULV factorization as a
-  /// preconditioner for conjugate gradients, instead of solving directly
-  /// with a tight factorization.
-  kIterativeHSSPrecond,
-};
-
-std::string backend_name(SolverBackend b);
+// The backend enum, its name maps and the per-backend stats live in the
+// solver layer; these aliases keep the historical krr:: spellings working.
+using SolverBackend = solver::SolverBackend;
+using solver::backend_from_name;
+using solver::backend_name;
+using KRRStats = solver::SolverStats;
 
 struct KRROptions {
   cluster::OrderingMethod ordering = cluster::OrderingMethod::kTwoMeans;
@@ -53,12 +45,12 @@ struct KRROptions {
   kernel::KernelParams kernel;  // h lives here
   double lambda = 1.0;
   int leaf_size = 16;  // the paper's HSS leaf size
-  double hss_rtol = 1e-2;
+  double hss_rtol = 1e-2;  // compression tolerance (HSS/HODLR/H)
   int hss_init_samples = 64;
   int hss_max_rank = 0;
-  /// Only used by kHSSRandomH.  hmatrix.rtol <= 0 (the default here) means
-  /// "track hss_rtol": the H matrix only has to be as accurate as the HSS
-  /// approximation it feeds samples to.
+  /// Only used by kHSSRandomH / kIterativeHSSPrecond.  hmatrix.rtol <= 0
+  /// (the default here) means "track hss_rtol": the H matrix only has to be
+  /// as accurate as the HSS approximation it feeds samples to.
   hmat::HOptions hmatrix{.rtol = 0.0};
   std::uint64_t seed = 42;
 
@@ -68,29 +60,16 @@ struct KRROptions {
   double precond_rtol = 0.3;
   double iterative_rtol = 1e-8;
   int iterative_max_iterations = 200;
+
+  // kNystrom: landmark count (clamped to n at fit time).
+  int nystrom_landmarks = 256;
+
+  /// The solver-layer view of these options (everything but the ordering,
+  /// which is step 0 and backend-free).
+  solver::SolverOptions solver_options() const;
 };
 
-/// Phase timings + compression statistics, mirroring the rows of the paper's
-/// Table 4 and the metrics of Section 4.2.
-struct KRRStats {
-  double cluster_seconds = 0.0;
-  double h_construction_seconds = 0.0;
-  double hss_construction_seconds = 0.0;  // includes sampling
-  double hss_sampling_seconds = 0.0;
-  double factor_seconds = 0.0;
-  double solve_seconds = 0.0;
-
-  std::size_t hss_memory_bytes = 0;
-  std::size_t h_memory_bytes = 0;
-  std::size_t factor_memory_bytes = 0;
-  std::size_t dense_memory_bytes = 0;  // dense backend only
-  int hss_max_rank = 0;
-  int hss_samples = 0;
-  int hss_restarts = 0;
-  int solve_iterations = 0;  // iterative backend only
-};
-
-/// Label-independent model: ordering + compression + factorization.
+/// Label-independent model: ordering + a registry-made solver backend.
 class KRRModel {
  public:
   explicit KRRModel(KRROptions opts);
@@ -101,10 +80,13 @@ class KRRModel {
   bool fitted() const { return fitted_; }
   int n() const { return n_; }
   const KRROptions& options() const { return opts_; }
-  const KRRStats& stats() const { return stats_; }
+  const KRRStats& stats() const;
   const cluster::ClusterTree& tree() const { return tree_; }
   const kernel::KernelMatrix& kernel() const { return *kernel_; }
-  const hss::HSSMatrix& hss() const { return hss_; }
+  const solver::KernelSolver& backend_solver() const { return *solver_; }
+  /// The HSS form of the operator; throws when the active backend does not
+  /// build one (use backend_solver().hss_matrix() to probe).
+  const hss::HSSMatrix& hss() const;
 
   /// Solve (K + lambda I) w = y.  y in the *original* (unpermuted) point
   /// order; the returned weights are also in original order.
@@ -118,23 +100,20 @@ class KRRModel {
   la::Vector decision_scores(const la::Matrix& test_points,
                              const la::Vector& weights) const;
 
-  /// ||(K + lambda I) w - y|| / ||y|| in the compressed operator (diagnostic).
+  /// ||(K + lambda I) w - y|| / ||y|| in the operator the backend solves
+  /// against (diagnostic; see KernelSolver::matvec).
   double training_residual(const la::Vector& weights,
                            const la::Vector& y) const;
 
  private:
-  void compress();
-
   KRROptions opts_;
   bool fitted_ = false;
   int n_ = 0;
+  double cluster_seconds_ = 0.0;
   cluster::ClusterTree tree_;
   std::unique_ptr<kernel::KernelMatrix> kernel_;  // holds permuted points
-  std::unique_ptr<hmat::HMatrix> hmat_;
-  hss::HSSMatrix hss_;
-  std::unique_ptr<hss::ULVFactorization> ulv_;
-  std::optional<la::CholeskyFactor> dense_chol_;
-  KRRStats stats_;
+  std::unique_ptr<solver::KernelSolver> solver_;
+  mutable KRRStats stats_;  // merged view: solver stats + cluster_seconds
 };
 
 /// Binary classifier (labels +-1), Algorithm 1 end-to-end.

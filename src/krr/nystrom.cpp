@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
-#include "la/lu.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -17,38 +16,55 @@ void NystromKRR::fit(const la::Matrix& train_points) {
 
   util::Rng rng(opts_.seed);
   const auto idx = rng.sample_without_replacement(n, m);
-  std::vector<int> rows(idx.begin(), idx.end());
-  landmarks_ = train_points.rows_subset(rows);
+  landmark_idx_.assign(idx.begin(), idx.end());
+  landmarks_ = train_points.rows_subset(landmark_idx_);
 
   // K_nm: kernel between all training points and the landmarks.
   kernel::KernelMatrix landmark_kernel(landmarks_, opts_.kernel, 0.0);
   k_nm_ = landmark_kernel.cross(train_points);  // n x m
 
-  // Normal matrix K_nm^T K_nm + lambda K_mm.
-  la::Matrix kmm(m, m);
+  // The lambda-independent normal blocks: Gram matrix and K_mm.
   {
     std::vector<int> all(m);
     for (int i = 0; i < m; ++i) all[i] = i;
-    kmm = landmark_kernel.extract(all, all);
+    kmm_ = landmark_kernel.extract(all, all);
   }
-  normal_ = la::matmul(k_nm_, k_nm_, la::Trans::kYes, la::Trans::kNo);
-  normal_.add(kmm, opts_.lambda);
-  // Tiny ridge keeps the normal matrix factorable when landmarks coincide.
-  normal_.shift_diagonal(1e-10);
+  gram_ = la::matmul(k_nm_, k_nm_, la::Trans::kYes, la::Trans::kNo);
 
+  lambda_ = opts_.lambda;
+  normal_lu_.reset();
   stats_.construction_seconds = timer.seconds();
-  stats_.memory_bytes = k_nm_.bytes() + normal_.bytes() + landmarks_.bytes();
+  stats_.memory_bytes =
+      k_nm_.bytes() + gram_.bytes() + kmm_.bytes() + landmarks_.bytes();
   fitted_ = true;
+}
+
+void NystromKRR::factor() {
+  if (!fitted_) throw std::logic_error("NystromKRR::factor before fit");
+  if (normal_lu_) return;
+  util::Timer timer;
+  la::Matrix normal = gram_;
+  normal.add(kmm_, lambda_);
+  // Tiny ridge keeps the normal matrix factorable when landmarks coincide.
+  normal.shift_diagonal(1e-10);
+  normal_lu_ = std::make_unique<la::LUFactor>(std::move(normal));
+  stats_.factor_seconds = timer.seconds();
 }
 
 la::Vector NystromKRR::solve(const la::Vector& y) {
   if (!fitted_) throw std::logic_error("NystromKRR::solve before fit");
+  factor();
   util::Timer timer;
   la::Vector rhs = la::matvec(k_nm_, y, la::Trans::kYes);
-  la::LUFactor lu(normal_);
-  la::Vector alpha = lu.solve(rhs);
+  la::Vector alpha = normal_lu_->solve(rhs);
   stats_.solve_seconds = timer.seconds();
   return alpha;
+}
+
+void NystromKRR::set_lambda(double lambda) {
+  if (lambda == lambda_) return;
+  lambda_ = lambda;
+  normal_lu_.reset();
 }
 
 la::Vector NystromKRR::decision_scores(const la::Matrix& test_points,

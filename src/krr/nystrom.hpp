@@ -9,32 +9,39 @@
 // matrix is globally low-rank and Nystrom wins on memory; at the
 // classification operating points (moderate h) only the *off-diagonal*
 // blocks are low-rank and the hierarchical formats win (see
-// bench_ablation_baselines).
+// bench_ablation_baselines).  solver::NystromSolver wraps this class so the
+// baseline also runs as a first-class KRR backend ("nystrom").
 //
 // Method: sample m landmark rows, let K_nm = K(:, L) and K_mm = K(L, L);
 // solve the regularized normal equations
 //   (K_nm^T K_nm + lambda K_mm) alpha = K_nm^T y
 // and predict with  f(x) = k_L(x)^T alpha.
+//
+// The Gram block K_nm^T K_nm and K_mm are stored separately so retuning
+// lambda (Section 5.3 of the paper for the hierarchical formats) only
+// rebuilds and refactors the m x m normal matrix.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "kernel/kernel.hpp"
-#include "la/chol.hpp"
+#include "la/lu.hpp"
 #include "la/matrix.hpp"
 
 namespace khss::krr {
 
 struct NystromOptions {
-  int landmarks = 256;  // m
+  int landmarks = 256;  // m (clamped to n at fit time)
   kernel::KernelParams kernel;
   double lambda = 1.0;
   std::uint64_t seed = 42;
 };
 
 struct NystromStats {
-  std::size_t memory_bytes = 0;  // K_nm factor + solve workspace
+  std::size_t memory_bytes = 0;  // K_nm + normal blocks + landmark points
   double construction_seconds = 0.0;
+  double factor_seconds = 0.0;
   double solve_seconds = 0.0;
 };
 
@@ -45,8 +52,17 @@ class NystromKRR {
   /// Build the landmark representation for the training points.
   void fit(const la::Matrix& train_points);
 
+  /// LU-factor the normal matrix at the current lambda; idempotent, called
+  /// lazily by solve().  One factorization serves many right-hand sides.
+  void factor();
+
   /// Solve for the coefficient vector of labels y (+-1 doubles).
   la::Vector solve(const la::Vector& y);
+
+  /// Retune the regularization: invalidates only the m x m factorization
+  /// (K_nm and K_mm are reused).
+  void set_lambda(double lambda);
+  double lambda() const { return lambda_; }
 
   /// Decision scores for test points given coefficients from solve().
   la::Vector decision_scores(const la::Matrix& test_points,
@@ -58,13 +74,22 @@ class NystromKRR {
                            const la::Matrix& test_points,
                            const std::vector<int>& y_test);
 
+  /// Training-point row indices chosen as landmarks (size m, the order of
+  /// the alpha coefficients).
+  const std::vector<int>& landmark_indices() const { return landmark_idx_; }
+  int num_landmarks() const { return static_cast<int>(landmark_idx_.size()); }
+
   const NystromStats& stats() const { return stats_; }
 
  private:
   NystromOptions opts_;
-  la::Matrix landmarks_;     // m x d landmark points
-  la::Matrix k_nm_;          // n x m
-  la::Matrix normal_;        // K_nm^T K_nm + lambda K_mm (factored lazily)
+  double lambda_ = 1.0;
+  std::vector<int> landmark_idx_;  // row indices into the training set
+  la::Matrix landmarks_;           // m x d landmark points
+  la::Matrix k_nm_;                // n x m
+  la::Matrix gram_;                // K_nm^T K_nm (lambda-independent)
+  la::Matrix kmm_;                 // K(L, L)
+  std::unique_ptr<la::LUFactor> normal_lu_;  // gram + lambda * kmm
   NystromStats stats_;
   bool fitted_ = false;
 };

@@ -23,6 +23,7 @@ Matrix Matrix::identity(int n) {
 Matrix Matrix::block(int i0, int j0, int r, int c) const {
   assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
   Matrix out(r, c);
+  if (c == 0) return out;  // row() may be null on empty storage (UBSan)
   for (int i = 0; i < r; ++i) {
     std::memcpy(out.row(i), row(i0 + i) + j0, sizeof(double) * c);
   }
@@ -31,6 +32,7 @@ Matrix Matrix::block(int i0, int j0, int r, int c) const {
 
 void Matrix::set_block(int i0, int j0, const Matrix& b) {
   assert(i0 >= 0 && j0 >= 0 && i0 + b.rows() <= rows_ && j0 + b.cols() <= cols_);
+  if (b.cols() == 0) return;
   for (int i = 0; i < b.rows(); ++i) {
     std::memcpy(row(i0 + i) + j0, b.row(i), sizeof(double) * b.cols());
   }
@@ -47,6 +49,7 @@ void Matrix::add_block(int i0, int j0, const Matrix& b, double alpha) {
 
 Matrix Matrix::rows_subset(const std::vector<int>& idx) const {
   Matrix out(static_cast<int>(idx.size()), cols_);
+  if (cols_ == 0) return out;
   for (std::size_t i = 0; i < idx.size(); ++i) {
     assert(idx[i] >= 0 && idx[i] < rows_);
     std::memcpy(out.row(static_cast<int>(i)), row(idx[i]),

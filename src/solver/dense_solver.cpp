@@ -1,0 +1,47 @@
+#include "solver/dense_solver.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace khss::solver {
+
+void DenseExactSolver::compress(const kernel::KernelMatrix& kernel,
+                                const cluster::ClusterTree& tree) {
+  bind(kernel, tree);
+  // Nothing to compress: the dense backend extracts K at factor time, which
+  // also makes the lambda update a plain refactorization.  Any prior
+  // factorization belongs to the previous operator.
+  chol_.reset();
+}
+
+void DenseExactSolver::factor() {
+  if (!kernel_) throw std::logic_error("DenseExactSolver::factor before compress");
+  util::Timer t;
+  la::Matrix k = kernel_->dense();
+  stats_.compressed_memory_bytes = k.bytes();
+  chol_.emplace(std::move(k));
+  stats_.factor_seconds = t.seconds();
+  stats_.factor_memory_bytes = stats_.compressed_memory_bytes;
+}
+
+la::Vector DenseExactSolver::solve(const la::Vector& b) {
+  if (!chol_) throw std::logic_error("DenseExactSolver::solve before factor");
+  util::Timer t;
+  la::Vector x = chol_->solve(b);
+  stats_.solve_seconds = t.seconds();
+  return x;
+}
+
+void DenseExactSolver::set_lambda(double lambda) {
+  // The kernel carries the shift; the next factor() re-extracts it.
+  opts_.lambda = lambda;
+  chol_.reset();  // stale; solving before factor() must fail, not mislead
+}
+
+la::Vector DenseExactSolver::matvec(const la::Vector& x) const {
+  return apply_columnwise(
+      [this](const la::Matrix& m) { return kernel_->multiply(m); }, x);
+}
+
+}  // namespace khss::solver

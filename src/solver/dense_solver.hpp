@@ -1,0 +1,29 @@
+#pragma once
+// kDenseExact: form the full K + lambda I and Cholesky-factor it — the
+// paper's exact reference pipeline.  O(n^2) memory, O(n^3) factor; the
+// yardstick every compressed backend is measured against.
+
+#include <optional>
+
+#include "la/chol.hpp"
+#include "solver/solver.hpp"
+
+namespace khss::solver {
+
+class DenseExactSolver : public SolverBase {
+ public:
+  explicit DenseExactSolver(SolverOptions opts)
+      : SolverBase(SolverBackend::kDenseExact, std::move(opts)) {}
+
+  void compress(const kernel::KernelMatrix& kernel,
+                const cluster::ClusterTree& tree) override;
+  void factor() override;
+  la::Vector solve(const la::Vector& b) override;
+  void set_lambda(double lambda) override;
+  la::Vector matvec(const la::Vector& x) const override;
+
+ private:
+  std::optional<la::CholeskyFactor> chol_;
+};
+
+}  // namespace khss::solver

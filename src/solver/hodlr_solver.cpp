@@ -1,0 +1,53 @@
+#include "solver/hodlr_solver.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace khss::solver {
+
+void HODLRSMWSolver::compress(const kernel::KernelMatrix& kernel,
+                              const cluster::ClusterTree& tree) {
+  bind(kernel, tree);
+  smw_.reset();
+  hodlr::HODLROptions hopts;
+  hopts.rtol = opts_.rtol;
+  hopts.max_rank = opts_.max_rank;
+  hodlr_ = std::make_unique<hodlr::HODLRMatrix>(*kernel_, *tree_, hopts);
+  stats_.compress_seconds = hodlr_->stats().construction_seconds;
+  stats_.compressed_memory_bytes = hodlr_->stats().memory_bytes;
+  stats_.max_rank = hodlr_->stats().max_rank;
+}
+
+void HODLRSMWSolver::factor() {
+  if (!hodlr_) {
+    throw std::logic_error("HODLRSMWSolver::factor before compress");
+  }
+  util::Timer t;
+  smw_ = std::make_unique<hodlr::SMWFactorization>(*hodlr_);
+  stats_.factor_seconds = t.seconds();
+  stats_.factor_memory_bytes = smw_->memory_bytes();
+}
+
+la::Vector HODLRSMWSolver::solve(const la::Vector& b) {
+  if (!smw_) throw std::logic_error("HODLRSMWSolver::solve before factor");
+  util::Timer t;
+  la::Vector x = smw_->solve(b);
+  stats_.solve_seconds = t.seconds();
+  return x;
+}
+
+void HODLRSMWSolver::set_lambda(double lambda) {
+  const double delta = lambda - opts_.lambda;
+  opts_.lambda = lambda;
+  if (delta == 0.0 || !hodlr_) return;
+  // Same O(n) leaf-diagonal update HSS supports; SMW refactors from it.
+  hodlr_->shift_diagonal(delta);
+  smw_.reset();
+}
+
+la::Vector HODLRSMWSolver::matvec(const la::Vector& x) const {
+  return hodlr_->matvec(x);
+}
+
+}  // namespace khss::solver

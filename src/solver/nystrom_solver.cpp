@@ -1,0 +1,57 @@
+#include "solver/nystrom_solver.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace khss::solver {
+
+void NystromSolver::compress(const kernel::KernelMatrix& kernel,
+                             const cluster::ClusterTree& tree) {
+  bind(kernel, tree);
+  krr::NystromOptions nopts;
+  nopts.landmarks = opts_.nystrom_landmarks;
+  nopts.kernel = kernel.params();
+  nopts.lambda = opts_.lambda;
+  nopts.seed = opts_.seed;
+  nystrom_ = std::make_unique<krr::NystromKRR>(nopts);
+  nystrom_->fit(kernel.points());  // landmark sampling + K_nm + normal blocks
+  stats_.compress_seconds = nystrom_->stats().construction_seconds;
+  stats_.compressed_memory_bytes = nystrom_->stats().memory_bytes;
+  stats_.max_rank = nystrom_->num_landmarks();
+}
+
+void NystromSolver::factor() {
+  if (!nystrom_) throw std::logic_error("NystromSolver::factor before compress");
+  util::Timer t;
+  nystrom_->factor();
+  stats_.factor_seconds = t.seconds();
+  stats_.factor_memory_bytes =
+      static_cast<std::size_t>(nystrom_->num_landmarks()) *
+      nystrom_->num_landmarks() * sizeof(double);
+}
+
+la::Vector NystromSolver::solve(const la::Vector& b) {
+  if (!nystrom_) throw std::logic_error("NystromSolver::solve before compress");
+  util::Timer t;
+  la::Vector alpha = nystrom_->solve(b);
+  // Embed the landmark coefficients in a full-length weight vector (zero off
+  // the landmarks): K(test, train) * w reproduces k_L(test)^T alpha.
+  la::Vector w(n(), 0.0);
+  const std::vector<int>& idx = nystrom_->landmark_indices();
+  for (std::size_t j = 0; j < idx.size(); ++j) w[idx[j]] = alpha[j];
+  stats_.solve_seconds = t.seconds();
+  return w;
+}
+
+void NystromSolver::set_lambda(double lambda) {
+  opts_.lambda = lambda;
+  if (nystrom_) nystrom_->set_lambda(lambda);  // K_nm and K_mm are reused
+}
+
+la::Vector NystromSolver::matvec(const la::Vector& x) const {
+  return apply_columnwise(
+      [this](const la::Matrix& m) { return kernel_->multiply(m); }, x);
+}
+
+}  // namespace khss::solver

@@ -1,0 +1,39 @@
+#pragma once
+// kNystrom: the globally-low-rank landmark baseline (paper Section 1.2) as a
+// first-class KRR backend, wrapping krr::NystromKRR.
+//
+// Nystrom does not invert K + lambda I; it solves the regularized normal
+// equations over m landmark columns.  The landmark coefficients embed into a
+// full-length weight vector that is zero off the landmarks, so
+//   K(test, train) * w  ==  k_L(test)^T alpha
+// and the standard prediction path works unchanged.  With landmarks >= n the
+// backend reproduces the dense exact solve (the normal equations reduce to
+// K (K + lambda I) alpha = K y).
+
+#include <memory>
+
+#include "krr/nystrom.hpp"
+#include "solver/solver.hpp"
+
+namespace khss::solver {
+
+class NystromSolver : public SolverBase {
+ public:
+  explicit NystromSolver(SolverOptions opts)
+      : SolverBase(SolverBackend::kNystrom, std::move(opts)) {}
+
+  void compress(const kernel::KernelMatrix& kernel,
+                const cluster::ClusterTree& tree) override;
+  void factor() override;
+  la::Vector solve(const la::Vector& b) override;
+  void set_lambda(double lambda) override;
+  /// The exact kernel operator: Nystrom approximates K globally, so the
+  /// training residual reports the approximation error, not the (tiny)
+  /// algebraic residual of the normal equations.
+  la::Vector matvec(const la::Vector& x) const override;
+
+ private:
+  std::unique_ptr<krr::NystromKRR> nystrom_;
+};
+
+}  // namespace khss::solver

@@ -1,0 +1,163 @@
+// String-keyed solver-backend registry.  The built-in backends register
+// themselves on first use (lazily, so a static library cannot drop them);
+// everything above this layer — KRRModel, benches, examples, the tuner —
+// dispatches through make()/backend_from_name() instead of branching on the
+// enum.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "solver/dense_solver.hpp"
+#include "solver/hodlr_solver.hpp"
+#include "solver/hss_solver.hpp"
+#include "solver/nystrom_solver.hpp"
+#include "solver/solver.hpp"
+
+namespace khss::solver {
+
+namespace {
+
+struct Entry {
+  SolverBackend backend;
+  std::string name;  // canonical
+  SolverFactory factory;
+};
+
+struct Registry {
+  std::vector<Entry> entries;                  // registration order
+  std::vector<SolverBackend> backends;         // same order, for all_backends()
+  std::map<std::string, std::size_t> by_name;  // canonical names + aliases
+};
+
+void add(Registry& r, SolverBackend backend, const std::string& name,
+         SolverFactory factory, const std::vector<std::string>& aliases) {
+  if (r.by_name.count(name)) {
+    throw std::logic_error("solver backend name registered twice: " + name);
+  }
+  for (const std::string& alias : aliases) {
+    if (r.by_name.count(alias)) {
+      throw std::logic_error("solver backend name registered twice: " + alias);
+    }
+  }
+  r.entries.push_back(Entry{backend, name, std::move(factory)});
+  r.backends.push_back(backend);
+  const std::size_t id = r.entries.size() - 1;
+  r.by_name[name] = id;
+  for (const std::string& alias : aliases) r.by_name[alias] = id;
+}
+
+template <typename S>
+SolverFactory factory_of() {
+  return [](const SolverOptions& opts) -> std::unique_ptr<KernelSolver> {
+    return std::make_unique<S>(opts);
+  };
+}
+
+SolverFactory hss_factory(SolverBackend backend) {
+  return [backend](const SolverOptions& opts) -> std::unique_ptr<KernelSolver> {
+    return std::make_unique<HSSSolver>(backend, opts);
+  };
+}
+
+Registry& registry() {
+  static Registry reg = [] {
+    Registry r;
+    add(r, SolverBackend::kDenseExact, "dense",
+        factory_of<DenseExactSolver>(), {"dense-exact", "exact"});
+    add(r, SolverBackend::kHSSDirect, "hss-direct",
+        hss_factory(SolverBackend::kHSSDirect), {});
+    add(r, SolverBackend::kHSSRandomDense, "hss-rand-dense",
+        hss_factory(SolverBackend::kHSSRandomDense), {"hss-random-dense"});
+    add(r, SolverBackend::kHSSRandomH, "hss-rand-h",
+        hss_factory(SolverBackend::kHSSRandomH), {"hss-random-h"});
+    add(r, SolverBackend::kIterativeHSSPrecond, "pcg-hss-precond",
+        factory_of<IterativeHSSSolver>(), {"pcg", "iterative"});
+    add(r, SolverBackend::kHODLR_SMW, "hodlr-smw",
+        factory_of<HODLRSMWSolver>(), {"smw", "inv-askit"});
+    add(r, SolverBackend::kNystrom, "nystrom",
+        factory_of<NystromSolver>(), {"nystroem"});
+    return r;
+  }();
+  return reg;
+}
+
+const Entry& entry_for(SolverBackend backend) {
+  for (const Entry& e : registry().entries) {
+    if (e.backend == backend) return e;
+  }
+  throw std::invalid_argument("unregistered solver backend enum value");
+}
+
+const Entry& entry_from_name(const std::string& name) {
+  const Registry& r = registry();
+  auto it = r.by_name.find(name);
+  if (it == r.by_name.end()) {
+    std::ostringstream msg;
+    msg << "unknown solver backend '" << name << "'; valid backends:";
+    for (const Entry& e : r.entries) msg << " " << e.name;
+    throw std::invalid_argument(msg.str());
+  }
+  return r.entries[it->second];
+}
+
+}  // namespace
+
+void register_backend(SolverBackend backend, const std::string& name,
+                      SolverFactory factory,
+                      const std::vector<std::string>& aliases) {
+  add(registry(), backend, name, std::move(factory), aliases);
+}
+
+std::string backend_name(SolverBackend b) { return entry_for(b).name; }
+
+SolverBackend backend_from_name(const std::string& name) {
+  return entry_from_name(name).backend;
+}
+
+SolverBackend backend_from_name_cli(const std::string& name) {
+  try {
+    return backend_from_name(name);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+const std::vector<SolverBackend>& all_backends() {
+  return registry().backends;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().entries.size());
+  for (const Entry& e : registry().entries) names.push_back(e.name);
+  return names;
+}
+
+std::unique_ptr<KernelSolver> make(SolverBackend backend,
+                                   const SolverOptions& opts) {
+  return entry_for(backend).factory(opts);
+}
+
+std::unique_ptr<KernelSolver> make(const std::string& name,
+                                   const SolverOptions& opts) {
+  return entry_from_name(name).factory(opts);
+}
+
+la::Vector SolverBase::apply_columnwise(
+    const std::function<la::Matrix(const la::Matrix&)>& matmat,
+    const la::Vector& x) {
+  const int m = static_cast<int>(x.size());
+  la::Matrix xm(m, 1);
+  for (int i = 0; i < m; ++i) xm(i, 0) = x[i];
+  la::Matrix ym = matmat(xm);
+  la::Vector y(m);
+  for (int i = 0; i < m; ++i) y[i] = ym(i, 0);
+  return y;
+}
+
+}  // namespace khss::solver

@@ -1,7 +1,8 @@
 // Regression tests pinning bit-reproducibility: the RNG stream for a fixed
-// seed, and randomized HSS construction run-to-run under full threading
-// (guards the atomic-read fix on the shared `failed` flag in
-// hss/build.cpp's parallel level loop).
+// seed, randomized HSS construction run-to-run under full threading (guards
+// the atomic-read fix on the shared `failed` flag in hss/build.cpp's
+// parallel level loop), and the promoted solver backends (HODLR/SMW,
+// Nystrom) end-to-end through KRRModel.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include "data/synthetic.hpp"
 #include "hss/build.hpp"
 #include "kernel/kernel.hpp"
+#include "krr/krr.hpp"
 #include "util/rng.hpp"
 #include "util/threads.hpp"
 
@@ -111,4 +113,56 @@ TEST(Determinism, RandomizedHssBuildThreadInvariant) {
   util::set_threads(util::hardware_threads());
   hs::HSSMatrix parallel = build_once(/*data_seed=*/2, /*hss_seed=*/5);
   expect_hss_identical(serial, parallel);
+}
+
+namespace {
+
+// Fit + solve through KRRModel with a fixed seed; used to pin the two
+// backends promoted into the solver registry (HODLR/SMW and Nystrom).
+khss::la::Vector backend_weights_once(khss::krr::SolverBackend backend,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  khss::data::BlobSpec spec;
+  spec.n = 300;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  auto ds = khss::data::make_blobs(spec, rng);
+
+  khss::krr::KRROptions opts;
+  opts.backend = backend;
+  opts.kernel.h = 1.0;
+  opts.lambda = 1.5;
+  opts.hss_rtol = 1e-4;
+  opts.nystrom_landmarks = 64;
+  opts.seed = seed;
+  khss::krr::KRRModel model(opts);
+  model.fit(ds.points);
+
+  la::Vector y(ds.n());
+  util::Rng yrng(seed + 1);
+  for (auto& v : y) v = yrng.normal();
+  return model.solve(y);
+}
+
+void expect_weights_identical(khss::krr::SolverBackend backend) {
+  util::set_threads(util::hardware_threads());
+  la::Vector first = backend_weights_once(backend, 77);
+  la::Vector second = backend_weights_once(backend, 77);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << khss::krr::backend_name(backend)
+                                   << " at " << i;
+  }
+}
+
+}  // namespace
+
+// Same seed, full threading, two independent end-to-end runs: the solved
+// weights must be bit-identical for the promoted backends.
+TEST(Determinism, HodlrSmwBackendRunToRun) {
+  expect_weights_identical(khss::krr::SolverBackend::kHODLR_SMW);
+}
+
+TEST(Determinism, NystromBackendRunToRun) {
+  expect_weights_identical(khss::krr::SolverBackend::kNystrom);
 }

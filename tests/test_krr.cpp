@@ -59,6 +59,8 @@ TEST(AccuracyScore, Definition) {
 TEST(BackendNames, AllDistinct) {
   EXPECT_EQ(krr::backend_name(krr::SolverBackend::kDenseExact), "dense");
   EXPECT_EQ(krr::backend_name(krr::SolverBackend::kHSSRandomH), "hss-rand-h");
+  EXPECT_EQ(krr::backend_name(krr::SolverBackend::kHODLR_SMW), "hodlr-smw");
+  EXPECT_EQ(krr::backend_name(krr::SolverBackend::kNystrom), "nystrom");
 }
 
 class AllBackends : public ::testing::TestWithParam<krr::SolverBackend> {};
@@ -77,7 +79,9 @@ INSTANTIATE_TEST_SUITE_P(Backends, AllBackends,
                          ::testing::Values(krr::SolverBackend::kDenseExact,
                                            krr::SolverBackend::kHSSDirect,
                                            krr::SolverBackend::kHSSRandomDense,
-                                           krr::SolverBackend::kHSSRandomH));
+                                           krr::SolverBackend::kHSSRandomH,
+                                           krr::SolverBackend::kHODLR_SMW,
+                                           krr::SolverBackend::kNystrom));
 
 TEST(KRR, CompressedAccuracyMatchesDense) {
   // The paper's Section 5.2 claim: at sensible tolerance the compressed
@@ -168,12 +172,12 @@ TEST(KRR, StatsPopulatedForHBackend) {
   const auto& st = clf.model().stats();
   EXPECT_GT(st.h_construction_seconds, 0.0);
   EXPECT_GT(st.h_memory_bytes, 0u);
-  EXPECT_GT(st.hss_memory_bytes, 0u);
-  EXPECT_GT(st.hss_construction_seconds, 0.0);
-  EXPECT_GT(st.hss_sampling_seconds, 0.0);
-  EXPECT_GE(st.hss_construction_seconds, st.hss_sampling_seconds);
+  EXPECT_GT(st.compressed_memory_bytes, 0u);
+  EXPECT_GT(st.compress_seconds, 0.0);
+  EXPECT_GT(st.sampling_seconds, 0.0);
+  EXPECT_GE(st.compress_seconds, st.sampling_seconds);
   EXPECT_GT(st.factor_seconds, 0.0);
-  EXPECT_GT(st.hss_max_rank, 0);
+  EXPECT_GT(st.max_rank, 0);
 }
 
 TEST(KRR, RejectsBadLabels) {
@@ -219,8 +223,8 @@ TEST(OneVsAll, SharesOneCompressionAcrossClasses) {
   clf.fit(ds.points, ds.labels, 4);
   // One fit => one compression; stats report exactly one construction (the
   // adaptive sampler may restart a bounded number of times within it).
-  EXPECT_GT(clf.model().stats().hss_construction_seconds, 0.0);
-  EXPECT_LE(clf.model().stats().hss_restarts, 2);
+  EXPECT_GT(clf.model().stats().compress_seconds, 0.0);
+  EXPECT_LE(clf.model().stats().restarts, 2);
 }
 
 TEST(PaperTwins, Table2OperatingPointsLearn) {

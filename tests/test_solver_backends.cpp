@@ -1,0 +1,240 @@
+// Tests for the pluggable solver-backend layer (src/solver/): registry
+// round-trips, the KernelSolver interface driven directly, and — the key
+// contract — backend parity: every registered backend must solve the small
+// regularized kernel system at (or provably near) the dense exact answer,
+// and set_lambda() retuning must match a from-scratch fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/ordering.hpp"
+#include "data/synthetic.hpp"
+#include "kernel/kernel.hpp"
+#include "krr/krr.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+
+namespace cl = khss::cluster;
+namespace data = khss::data;
+namespace kn = khss::kernel;
+namespace krr = khss::krr;
+namespace la = khss::la;
+namespace solver = khss::solver;
+
+namespace {
+
+la::Matrix blob_points(int n, int d, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 2;
+  return data::make_blobs(spec, rng).points;
+}
+
+la::Vector random_rhs(int n, std::uint64_t seed) {
+  khss::util::Rng rng(seed);
+  la::Vector y(n);
+  for (auto& v : y) v = rng.normal();
+  return y;
+}
+
+/// Options tight enough that every backend should reproduce the dense
+/// solution: near-exact compression, near-exact PCG, landmarks >= n.
+krr::KRROptions tight_options(int n, krr::SolverBackend backend,
+                              double lambda) {
+  krr::KRROptions opts;
+  opts.backend = backend;
+  opts.kernel.h = 1.0;
+  opts.lambda = lambda;
+  opts.hss_rtol = 1e-9;
+  opts.iterative_rtol = 1e-12;
+  opts.precond_rtol = 1e-2;
+  opts.nystrom_landmarks = n;  // Nystrom reduces to the dense solve at m = n
+  return opts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST(SolverRegistry, NameRoundTripsForEveryBackend) {
+  ASSERT_FALSE(solver::all_backends().empty());
+  for (solver::SolverBackend b : solver::all_backends()) {
+    EXPECT_EQ(solver::backend_from_name(solver::backend_name(b)), b);
+  }
+}
+
+TEST(SolverRegistry, CoversTheTwoPromotedBackends) {
+  EXPECT_EQ(solver::backend_name(solver::SolverBackend::kHODLR_SMW),
+            "hodlr-smw");
+  EXPECT_EQ(solver::backend_name(solver::SolverBackend::kNystrom), "nystrom");
+}
+
+TEST(SolverRegistry, AcceptsAliases) {
+  EXPECT_EQ(solver::backend_from_name("hss-random-h"),
+            solver::SolverBackend::kHSSRandomH);
+  EXPECT_EQ(solver::backend_from_name("smw"),
+            solver::SolverBackend::kHODLR_SMW);
+  EXPECT_EQ(solver::backend_from_name("exact"),
+            solver::SolverBackend::kDenseExact);
+}
+
+TEST(SolverRegistry, UnknownNameListsValidChoices) {
+  try {
+    solver::backend_from_name("no-such-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-backend"), std::string::npos) << msg;
+    for (const std::string& name : solver::backend_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(SolverRegistry, MakeByStringMatchesEnum) {
+  for (solver::SolverBackend b : solver::all_backends()) {
+    auto s = solver::make(solver::backend_name(b));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->backend(), b);
+  }
+  EXPECT_THROW(solver::make("no-such-backend"), std::invalid_argument);
+}
+
+// ---------------------------------------- the interface, driven standalone
+
+TEST(KernelSolver, DirectInterfaceSolvesTheSystem) {
+  const int n = 256;
+  la::Matrix pts = blob_points(n, 4, 11);
+  cl::OrderingOptions copts;
+  copts.leaf_size = 16;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, cl::OrderingMethod::kTwoMeans, copts);
+  la::Matrix permuted = cl::apply_row_permutation(pts, tree.perm());
+  kn::KernelMatrix kernel(std::move(permuted), kn::KernelParams{}, 2.0);
+
+  for (solver::SolverBackend b : solver::all_backends()) {
+    if (b == solver::SolverBackend::kNystrom) continue;  // approximate; below
+    solver::SolverOptions sopts;
+    sopts.lambda = 2.0;
+    sopts.rtol = 1e-8;
+    sopts.iterative_rtol = 1e-12;
+    sopts.precond_rtol = 1e-2;
+    auto s = solver::make(b, sopts);
+    s->compress(kernel, tree);
+    s->factor();
+    la::Vector rhs = random_rhs(n, 3);
+    la::Vector x = s->solve(rhs);
+    la::Vector ax = s->matvec(x);
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < n; ++i) {
+      num += (ax[i] - rhs[i]) * (ax[i] - rhs[i]);
+      den += rhs[i] * rhs[i];
+    }
+    EXPECT_LT(std::sqrt(num / den), 1e-6) << solver::backend_name(b);
+    EXPECT_GT(s->stats().factor_seconds, 0.0) << solver::backend_name(b);
+    // Direct backends default to converged; the PCG backend must report it.
+    EXPECT_TRUE(s->stats().solve_converged) << solver::backend_name(b);
+  }
+}
+
+// ------------------------------------------------------------------ parity
+
+TEST(BackendParity, EveryBackendMatchesDenseExact) {
+  const int n = 300;
+  la::Matrix pts = blob_points(n, 4, 21);
+  la::Vector y = random_rhs(n, 5);
+
+  krr::KRRModel dense(tight_options(
+      n, krr::SolverBackend::kDenseExact, 2.0));
+  dense.fit(pts);
+  la::Vector w_ref = dense.solve(y);
+
+  for (krr::SolverBackend b : solver::all_backends()) {
+    if (b == krr::SolverBackend::kDenseExact) continue;
+    krr::KRRModel model(tight_options(n, b, 2.0));
+    model.fit(pts);
+    la::Vector w = model.solve(y);
+    ASSERT_EQ(w.size(), w_ref.size());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(w[i], w_ref[i], 1e-5 * (1.0 + std::fabs(w_ref[i])))
+          << krr::backend_name(b) << " at " << i;
+    }
+  }
+}
+
+TEST(BackendParity, SetLambdaMatchesFreshFitForEveryBackend) {
+  const int n = 280;
+  la::Matrix pts = blob_points(n, 4, 22);
+  la::Vector y = random_rhs(n, 7);
+
+  for (krr::SolverBackend b : solver::all_backends()) {
+    // Warm path: fit at lambda=0.5, retune to 4.0 (diagonal update +
+    // refactor, no recompression for the hierarchical formats).
+    krr::KRRModel warm(tight_options(n, b, 0.5));
+    warm.fit(pts);
+    warm.set_lambda(4.0);
+    la::Vector w_warm = warm.solve(y);
+
+    // Cold path: fresh fit at lambda=4.0.
+    krr::KRRModel cold(tight_options(n, b, 4.0));
+    cold.fit(pts);
+    la::Vector w_cold = cold.solve(y);
+
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(w_warm[i], w_cold[i], 1e-5 * (1.0 + std::fabs(w_cold[i])))
+          << krr::backend_name(b) << " at " << i;
+    }
+  }
+}
+
+TEST(BackendParity, NystromWithFewLandmarksIsApproximateButFinite) {
+  // With m << n Nystrom is a *global* approximation: predictions stay
+  // finite/usable but the exact-operator residual is O(1) — the behaviour
+  // bench_ablation_baselines measures.
+  const int n = 300;
+  la::Matrix pts = blob_points(n, 4, 23);
+  la::Vector y = random_rhs(n, 9);
+
+  krr::KRROptions opts = tight_options(n, krr::SolverBackend::kNystrom, 2.0);
+  opts.nystrom_landmarks = 32;
+  krr::KRRModel model(opts);
+  model.fit(pts);
+  la::Vector w = model.solve(y);
+  int nonzero = 0;
+  for (double v : w) {
+    ASSERT_TRUE(std::isfinite(v));
+    if (v != 0.0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 32);  // weights live on the landmarks only
+}
+
+TEST(BackendParity, StatsPopulatedForPromotedBackends) {
+  const int n = 300;
+  la::Matrix pts = blob_points(n, 4, 24);
+  la::Vector y = random_rhs(n, 13);
+
+  for (krr::SolverBackend b : {krr::SolverBackend::kHODLR_SMW,
+                               krr::SolverBackend::kNystrom}) {
+    krr::KRRModel model(tight_options(n, b, 1.0));
+    model.fit(pts);
+    (void)model.solve(y);
+    const auto& st = model.stats();
+    EXPECT_GT(st.compress_seconds, 0.0) << krr::backend_name(b);
+    EXPECT_GT(st.compressed_memory_bytes, 0u) << krr::backend_name(b);
+    EXPECT_GT(st.factor_seconds, 0.0) << krr::backend_name(b);
+    EXPECT_GT(st.max_rank, 0) << krr::backend_name(b);
+  }
+}
+
+TEST(BackendParity, HssAccessorThrowsForNonHssBackends) {
+  const int n = 200;
+  la::Matrix pts = blob_points(n, 3, 25);
+  krr::KRRModel model(tight_options(n, krr::SolverBackend::kHODLR_SMW, 1.0));
+  model.fit(pts);
+  EXPECT_THROW(model.hss(), std::logic_error);
+  EXPECT_EQ(model.backend_solver().hss_matrix(), nullptr);
+}
