@@ -4,11 +4,13 @@
 // Every binary prints the rows/series of one table or figure from the paper
 // (see DESIGN.md experiment index), runs standalone with single-node-sized
 // defaults, and accepts the shared flags parsed by parse_common() below
-// (--n / --dataset / --seed / --rtol / --backend / --threads) plus its own.
+// (--n / --dataset / --seed / --rtol / --backend / --batch / --threads)
+// plus its own.
 // --backend takes any name registered in the solver registry ("dense",
 // "hss-rand-h", "hodlr-smw", "nystrom", ...), so each bench can sweep every
 // pipeline through the same KRRModel path.
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -34,6 +36,7 @@ struct BenchDefaults {
   std::string dataset = "SUSY";
   krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
   double rtol = 1e-1;  // the paper's classification tolerance
+  int batch = 64;      // serving mini-batch size (bench_serving)
 };
 
 /// The flags every bench shares.  Bench-specific flags stay in the caller.
@@ -43,6 +46,7 @@ struct CommonArgs {
   std::uint64_t seed = 42;
   double rtol = 1e-1;
   krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
+  int batch = 64;
 };
 
 /// Apply --threads (0 = leave the OpenMP default); shared by parse_common()
@@ -83,6 +87,7 @@ inline CommonArgs parse_common(const util::ArgParser& args,
   c.rtol = args.get_double("rtol", def.rtol);
   c.backend = solver::backend_from_name_cli(
       args.get_string("backend", solver::backend_name(def.backend)));
+  c.batch = std::max(1, static_cast<int>(args.get_int("batch", def.batch)));
   apply_threads(args);
   return c;
 }

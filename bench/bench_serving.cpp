@@ -1,0 +1,185 @@
+// Serving-path benchmark: batched multiclass prediction throughput and
+// per-batch latency vs the per-point baseline.
+//
+//   ./bench_serving [--n 2000] [--ntest 1000] [--batch B]
+//                   [--backends dense,nystrom] [--dataset PEN] [--threads T]
+//
+// Trains one-vs-all KRR on the PEN digits twin (10 classes) per backend,
+// then serves the test set two ways:
+//   per-point: one cross_times_vector sweep per test point per class — the
+//              pre-serving-layer hot path, num_classes kernel sweeps/point;
+//   batched:   predict::BatchPredictor mini-batches — ONE blocked kernel
+//              sweep scores every class (DESIGN.md "Serving path").
+// Reports points/sec, speedup over per-point, and p50/p99 per-batch latency
+// across batch sizes (or just --batch when given) and backends.  The
+// acceptance bar for the digits example is >= 3x multiclass throughput on
+// the dense backend; the batched path removes the factor-num_classes sweep
+// redundancy, so the expected win is ~num_classes x cache effects.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "predict/batch_predictor.hpp"
+#include "util/timer.hpp"
+
+using namespace khss;
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * (v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - lo;
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+// The per-point baseline: stream test points one at a time, one
+// cross-kernel sweep per class per point (the historical serving path:
+// permute the weight vector, then KernelMatrix::cross_times_vector).
+double per_point_seconds(const krr::OneVsAllKRR& clf, const la::Matrix& test,
+                         int max_points) {
+  const int m = std::min(test.rows(), max_points);
+  const int classes = clf.weights().cols();
+  const int n = clf.weights().rows();
+  const std::vector<int>& perm = clf.model().tree().perm();
+  util::Timer t;
+  for (int c = 0; c < classes; ++c) {
+    // Permute once per class (as the pre-serving path did), then one
+    // cross-kernel sweep per point.
+    la::Vector wp(n);
+    for (int j = 0; j < n; ++j) wp[j] = clf.weights()(perm[j], c);
+    for (int i = 0; i < m; ++i) {
+      la::Matrix row = test.block(i, 0, 1, test.cols());
+      (void)clf.model().kernel().cross_times_vector(row, wp);
+    }
+  }
+  const double s = t.seconds();
+  // Scale to the full test set so throughputs are comparable.
+  return s * static_cast<double>(test.rows()) / std::max(1, m);
+}
+
+struct BatchResult {
+  double points_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+BatchResult serve_batched(const predict::BatchPredictor& pred,
+                          const la::Matrix& test, int batch, int min_batches) {
+  const int m = test.rows();
+  std::vector<double> latencies;
+  la::Matrix scores;
+  long served = 0;
+  util::Timer total;
+  while (static_cast<int>(latencies.size()) < min_batches) {
+    for (int ib = 0; ib < m; ib += batch) {
+      const int bi = std::min(batch, m - ib);
+      la::Matrix chunk = test.block(ib, 0, bi, test.cols());
+      util::Timer t;
+      pred.predict_batch(chunk, scores);
+      latencies.push_back(t.seconds());
+      served += bi;
+    }
+  }
+  BatchResult r;
+  r.points_per_sec = served / total.seconds();
+  r.p50_ms = 1e3 * percentile(latencies, 0.50);
+  r.p99_ms = 1e3 * percentile(latencies, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  bench::BenchDefaults def;
+  def.dataset = "PEN";  // the 10-class digits twin
+  def.backend = krr::SolverBackend::kDenseExact;
+  bench::CommonArgs c = bench::parse_common(args, def);
+  const int ntest = static_cast<int>(args.get_int("ntest", 1000));
+  const int min_batches = static_cast<int>(args.get_int("min-batches", 50));
+  const int baseline_cap =
+      static_cast<int>(args.get_int("baseline-points", 200));
+
+  std::vector<krr::SolverBackend> backends;
+  {
+    std::string list = args.get_string(
+        "backends", solver::backend_name(c.backend) + ",nystrom");
+    if (args.has("backend") && !args.has("backends")) {
+      list = solver::backend_name(c.backend);
+    }
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!name.empty()) {
+        backends.push_back(solver::backend_from_name_cli(name));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  std::vector<int> batch_sizes;
+  if (args.has("batch")) {
+    batch_sizes = {c.batch};
+  } else {
+    for (int b : {1, 8, 64, 256}) {
+      if (b < ntest) batch_sizes.push_back(b);
+    }
+    batch_sizes.push_back(ntest);  // one-shot full batch
+  }
+
+  bench::print_banner(
+      "serving path", "batched multiclass prediction throughput/latency",
+      "per-point baseline = cross_times_vector per point per class");
+
+  bench::PreparedData d = bench::prepare(c.dataset, c.n, ntest, c.seed);
+  std::cout << c.dataset << " twin, " << d.train.n() << " train / "
+            << d.test.n() << " test, " << d.info.num_classes << " classes\n";
+
+  for (krr::SolverBackend backend : backends) {
+    krr::KRROptions opts;
+    opts.ordering = cluster::OrderingMethod::kTwoMeans;
+    opts.backend = backend;
+    opts.kernel.h = d.info.h;
+    opts.lambda = d.info.lambda;
+    opts.hss_rtol = c.rtol;
+    opts.seed = c.seed;
+
+    krr::OneVsAllKRR clf(opts);
+    util::Timer fit_t;
+    clf.fit(d.train.points, d.train.labels, d.info.num_classes);
+    const double fit_s = fit_t.seconds();
+    const double acc = clf.accuracy(d.test.points, d.test.labels);
+
+    const double base_s =
+        per_point_seconds(clf, d.test.points, baseline_cap);
+    const double base_pps = d.test.n() / base_s;
+
+    util::Table table({"batch", "points/s", "speedup", "p50 ms", "p99 ms"});
+    for (int b : batch_sizes) {
+      BatchResult r = serve_batched(clf.predictor(), d.test.points, b,
+                                    min_batches);
+      table.add_row({util::Table::fmt_int(b),
+                     util::Table::fmt(r.points_per_sec, 0),
+                     util::Table::fmt(r.points_per_sec / base_pps, 1) + "x",
+                     util::Table::fmt(r.p50_ms, 3),
+                     util::Table::fmt(r.p99_ms, 3)});
+    }
+    std::cout << "\nbackend " << solver::backend_name(backend) << ": fit "
+              << fit_s << " s, accuracy " << 100.0 * acc
+              << "%, support " << clf.predictor().support_size() << "/"
+              << d.train.n() << " columns\n";
+    std::cout << "per-point baseline: " << base_pps << " points/s ("
+              << d.info.num_classes << " kernel sweeps per point)\n";
+    table.print(std::cout, "batched serving (one kernel sweep, all classes)");
+  }
+  return 0;
+}

@@ -35,26 +35,31 @@ KernelMatrix::KernelMatrix(la::Matrix points, KernelParams params,
   }
 }
 
-double KernelMatrix::from_products(double dot_xy, double nx, double ny) const {
-  switch (params_.type) {
+double kernel_from_products(const KernelParams& params, double dot_xy,
+                            double nx, double ny) {
+  switch (params.type) {
     case KernelType::kGaussian: {
       double d2 = nx + ny - 2.0 * dot_xy;
       if (d2 < 0.0) d2 = 0.0;  // rounding
-      return std::exp(-d2 / (2.0 * params_.h * params_.h));
+      return std::exp(-d2 / (2.0 * params.h * params.h));
     }
     case KernelType::kLaplacian: {
       double d2 = nx + ny - 2.0 * dot_xy;
       if (d2 < 0.0) d2 = 0.0;
-      return std::exp(-std::sqrt(d2) / params_.h);
+      return std::exp(-std::sqrt(d2) / params.h);
     }
     case KernelType::kPolynomial: {
-      double base = dot_xy / (params_.h * params_.h) + params_.coef0;
+      double base = dot_xy / (params.h * params.h) + params.coef0;
       double r = 1.0;
-      for (int p = 0; p < params_.degree; ++p) r *= base;
+      for (int p = 0; p < params.degree; ++p) r *= base;
       return r;
     }
   }
   return 0.0;
+}
+
+double KernelMatrix::from_products(double dot_xy, double nx, double ny) const {
+  return kernel_from_products(params_, dot_xy, nx, ny);
 }
 
 double KernelMatrix::entry(int i, int j) const {

@@ -31,6 +31,15 @@ struct KernelParams {
 
 std::string kernel_name(KernelType t);
 
+/// k(x, y) evaluated from inner products: dot_xy = x . y, nx = ||x||^2,
+/// ny = ||y||^2.  All three kernel families reduce to this form, which is
+/// what lets tile evaluation run as a GEMM plus an elementwise transform.
+/// Shared by KernelMatrix and the batched serving path
+/// (predict::BatchPredictor), which fuses it into blocked cross-kernel
+/// panels.
+double kernel_from_products(const KernelParams& params, double dot_xy,
+                            double nx, double ny);
+
 /// Symmetric kernel matrix K + lambda*I over a fixed point set, evaluated
 /// lazily.  Points are stored in the order given (callers pass the
 /// cluster-permuted points, making this the *reordered* kernel matrix).

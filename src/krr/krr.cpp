@@ -105,10 +105,36 @@ void KRRModel::set_lambda(double lambda) {
 la::Vector KRRModel::decision_scores(const la::Matrix& test_points,
                                      const la::Vector& weights) const {
   if (!fitted_) throw std::logic_error("KRRModel::decision_scores before fit");
+  if (static_cast<int>(weights.size()) != n_) {
+    throw std::invalid_argument(
+        "KRRModel::decision_scores: weights.size() != n()");
+  }
   // Kernel holds permuted training points; permute the weights to match.
   la::Vector wp(n_);
   for (int i = 0; i < n_; ++i) wp[i] = weights[tree_.perm()[i]];
-  return kernel_->cross_times_vector(test_points, wp);
+  return predict::predict_single(*kernel_, wp, test_points);
+}
+
+la::Matrix KRRModel::decision_scores_multi(const la::Matrix& test_points,
+                                           const la::Matrix& weights) const {
+  return make_predictor(weights).predict(test_points);
+}
+
+predict::BatchPredictor KRRModel::make_predictor(
+    const la::Matrix& weights, predict::PredictOptions opts) const {
+  if (!fitted_) throw std::logic_error("KRRModel::make_predictor before fit");
+  if (weights.rows() != n_) {
+    throw std::invalid_argument(
+        "KRRModel::make_predictor: weights.rows() != n()");
+  }
+  // Kernel holds permuted training points; permute the weight rows to match.
+  la::Matrix wp(n_, weights.cols());
+  for (int i = 0; i < n_; ++i) {
+    const double* src = weights.row(tree_.perm()[i]);
+    double* dst = wp.row(i);
+    for (int c = 0; c < weights.cols(); ++c) dst[c] = src[c];
+  }
+  return predict::BatchPredictor(*kernel_, wp, opts);
 }
 
 double KRRModel::training_residual(const la::Vector& weights,
@@ -175,30 +201,40 @@ void OneVsAllKRR::fit(const la::Matrix& train_points,
                       const std::vector<int>& labels, int num_classes) {
   assert(train_points.rows() == static_cast<int>(labels.size()));
   model_.fit(train_points);
-  class_weights_.clear();
-  class_weights_.reserve(num_classes);
+  weights_.resize(train_points.rows(), num_classes);
   for (int c = 0; c < num_classes; ++c) {
     la::Vector y(labels.size());
     for (std::size_t i = 0; i < labels.size(); ++i) {
       y[i] = labels[i] == c ? 1.0 : -1.0;
     }
-    class_weights_.push_back(model_.solve(y));
+    la::Vector w = model_.solve(y);  // one factorization, c right-hand sides
+    for (int i = 0; i < weights_.rows(); ++i) weights_(i, c) = w[i];
   }
+  predictor_ =
+      std::make_unique<predict::BatchPredictor>(model_.make_predictor(weights_));
+}
+
+const predict::BatchPredictor& OneVsAllKRR::predictor() const {
+  if (!predictor_) throw std::logic_error("OneVsAllKRR::predictor before fit");
+  return *predictor_;
+}
+
+la::Matrix OneVsAllKRR::decision_scores(const la::Matrix& test_points) const {
+  return predictor().predict(test_points);
 }
 
 std::vector<int> OneVsAllKRR::predict(const la::Matrix& test_points) const {
-  const int m = test_points.rows();
-  const int c = static_cast<int>(class_weights_.size());
-  std::vector<int> out(m, 0);
-  std::vector<double> best(m, -1e300);
-  for (int cls = 0; cls < c; ++cls) {
-    la::Vector scores = model_.decision_scores(test_points,
-                                               class_weights_[cls]);
-    for (int i = 0; i < m; ++i) {
-      // Section 2: the one-vs-all confidence is |w^T K'(i)| interpreted as
-      // the raw score; argmax over classes.
-      if (scores[i] > best[i]) {
-        best[i] = scores[i];
+  // One blocked cross-kernel sweep scores every class; argmax per row.
+  la::Matrix scores = decision_scores(test_points);
+  std::vector<int> out(scores.rows(), 0);
+  for (int i = 0; i < scores.rows(); ++i) {
+    const double* row = scores.row(i);
+    // Section 2: the one-vs-all confidence is |w^T K'(i)| interpreted as
+    // the raw score; argmax over classes.
+    double best = -1e300;
+    for (int cls = 0; cls < scores.cols(); ++cls) {
+      if (row[cls] > best) {
+        best = row[cls];
         out[i] = cls;
       }
     }

@@ -24,6 +24,7 @@
 #include "cluster/ordering.hpp"
 #include "kernel/kernel.hpp"
 #include "la/matrix.hpp"
+#include "predict/batch_predictor.hpp"
 #include "solver/solver.hpp"
 
 namespace khss::hss {
@@ -96,9 +97,24 @@ class KRRModel {
   void set_lambda(double lambda);
   double lambda() const { return opts_.lambda; }
 
-  /// Decision scores K(test, train) * w for weights from solve().
+  /// Decision scores K(test, train) * w for weights from solve().  Routed
+  /// through the batched serving path (a transient single-RHS
+  /// predict::BatchPredictor).
   la::Vector decision_scores(const la::Matrix& test_points,
                              const la::Vector& weights) const;
+
+  /// Multi-RHS decision scores: out(i, c) = [K(test, train) * W](i, c) for a
+  /// weight matrix with one column per right-hand side (original point
+  /// order).  One blocked cross-kernel sweep serves every column.
+  la::Matrix decision_scores_multi(const la::Matrix& test_points,
+                                   const la::Matrix& weights) const;
+
+  /// Freeze the fitted training side plus `weights` (n x c, original point
+  /// order, one column per class/RHS) into a self-contained serving
+  /// predictor.  The predictor copies what it needs and may outlive the
+  /// model.
+  predict::BatchPredictor make_predictor(
+      const la::Matrix& weights, predict::PredictOptions opts = {}) const;
 
   /// ||(K + lambda I) w - y|| / ||y|| in the operator the backend solves
   /// against (diagnostic; see KernelSolver::matvec).
@@ -143,8 +159,10 @@ class KRRClassifier {
   la::Vector y_;  // cached training labels for cheap lambda retuning
 };
 
-/// One-vs-all multi-class classifier (Section 2): c binary weight vectors on
-/// one shared compression; prediction takes the argmax of the scores.
+/// One-vs-all multi-class classifier (Section 2): c binary weight columns on
+/// one shared compression; prediction takes the argmax of the scores.  fit()
+/// freezes the weight matrix into a predict::BatchPredictor, so scoring all
+/// c classes costs ONE blocked cross-kernel sweep instead of c.
 class OneVsAllKRR {
  public:
   explicit OneVsAllKRR(KRROptions opts) : model_(std::move(opts)) {}
@@ -153,14 +171,26 @@ class OneVsAllKRR {
            int num_classes);
 
   std::vector<int> predict(const la::Matrix& test_points) const;
+  /// Raw one-vs-all scores, test_points.rows() x num_classes.
+  la::Matrix decision_scores(const la::Matrix& test_points) const;
   double accuracy(const la::Matrix& test_points,
                   const std::vector<int>& labels_true) const;
 
+  /// The n x c weight matrix (original point order), column c = class c.
+  const la::Matrix& weights() const { return weights_; }
+
+  /// The serving predictor built at fit() time (throws before fit()).
+  /// Stream mini-batches through predictor().predict_batch() directly for
+  /// serving loops; predict()/accuracy() use the same instance.
+  const predict::BatchPredictor& predictor() const;
+
   KRRModel& model() { return model_; }
+  const KRRModel& model() const { return model_; }
 
  private:
   KRRModel model_;
-  std::vector<la::Vector> class_weights_;
+  la::Matrix weights_;  // n x num_classes, original point order
+  std::unique_ptr<predict::BatchPredictor> predictor_;
 };
 
 /// Fraction of matching labels (Eq. 2.1 of the paper).

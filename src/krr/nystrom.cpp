@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "predict/batch_predictor.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -72,8 +73,9 @@ la::Vector NystromKRR::decision_scores(const la::Matrix& test_points,
   if (!fitted_) {
     throw std::logic_error("NystromKRR::decision_scores before fit");
   }
+  // Batched serving path over the m landmark columns only.
   kernel::KernelMatrix landmark_kernel(landmarks_, opts_.kernel, 0.0);
-  return landmark_kernel.cross_times_vector(test_points, alpha);
+  return predict::predict_single(landmark_kernel, alpha, test_points);
 }
 
 double NystromKRR::classify_accuracy(const la::Matrix& train_points,

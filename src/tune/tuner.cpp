@@ -38,6 +38,8 @@ double KRRObjective::operator()(double h, double lambda) {
   }
 
   la::Vector w = model_->solve(y_train_);
+  // Validation scoring rides the serving path: decision_scores() runs one
+  // blocked cross-kernel sweep over the whole validation set.
   la::Vector scores = model_->decision_scores(valid_, w);
   int correct = 0;
   for (std::size_t i = 0; i < y_valid_.size(); ++i) {

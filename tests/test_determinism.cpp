@@ -1,17 +1,22 @@
 // Regression tests pinning bit-reproducibility: the RNG stream for a fixed
 // seed, randomized HSS construction run-to-run under full threading (guards
 // the atomic-read fix on the shared `failed` flag in hss/build.cpp's
-// parallel level loop), and the promoted solver backends (HODLR/SMW,
-// Nystrom) end-to-end through KRRModel.
+// parallel level loop), the promoted solver backends (HODLR/SMW, Nystrom)
+// end-to-end through KRRModel, and the batched serving path
+// (predict::BatchPredictor): scores must be bit-identical for any panel
+// size, mini-batch split and thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
 #include "hss/build.hpp"
 #include "kernel/kernel.hpp"
 #include "krr/krr.hpp"
+#include "predict/batch_predictor.hpp"
 #include "util/rng.hpp"
 #include "util/threads.hpp"
 
@@ -165,4 +170,108 @@ TEST(Determinism, HodlrSmwBackendRunToRun) {
 
 TEST(Determinism, NystromBackendRunToRun) {
   expect_weights_identical(khss::krr::SolverBackend::kNystrom);
+}
+
+namespace {
+
+// Fitted dense model + multi-RHS weights + test batch, shared by the
+// serving-path pins below.
+struct PredictionFixture {
+  PredictionFixture() {
+    util::Rng rng(17);
+    khss::data::BlobSpec spec;
+    spec.n = 200;
+    spec.dim = 4;
+    spec.num_classes = 3;
+    auto ds = khss::data::make_blobs(spec, rng);
+
+    khss::krr::KRROptions opts;
+    opts.backend = khss::krr::SolverBackend::kDenseExact;
+    opts.kernel.h = 1.0;
+    opts.lambda = 1.5;
+    opts.seed = 17;
+    model = std::make_unique<khss::krr::KRRModel>(opts);
+    model->fit(ds.points);
+
+    weights.resize(spec.n, 3);
+    util::Rng wrng(18);
+    for (int c = 0; c < 3; ++c) {
+      la::Vector y(spec.n);
+      for (auto& v : y) v = wrng.normal();
+      la::Vector w = model->solve(y);
+      for (int i = 0; i < spec.n; ++i) weights(i, c) = w[i];
+    }
+
+    test.resize(170, spec.dim);
+    util::Rng trng(19);
+    trng.fill_normal(test.data(), test.size());
+  }
+
+  std::unique_ptr<khss::krr::KRRModel> model;
+  la::Matrix weights;
+  la::Matrix test;
+};
+
+}  // namespace
+
+// The serving path must be bit-reproducible for any panel size: each output
+// row's accumulation order (training tile by training tile) is fixed by the
+// predictor, not by the panel the row lands in.
+TEST(Determinism, PredictionPanelSizeInvariant) {
+  PredictionFixture fx;
+  util::set_threads(util::hardware_threads());
+  khss::predict::PredictOptions base;
+  base.panel_rows = 64;
+  const la::Matrix ref = fx.model->make_predictor(fx.weights, base)
+                             .predict(fx.test);
+  for (int panel : {1, 3, 19, 128, 10000}) {
+    khss::predict::PredictOptions popts;
+    popts.panel_rows = panel;
+    la::Matrix scores =
+        fx.model->make_predictor(fx.weights, popts).predict(fx.test);
+    for (int i = 0; i < ref.rows(); ++i) {
+      for (int c = 0; c < ref.cols(); ++c) {
+        EXPECT_EQ(scores(i, c), ref(i, c)) << "panel " << panel;
+      }
+    }
+  }
+}
+
+TEST(Determinism, PredictionThreadInvariant) {
+  PredictionFixture fx;
+  util::set_threads(1);
+  const la::Matrix serial =
+      fx.model->make_predictor(fx.weights).predict(fx.test);
+  util::set_threads(util::hardware_threads());
+  const la::Matrix parallel =
+      fx.model->make_predictor(fx.weights).predict(fx.test);
+  for (int i = 0; i < serial.rows(); ++i) {
+    for (int c = 0; c < serial.cols(); ++c) {
+      EXPECT_EQ(serial(i, c), parallel(i, c));
+    }
+  }
+}
+
+// Streaming a test set through predict_batch() in mini-batches must
+// reproduce the one-shot scores bit-for-bit, whatever the split.
+TEST(Determinism, PredictionBatchSplitInvariant) {
+  PredictionFixture fx;
+  util::set_threads(util::hardware_threads());
+  khss::predict::BatchPredictor pred = fx.model->make_predictor(fx.weights);
+  const la::Matrix one_shot = pred.predict(fx.test);
+  for (int batch : {1, 7, 31, 170}) {
+    la::Matrix scores(fx.test.rows(), one_shot.cols());
+    la::Matrix chunk_scores;
+    for (int ib = 0; ib < fx.test.rows(); ib += batch) {
+      const int bi = std::min(batch, fx.test.rows() - ib);
+      la::Matrix chunk = fx.test.block(ib, 0, bi, fx.test.cols());
+      pred.predict_batch(chunk, chunk_scores);
+      scores.set_block(ib, 0, chunk_scores);
+    }
+    for (int i = 0; i < one_shot.rows(); ++i) {
+      for (int c = 0; c < one_shot.cols(); ++c) {
+        EXPECT_EQ(scores(i, c), one_shot(i, c)) << "batch " << batch;
+      }
+    }
+  }
 }

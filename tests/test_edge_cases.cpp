@@ -1,9 +1,13 @@
 // Edge-case and small-module coverage: logging, formatter corners, RNG
-// boundary arguments, kernel tile boundaries, and tiny-input behaviour of
-// the compression stack.
+// boundary arguments, kernel tile boundaries, tiny-input behaviour of the
+// compression stack, and the corners of the batched serving path
+// (predict::BatchPredictor::predict_batch).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
@@ -11,6 +15,7 @@
 #include "hss/ulv.hpp"
 #include "kernel/kernel.hpp"
 #include "la/blas.hpp"
+#include "predict/batch_predictor.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -128,6 +133,128 @@ TEST(Cluster, LeafSizeOne) {
   EXPECT_TRUE(tree.validate());
   EXPECT_EQ(tree.max_leaf_points(), 1);
   EXPECT_EQ(tree.num_leaves(), 20);
+}
+
+namespace {
+
+namespace pr = khss::predict;
+
+// Small training-side fixture for the predict_batch corner cases.
+struct ServingFixture {
+  ServingFixture(int n, int c, std::uint64_t seed) : weights(n, c) {
+    u::Rng rng(seed);
+    la::Matrix pts(n, 3);
+    rng.fill_normal(pts.data(), pts.size());
+    kernel = std::make_unique<kn::KernelMatrix>(
+        pts, kn::KernelParams{kn::KernelType::kGaussian, 1.0, 2, 1.0}, 0.7);
+    rng.fill_normal(weights.data(), weights.size());
+  }
+
+  std::unique_ptr<kn::KernelMatrix> kernel;
+  la::Matrix weights;
+};
+
+// Per-point reference over one weight column (exactly the pre-serving path;
+// the cross kernel carries no lambda shift).
+double reference_score(const kn::KernelMatrix& kernel, const la::Matrix& pts,
+                       int row, const la::Matrix& w, int col) {
+  la::Vector wc(w.rows());
+  for (int i = 0; i < w.rows(); ++i) wc[i] = w(i, col);
+  la::Matrix point = pts.block(row, 0, 1, pts.cols());
+  return kernel.cross_times_vector(point, wc)[0];
+}
+
+}  // namespace
+
+TEST(PredictBatch, EmptyBatch) {
+  ServingFixture fx(10, 3, 50);
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  la::Matrix scores(5, 5);  // stale shape must be overwritten
+  pred.predict_batch(la::Matrix(0, 3), scores);
+  EXPECT_EQ(scores.rows(), 0);
+  EXPECT_EQ(scores.cols(), 3);
+  EXPECT_EQ(pred.stats().batches, 1);
+  EXPECT_EQ(pred.stats().points, 0);
+  EXPECT_EQ(pred.stats().kernel_evals, 0);
+}
+
+TEST(PredictBatch, SinglePointMatchesPerPointPath) {
+  ServingFixture fx(12, 2, 51);
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  u::Rng rng(52);
+  la::Matrix point(1, 3);
+  rng.fill_normal(point.data(), point.size());
+  la::Matrix scores = pred.predict(point);
+  ASSERT_EQ(scores.rows(), 1);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(scores(0, c),
+                reference_score(*fx.kernel, point, 0, fx.weights, c), 1e-12);
+  }
+}
+
+TEST(PredictBatch, BatchLargerThanTrainingSet) {
+  ServingFixture fx(8, 2, 53);
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  u::Rng rng(54);
+  la::Matrix test(50, 3);  // m >> n
+  rng.fill_normal(test.data(), test.size());
+  la::Matrix scores = pred.predict(test);
+  ASSERT_EQ(scores.rows(), 50);
+  for (int i = 0; i < 50; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      const double ref = reference_score(*fx.kernel, test, i, fx.weights, c);
+      EXPECT_NEAR(scores(i, c), ref, 1e-12 * (1.0 + std::fabs(ref)));
+    }
+  }
+}
+
+TEST(PredictBatch, ZeroWeightColumnsArePruned) {
+  ServingFixture fx(20, 3, 55);
+  // Zero out rows 3..9 across every output: pruned-Nystrom-style columns.
+  for (int j = 3; j < 10; ++j) {
+    for (int c = 0; c < 3; ++c) fx.weights(j, c) = 0.0;
+  }
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  EXPECT_EQ(pred.support_size(), 13);
+
+  u::Rng rng(56);
+  la::Matrix test(9, 3);
+  rng.fill_normal(test.data(), test.size());
+  la::Matrix scores = pred.predict(test);
+  // Pruning only skips exact-zero contributions: scores still match the
+  // unpruned per-point reference, and the eval counter reflects the support.
+  for (int i = 0; i < test.rows(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      const double ref = reference_score(*fx.kernel, test, i, fx.weights, c);
+      EXPECT_NEAR(scores(i, c), ref, 1e-12 * (1.0 + std::fabs(ref)));
+    }
+  }
+  EXPECT_EQ(pred.stats().kernel_evals, 9l * 13);
+}
+
+TEST(PredictBatch, AllZeroWeightsGiveZeroScores) {
+  ServingFixture fx(10, 2, 57);
+  fx.weights.fill(0.0);
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  EXPECT_EQ(pred.support_size(), 0);
+  u::Rng rng(58);
+  la::Matrix test(6, 3);
+  rng.fill_normal(test.data(), test.size());
+  la::Matrix scores = pred.predict(test);
+  ASSERT_EQ(scores.rows(), 6);
+  for (int i = 0; i < 6; ++i) {
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(scores(i, c), 0.0);
+  }
+}
+
+TEST(PredictBatch, ShapeMismatchesThrow) {
+  ServingFixture fx(10, 2, 59);
+  EXPECT_THROW(pr::BatchPredictor(*fx.kernel, la::Matrix(9, 2)),
+               std::invalid_argument);
+  pr::BatchPredictor pred(*fx.kernel, fx.weights);
+  la::Matrix scores;
+  EXPECT_THROW(pred.predict_batch(la::Matrix(4, 5), scores),
+               std::invalid_argument);
 }
 
 TEST(Blas, GemvEmptyMatrix) {

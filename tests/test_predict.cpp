@@ -1,0 +1,270 @@
+// Cross-backend conformance tier for the batched serving path
+// (predict::BatchPredictor): for EVERY backend in the solver registry, the
+// blocked multi-RHS predictor must reproduce the per-point
+// KernelMatrix::cross_times_vector path to 1e-10, across batch sizes
+// (1, 7, 64, n+3) and multiclass RHS counts (1, 3, 10).  The *Stress* cases
+// run the same contract at larger randomized sizes with random batch splits
+// and panel sizes; CTest registers them separately under the `stress` label
+// (see CMakeLists.txt), so `ctest -L fast` skips them and the scheduled CI
+// job runs them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synthetic.hpp"
+#include "krr/krr.hpp"
+#include "predict/batch_predictor.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+#include "util/threads.hpp"
+
+namespace data = khss::data;
+namespace krr = khss::krr;
+namespace la = khss::la;
+namespace predict = khss::predict;
+namespace solver = khss::solver;
+namespace util = khss::util;
+
+namespace {
+
+la::Matrix blob_points(int n, int d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 3;
+  return data::make_blobs(spec, rng).points;
+}
+
+la::Matrix random_points(int m, int d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix pts(m, d);
+  rng.fill_normal(pts.data(), pts.size());
+  return pts;
+}
+
+/// Options every backend can fit at small n; prediction parity does not
+/// depend on compression quality, only on the weights actually solved.
+krr::KRROptions small_options(krr::SolverBackend backend, int n) {
+  krr::KRROptions opts;
+  opts.backend = backend;
+  opts.kernel.h = 1.2;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-6;
+  opts.iterative_rtol = 1e-10;
+  opts.precond_rtol = 1e-2;
+  opts.nystrom_landmarks = n / 2;
+  opts.seed = 7;
+  return opts;
+}
+
+/// Multi-RHS weight matrix: one solve per column through the fitted model.
+la::Matrix solve_weights(krr::KRRModel& model, int n, int num_rhs,
+                         std::uint64_t seed) {
+  la::Matrix w(n, num_rhs);
+  util::Rng rng(seed);
+  for (int c = 0; c < num_rhs; ++c) {
+    la::Vector y(n);
+    for (auto& v : y) v = rng.normal();
+    la::Vector col = model.solve(y);
+    for (int i = 0; i < n; ++i) w(i, c) = col[i];
+  }
+  return w;
+}
+
+/// The per-point reference: permute one weight column, then one
+/// cross_times_vector sweep per single-row test matrix — the exact hot path
+/// the serving layer replaces.
+double per_point_score(const krr::KRRModel& model, const la::Matrix& test,
+                       int row, const la::Matrix& weights, int col) {
+  const int n = weights.rows();
+  la::Vector wp(n);
+  for (int i = 0; i < n; ++i) wp[i] = weights(model.tree().perm()[i], col);
+  la::Matrix point = test.block(row, 0, 1, test.cols());
+  la::Vector s = model.kernel().cross_times_vector(point, wp);
+  return s[0];
+}
+
+void expect_parity(const krr::KRRModel& model, const la::Matrix& weights,
+                   const la::Matrix& test, const char* what) {
+  const la::Matrix scores =
+      model.make_predictor(weights).predict(test);
+  ASSERT_EQ(scores.rows(), test.rows()) << what;
+  ASSERT_EQ(scores.cols(), weights.cols()) << what;
+  for (int i = 0; i < test.rows(); ++i) {
+    for (int c = 0; c < weights.cols(); ++c) {
+      const double ref = per_point_score(model, test, i, weights, c);
+      EXPECT_NEAR(scores(i, c), ref, 1e-10 * (1.0 + std::fabs(ref)))
+          << what << " point " << i << " rhs " << c;
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- conformance
+
+TEST(PredictParity, MatchesPerPointPathForEveryBackend) {
+  const int n = 80, d = 4;
+  la::Matrix train = blob_points(n, d, 31);
+
+  for (krr::SolverBackend backend : solver::all_backends()) {
+    krr::KRRModel model(small_options(backend, n));
+    model.fit(train);
+    for (int num_rhs : {1, 3, 10}) {
+      la::Matrix w = solve_weights(model, n, num_rhs, 100 + num_rhs);
+      for (int batch : {1, 7, 64, n + 3}) {
+        la::Matrix test = random_points(batch, d, 500 + batch);
+        expect_parity(model, w, test,
+                      krr::backend_name(backend).c_str());
+      }
+    }
+  }
+}
+
+TEST(PredictParity, DecisionScoresMultiMatchesSingleRhsPath) {
+  const int n = 90, d = 3;
+  la::Matrix train = blob_points(n, d, 32);
+  krr::KRRModel model(small_options(krr::SolverBackend::kDenseExact, n));
+  model.fit(train);
+
+  la::Matrix w = solve_weights(model, n, 4, 11);
+  la::Matrix test = random_points(33, d, 12);
+  la::Matrix multi = model.decision_scores_multi(test, w);
+  for (int c = 0; c < 4; ++c) {
+    la::Vector col(n);
+    for (int i = 0; i < n; ++i) col[i] = w(i, c);
+    la::Vector single = model.decision_scores(test, col);
+    for (int i = 0; i < test.rows(); ++i) {
+      EXPECT_NEAR(multi(i, c), single[i], 1e-12 * (1.0 + std::fabs(single[i])))
+          << "rhs " << c << " point " << i;
+    }
+  }
+}
+
+TEST(PredictParity, OneVsAllArgmaxMatchesPerClassScores) {
+  util::Rng rng(41);
+  data::BlobSpec spec;
+  spec.n = 150;
+  spec.dim = 4;
+  spec.num_classes = 3;
+  auto ds = data::make_blobs(spec, rng);
+
+  krr::OneVsAllKRR clf(small_options(krr::SolverBackend::kDenseExact, ds.n()));
+  clf.fit(ds.points, ds.labels, spec.num_classes);
+
+  la::Matrix test = random_points(40, spec.dim, 42);
+  std::vector<int> pred = clf.predict(test);
+  for (int i = 0; i < test.rows(); ++i) {
+    int best_cls = 0;
+    double best = -1e300;
+    for (int c = 0; c < spec.num_classes; ++c) {
+      la::Vector col(ds.n());
+      for (int j = 0; j < ds.n(); ++j) col[j] = clf.weights()(j, c);
+      const double s = clf.model().decision_scores(test, col)[i];
+      if (s > best) {
+        best = s;
+        best_cls = c;
+      }
+    }
+    EXPECT_EQ(pred[i], best_cls) << "point " << i;
+  }
+}
+
+TEST(PredictEdge, NystromFastPathTouchesLandmarkColumnsOnly) {
+  const int n = 150, d = 4, landmarks = 32;
+  la::Matrix train = blob_points(n, d, 33);
+  krr::KRROptions opts = small_options(krr::SolverBackend::kNystrom, n);
+  opts.nystrom_landmarks = landmarks;
+  krr::KRRModel model(opts);
+  model.fit(train);
+
+  la::Matrix w = solve_weights(model, n, 2, 55);
+  predict::BatchPredictor pred = model.make_predictor(w);
+  // Nystrom weights are zero off the landmarks; the serving support must
+  // prune to exactly the landmark columns.
+  EXPECT_EQ(pred.support_size(), landmarks);
+
+  la::Matrix test = random_points(20, d, 56);
+  la::Matrix scores = pred.predict(test);
+  EXPECT_EQ(pred.stats().kernel_evals,
+            static_cast<long>(test.rows()) * landmarks);
+  expect_parity(model, w, test, "nystrom-pruned");
+}
+
+// ------------------------------------------------------------------ stress
+// Registered under the `stress` CTest label; `ctest -L fast` excludes them.
+
+TEST(PredictStress, LargeRandomizedParityAcrossBackends) {
+  const int n = 600, d = 6, m = 1000, classes = 10;
+  la::Matrix train = blob_points(n, d, 71);
+  la::Matrix test = random_points(m, d, 72);
+
+  for (krr::SolverBackend backend :
+       {krr::SolverBackend::kDenseExact, krr::SolverBackend::kHSSRandomDense,
+        krr::SolverBackend::kNystrom}) {
+    krr::KRRModel model(small_options(backend, n));
+    model.fit(train);
+    la::Matrix w = solve_weights(model, n, classes, 73);
+    expect_parity(model, w, test, krr::backend_name(backend).c_str());
+  }
+}
+
+TEST(PredictStress, RandomBatchSplitsAndPanelSizesAreBitIdentical) {
+  const int n = 400, d = 5, m = 700, classes = 6;
+  la::Matrix train = blob_points(n, d, 81);
+  la::Matrix test = random_points(m, d, 82);
+
+  krr::KRRModel model(small_options(krr::SolverBackend::kDenseExact, n));
+  model.fit(train);
+  la::Matrix w = solve_weights(model, n, classes, 83);
+
+  util::set_threads(util::hardware_threads());
+  const la::Matrix one_shot = model.make_predictor(w).predict(test);
+
+  util::Rng rng(84);
+  for (int trial = 0; trial < 8; ++trial) {
+    predict::PredictOptions popts;
+    popts.panel_rows = 1 + static_cast<int>(rng.index(200));
+    predict::BatchPredictor pred = model.make_predictor(w, popts);
+    la::Matrix scores, chunk_scores;
+    scores.resize(m, classes);
+    int ib = 0;
+    while (ib < m) {
+      const int bi =
+          std::min(m - ib, 1 + static_cast<int>(rng.index(97)));
+      la::Matrix chunk = test.block(ib, 0, bi, d);
+      pred.predict_batch(chunk, chunk_scores);
+      scores.set_block(ib, 0, chunk_scores);
+      ib += bi;
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int c = 0; c < classes; ++c) {
+        EXPECT_EQ(scores(i, c), one_shot(i, c))
+            << "trial " << trial << " panel " << popts.panel_rows << " at ("
+            << i << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(PredictStress, ThreadCountInvariantUnderLoad) {
+  const int n = 500, d = 4, m = 800, classes = 8;
+  la::Matrix train = blob_points(n, d, 91);
+  la::Matrix test = random_points(m, d, 92);
+
+  krr::KRRModel model(small_options(krr::SolverBackend::kDenseExact, n));
+  model.fit(train);
+  la::Matrix w = solve_weights(model, n, classes, 93);
+
+  util::set_threads(1);
+  const la::Matrix serial = model.make_predictor(w).predict(test);
+  util::set_threads(util::hardware_threads());
+  const la::Matrix parallel = model.make_predictor(w).predict(test);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < classes; ++c) {
+      EXPECT_EQ(serial(i, c), parallel(i, c)) << "(" << i << "," << c << ")";
+    }
+  }
+}
