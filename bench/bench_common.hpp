@@ -4,8 +4,11 @@
 // Every binary prints the rows/series of one table or figure from the paper
 // (see DESIGN.md experiment index), runs standalone with single-node-sized
 // defaults, and accepts the shared flags parsed by parse_common() below
-// (--n / --dataset / --seed / --rtol / --backend / --batch / --threads)
-// plus its own.
+// (--n / --dataset / --seed / --rtol / --backend / --batch / --threads /
+// --json <path>) plus its own.
+// --json makes the bench additionally write a structured result document
+// (util::Json) to <path> — GFLOP/s, phase seconds, speedups — seeding the
+// cross-PR perf trajectory (BENCH_*.json; CI uploads them as artifacts).
 // --backend takes any name registered in the solver registry ("dense",
 // "hss-rand-h", "hodlr-smw", "nystrom", ...), so each bench can sweep every
 // pipeline through the same KRRModel path.
@@ -23,6 +26,7 @@
 #include "krr/krr.hpp"
 #include "solver/solver.hpp"
 #include "util/argparse.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/threads.hpp"
@@ -47,6 +51,7 @@ struct CommonArgs {
   double rtol = 1e-1;
   krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
   int batch = 64;
+  std::string json_path;  // empty = no structured output
 };
 
 /// Apply --threads (0 = leave the OpenMP default); shared by parse_common()
@@ -88,8 +93,34 @@ inline CommonArgs parse_common(const util::ArgParser& args,
   c.backend = solver::backend_from_name_cli(
       args.get_string("backend", solver::backend_name(def.backend)));
   c.batch = std::max(1, static_cast<int>(args.get_int("batch", def.batch)));
+  c.json_path = args.get_string("json", "");
   apply_threads(args);
   return c;
+}
+
+/// Root document for a bench's --json output: identifies the binary and the
+/// shared run configuration so trajectory files are self-describing.
+inline util::Json json_header(const std::string& bench, const CommonArgs& c) {
+  util::Json doc = util::Json::object();
+  doc.set("bench", bench);
+  doc.set("n", static_cast<long>(c.n));
+  doc.set("dataset", c.dataset);
+  doc.set("seed", static_cast<long>(c.seed));
+  doc.set("threads", static_cast<long>(util::max_threads()));
+  doc.set("backend", solver::backend_name(c.backend));
+  return doc;
+}
+
+/// Write the document when --json was passed; prints where it went so CI
+/// logs show the artifact path.
+inline void write_json_if_requested(const CommonArgs& c,
+                                    const util::Json& doc) {
+  if (c.json_path.empty()) return;
+  if (doc.save(c.json_path)) {
+    std::cout << "json written to " << c.json_path << "\n";
+  } else {
+    std::cerr << "warning: could not write json to " << c.json_path << "\n";
+  }
 }
 
 /// Train/test split of a paper-twin dataset, z-score normalized on train.

@@ -1,21 +1,34 @@
-// Micro-benchmarks of the dense linear algebra substrate (google-benchmark).
+// Regression harness for the dense compute core (DESIGN.md "Compute core").
+//
+//   ./bench_micro_la [--sizes 128,256,512] [--nrhs 64] [--reps 3]
+//                    [--threads N] [--json BENCH_la.json]
+//
+// Measures the packed/blocked kernels against the retained naive baselines
+// (la::gemm_naive and local copies of the pre-blocking Cholesky/TRSM loops)
+// and reports GFLOP/s plus blocked-over-naive speedups.  With --json the
+// same numbers go to a structured file — the cross-PR perf trajectory
+// (BENCH_la.json); CI runs this on a small fixed size and uploads the file
+// as an artifact.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "la/blas.hpp"
 #include "la/chol.hpp"
+#include "la/gemm_kernel.hpp"
 #include "la/lu.hpp"
 #include "la/qr.hpp"
-#include "la/rrqr.hpp"
-#include "la/svd.hpp"
-#include "util/rng.hpp"
+#include "util/timer.hpp"
 
-namespace la = khss::la;
+using namespace khss;
 
 namespace {
 
 la::Matrix random_matrix(int m, int n, std::uint64_t seed) {
-  khss::util::Rng rng(seed);
+  util::Rng rng(seed);
   la::Matrix a(m, n);
   rng.fill_normal(a.data(), a.size());
   return a;
@@ -28,107 +41,302 @@ la::Matrix random_spd(int n, std::uint64_t seed) {
   return a;
 }
 
+// Pre-blocking baselines, kept verbatim so the speedup column measures the
+// cache-blocked core against what this repo shipped before it.
+namespace naive {
+
+bool cholesky_inplace(la::Matrix& a) {
+  const int n = a.rows();
+  for (int k = 0; k < n; ++k) {
+    double d = a(k, k);
+    for (int p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
+    if (d <= 0.0) return false;
+    d = std::sqrt(d);
+    a(k, k) = d;
+    const double inv = 1.0 / d;
+    for (int i = k + 1; i < n; ++i) {
+      double s = a(i, k);
+      const double* ai = a.row(i);
+      const double* ak = a.row(k);
+      for (int p = 0; p < k; ++p) s -= ai[p] * ak[p];
+      a(i, k) = s * inv;
+    }
+  }
+  return true;
+}
+
+void trsm_lower_left(const la::Matrix& l, la::Matrix& b) {
+  const int n = l.rows(), nrhs = b.cols();
+  for (int i = 0; i < n; ++i) {
+    double* bi = b.row(i);
+    for (int p = 0; p < i; ++p) {
+      const double lip = l(i, p);
+      const double* bp = b.row(p);
+      for (int j = 0; j < nrhs; ++j) bi[j] -= lip * bp[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (int j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+void lu_inplace(la::Matrix& a) {
+  const int n = a.rows();
+  for (int k = 0; k < n; ++k) {
+    int piv = k;
+    double best = std::fabs(a(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+    }
+    const double inv = 1.0 / a(k, k);
+    for (int i = k + 1; i < n; ++i) a(i, k) *= inv;
+    for (int i = k + 1; i < n; ++i) {
+      const double lik = a(i, k);
+      const double* ak = a.row(k);
+      double* ai = a.row(i);
+      for (int j = k + 1; j < n; ++j) ai[j] -= lik * ak[j];
+    }
+  }
+}
+
+}  // namespace naive
+
+// Best-of-reps wall time of fn() after one untimed warmup.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    const double s = t.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+double gflops(double flops, double seconds) {
+  return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+}
+
+std::vector<int> parse_sizes(const std::string& csv) {
+  std::vector<int> sizes;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return;
+    for (const char d : cur) {
+      if (d < '0' || d > '9') {
+        std::cerr << "bench_micro_la: bad --sizes entry '" << cur
+                  << "' (positive integers, comma-separated)\n";
+        std::exit(2);
+      }
+    }
+    sizes.push_back(std::stoi(cur));
+    cur.clear();
+  };
+  for (const char c : csv) {
+    if (c == ',') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  if (sizes.empty()) {
+    std::cerr << "bench_micro_la: --sizes is empty\n";
+    std::exit(2);
+  }
+  return sizes;
+}
+
 }  // namespace
 
-static void BM_Gemm(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_matrix(n, n, 1);
-  la::Matrix b = random_matrix(n, n, 2);
-  la::Matrix c(n, n);
-  for (auto _ : state) {
-    la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, c);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  bench::warn_backend_ignored(args, "benchmarks the la/ kernels directly");
+  bench::CommonArgs c = bench::parse_common(args, {.n = 0, .dataset = "-"});
+  const std::vector<int> sizes =
+      parse_sizes(args.get_string("sizes", "128,256,512"));
+  // This bench is sized by --sizes, not --n; keep the header's n honest.
+  c.n = *std::max_element(sizes.begin(), sizes.end());
+  const int nrhs = static_cast<int>(args.get_int("nrhs", 64));
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 3)));
 
-static void BM_GemmTransB(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_matrix(n, n, 3);
-  la::Matrix b = random_matrix(n, n, 4);
-  la::Matrix c(n, n);
-  for (auto _ : state) {
-    la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kYes, 0.0, c);
-    benchmark::DoNotOptimize(c.data());
-  }
-}
-BENCHMARK(BM_GemmTransB)->Arg(256);
+  bench::print_banner(
+      "micro_la", "packed/blocked compute core vs naive baselines",
+      "single-node " + std::to_string(util::max_threads()) + " threads, " +
+          std::string(la::detail::gemm_kernel_is_avx2() ? "avx2+fma"
+                                                        : "generic") +
+          " microkernel");
 
-static void BM_QR(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_matrix(n, n / 2, 5);
-  for (auto _ : state) {
-    la::QRFactor qr(a);
-    benchmark::DoNotOptimize(&qr);
-  }
-}
-BENCHMARK(BM_QR)->Arg(128)->Arg(512);
+  util::Json doc = bench::json_header("bench_micro_la", c);
+  doc.set("nrhs", static_cast<long>(nrhs));
+  doc.set("reps", static_cast<long>(reps));
+  doc.set("microkernel",
+          la::detail::gemm_kernel_is_avx2() ? "avx2+fma" : "generic");
+  util::Json jgemm = util::Json::array();
+  util::Json jgemm_nt = util::Json::array();
+  util::Json jchol = util::Json::array();
+  util::Json jtrsm = util::Json::array();
+  util::Json jlu = util::Json::array();
+  util::Json jqr = util::Json::array();
 
-static void BM_RRQR_LowRank(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix u = random_matrix(n, 16, 6);
-  la::Matrix v = random_matrix(16, n, 7);
-  la::Matrix a = la::matmul(u, v);
-  la::TruncationOptions opts;
-  opts.rtol = 1e-8;
-  for (auto _ : state) {
-    la::RRQRResult f = la::rrqr(a, opts);
-    benchmark::DoNotOptimize(&f);
-  }
-}
-BENCHMARK(BM_RRQR_LowRank)->Arg(256)->Arg(1024);
+  util::Table tg({"kernel", "n", "seconds", "GFLOP/s", "naive GF/s",
+                  "speedup"});
+  for (const int n : sizes) {
+    const double mm_flops = 2.0 * n * n * n;
+    la::Matrix a = random_matrix(n, n, 1);
+    la::Matrix b = random_matrix(n, n, 2);
+    la::Matrix cmat(n, n);
 
-static void BM_InterpolativeRows(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = la::matmul(random_matrix(n, 24, 8), random_matrix(24, 96, 9));
-  la::TruncationOptions opts;
-  opts.rtol = 1e-6;
-  for (auto _ : state) {
-    la::RowID rid = la::interpolative_rows(a, opts);
-    benchmark::DoNotOptimize(&rid);
-  }
-}
-BENCHMARK(BM_InterpolativeRows)->Arg(128)->Arg(512);
+    // GEMM NN: packed core vs retained naive kernel.
+    const double t_blk = best_seconds(reps, [&] {
+      la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, cmat);
+    });
+    const double t_nai = best_seconds(reps, [&] {
+      la::gemm_naive(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, cmat);
+    });
+    tg.add_row({"gemm_nn", std::to_string(n), util::Table::fmt(t_blk, 4),
+                util::Table::fmt(gflops(mm_flops, t_blk), 2),
+                util::Table::fmt(gflops(mm_flops, t_nai), 2),
+                util::Table::fmt(t_nai / t_blk, 2)});
+    jgemm.push(util::Json::object()
+                   .set("n", static_cast<long>(n))
+                   .set("seconds", t_blk)
+                   .set("gflops", gflops(mm_flops, t_blk))
+                   .set("naive_seconds", t_nai)
+                   .set("naive_gflops", gflops(mm_flops, t_nai))
+                   .set("speedup", t_nai / t_blk));
 
-static void BM_LU(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_matrix(n, n, 10);
-  a.shift_diagonal(n);
-  for (auto _ : state) {
-    la::LUFactor lu(a);
-    benchmark::DoNotOptimize(&lu);
-  }
-}
-BENCHMARK(BM_LU)->Arg(128)->Arg(512);
+    // GEMM NT (the serving path's cross-kernel shape).
+    const double t_blk_nt = best_seconds(reps, [&] {
+      la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kYes, 0.0, cmat);
+    });
+    const double t_nai_nt = best_seconds(reps, [&] {
+      la::gemm_naive(1.0, a, la::Trans::kNo, b, la::Trans::kYes, 0.0, cmat);
+    });
+    tg.add_row({"gemm_nt", std::to_string(n), util::Table::fmt(t_blk_nt, 4),
+                util::Table::fmt(gflops(mm_flops, t_blk_nt), 2),
+                util::Table::fmt(gflops(mm_flops, t_nai_nt), 2),
+                util::Table::fmt(t_nai_nt / t_blk_nt, 2)});
+    jgemm_nt.push(util::Json::object()
+                      .set("n", static_cast<long>(n))
+                      .set("seconds", t_blk_nt)
+                      .set("gflops", gflops(mm_flops, t_blk_nt))
+                      .set("naive_seconds", t_nai_nt)
+                      .set("naive_gflops", gflops(mm_flops, t_nai_nt))
+                      .set("speedup", t_nai_nt / t_blk_nt));
 
-static void BM_Cholesky(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_spd(n, 11);
-  for (auto _ : state) {
-    la::CholeskyFactor chol(a);
-    benchmark::DoNotOptimize(&chol);
-  }
-}
-BENCHMARK(BM_Cholesky)->Arg(128)->Arg(512);
+    // Blocked right-looking Cholesky vs the pre-blocking left-looking loop.
+    const double chol_flops = static_cast<double>(n) * n * n / 3.0;
+    la::Matrix spd = random_spd(n, 11);
+    const double t_chol = best_seconds(reps, [&] {
+      la::CholeskyFactor f(spd);
+      (void)f;
+    });
+    const double t_chol_nai = best_seconds(reps, [&] {
+      la::Matrix copy = spd;
+      naive::cholesky_inplace(copy);
+    });
+    tg.add_row({"cholesky", std::to_string(n), util::Table::fmt(t_chol, 4),
+                util::Table::fmt(gflops(chol_flops, t_chol), 2),
+                util::Table::fmt(gflops(chol_flops, t_chol_nai), 2),
+                util::Table::fmt(t_chol_nai / t_chol, 2)});
+    jchol.push(util::Json::object()
+                   .set("n", static_cast<long>(n))
+                   .set("seconds", t_chol)
+                   .set("gflops", gflops(chol_flops, t_chol))
+                   .set("naive_seconds", t_chol_nai)
+                   .set("naive_gflops", gflops(chol_flops, t_chol_nai))
+                   .set("speedup", t_chol_nai / t_chol));
 
-static void BM_JacobiSVD(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  la::Matrix a = random_matrix(n, n, 12);
-  for (auto _ : state) {
-    auto s = la::singular_values(a);
-    benchmark::DoNotOptimize(s.data());
-  }
-}
-BENCHMARK(BM_JacobiSVD)->Arg(64)->Arg(128);
+    // Blocked multi-RHS forward substitution vs the pre-blocking loop.
+    const double trsm_flops = static_cast<double>(n) * n * nrhs;
+    la::CholeskyFactor chol(spd);
+    la::Matrix rhs = random_matrix(n, nrhs, 21);
+    const double t_trsm = best_seconds(reps, [&] {
+      la::Matrix x = rhs;
+      la::trsm_lower_left(chol.l(), x, false);
+    });
+    const double t_trsm_nai = best_seconds(reps, [&] {
+      la::Matrix x = rhs;
+      naive::trsm_lower_left(chol.l(), x);
+    });
+    tg.add_row({"trsm_lower", std::to_string(n), util::Table::fmt(t_trsm, 4),
+                util::Table::fmt(gflops(trsm_flops, t_trsm), 2),
+                util::Table::fmt(gflops(trsm_flops, t_trsm_nai), 2),
+                util::Table::fmt(t_trsm_nai / t_trsm, 2)});
+    jtrsm.push(util::Json::object()
+                   .set("n", static_cast<long>(n))
+                   .set("nrhs", static_cast<long>(nrhs))
+                   .set("seconds", t_trsm)
+                   .set("gflops", gflops(trsm_flops, t_trsm))
+                   .set("naive_seconds", t_trsm_nai)
+                   .set("naive_gflops", gflops(trsm_flops, t_trsm_nai))
+                   .set("speedup", t_trsm_nai / t_trsm));
 
-static void BM_QLZeroTop(benchmark::State& state) {
-  la::Matrix u = random_matrix(64, 24, 13);
-  for (auto _ : state) {
-    la::QLResult ql = la::ql_zero_top(u);
-    benchmark::DoNotOptimize(&ql);
-  }
-}
-BENCHMARK(BM_QLZeroTop);
+    // Blocked right-looking LU vs the pre-blocking per-step rank-1 loop.
+    const double lu_flops = 2.0 * n * n * n / 3.0;
+    la::Matrix lum = random_matrix(n, n, 31);
+    lum.shift_diagonal(static_cast<double>(n));
+    const double t_lu = best_seconds(reps, [&] {
+      la::LUFactor f(lum);
+      (void)f;
+    });
+    const double t_lu_nai = best_seconds(reps, [&] {
+      la::Matrix copy = lum;
+      naive::lu_inplace(copy);
+    });
+    tg.add_row({"lu", std::to_string(n), util::Table::fmt(t_lu, 4),
+                util::Table::fmt(gflops(lu_flops, t_lu), 2),
+                util::Table::fmt(gflops(lu_flops, t_lu_nai), 2),
+                util::Table::fmt(t_lu_nai / t_lu, 2)});
+    jlu.push(util::Json::object()
+                 .set("n", static_cast<long>(n))
+                 .set("seconds", t_lu)
+                 .set("gflops", gflops(lu_flops, t_lu))
+                 .set("naive_seconds", t_lu_nai)
+                 .set("naive_gflops", gflops(lu_flops, t_lu_nai))
+                 .set("speedup", t_lu_nai / t_lu));
 
-BENCHMARK_MAIN();
+    // Householder QR on n x n/2 (algorithm unchanged this PR, but its
+    // trailing update and apply paths were parallelized — keep it on the
+    // trajectory so regressions there stay visible).
+    const int qn = std::max(1, n / 2);
+    const double qr_flops =
+        2.0 * n * qn * qn - 2.0 * qn * qn * qn / 3.0;
+    la::Matrix qa = random_matrix(n, qn, 41);
+    const double t_qr = best_seconds(reps, [&] {
+      la::QRFactor f(qa);
+      (void)f;
+    });
+    tg.add_row({"qr", std::to_string(n), util::Table::fmt(t_qr, 4),
+                util::Table::fmt(gflops(qr_flops, t_qr), 2), "-", "-"});
+    jqr.push(util::Json::object()
+                 .set("n", static_cast<long>(n))
+                 .set("cols", static_cast<long>(qn))
+                 .set("seconds", t_qr)
+                 .set("gflops", gflops(qr_flops, t_qr)));
+  }
+  tg.print(std::cout, "compute core vs naive (best of " +
+                          std::to_string(reps) + ")");
+
+  doc.set("gemm_nn", std::move(jgemm));
+  doc.set("gemm_nt", std::move(jgemm_nt));
+  doc.set("cholesky", std::move(jchol));
+  doc.set("trsm_lower", std::move(jtrsm));
+  doc.set("lu", std::move(jlu));
+  doc.set("qr", std::move(jqr));
+  bench::write_json_if_requested(c, doc);
+
+  std::cout << "shape to check: gemm_nn speedup >= 3x at n >= 512 (the\n"
+               "acceptance bar for the packed core); cholesky and trsm ride\n"
+               "the same microkernel through their blocked updates.\n";
+  return 0;
+}

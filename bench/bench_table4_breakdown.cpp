@@ -63,6 +63,23 @@ int main(int argc, char** argv) {
                    util::Table::fmt(cells[p][3], 3)});
   }
   table.print(std::cout, "Table 4: timing (seconds)");
+
+  if (!c.json_path.empty()) {
+    util::Json doc = bench::json_header("bench_table4_breakdown", c);
+    doc.set("threads_low", static_cast<long>(low));
+    doc.set("threads_high", static_cast<long>(high));
+    util::Json runs = util::Json::array();
+    const char* run_names[4] = {"SUSY_low", "SUSY_high", "COVTYPE_low",
+                                "COVTYPE_high"};
+    for (int col2 = 0; col2 < 4; ++col2) {
+      util::Json run = util::Json::object();
+      run.set("run", run_names[col2]);
+      for (int p = 0; p < 6; ++p) run.set(phase_names[p], cells[p][col2]);
+      runs.push(std::move(run));
+    }
+    doc.set("phase_seconds", std::move(runs));
+    bench::write_json_if_requested(c, doc);
+  }
   std::cout << "shape to check vs the paper: HSS construction dominated by\n"
                "sampling; factorization and solve orders of magnitude\n"
                "cheaper; every phase speeds up with more parallelism, solve\n"

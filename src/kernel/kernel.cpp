@@ -1,15 +1,31 @@
 #include "kernel/kernel.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "la/blas.hpp"
+#include "la/gemm_kernel.hpp"
 
 namespace khss::kernel {
 
 namespace {
 constexpr int kTile = 128;  // tile edge for blocked evaluation
+
+// Inner-product tile through the packed gemm core:
+// tile(0:ni, 0:nj) = X(i0.., :) * X(j0.., :)^T, ld(tile) = kTile.
+void dot_tile(const la::Matrix& pts, int i0, int ni, int j0, int nj,
+              double* tile) {
+  const int d = pts.cols();
+  for (int i = 0; i < ni; ++i) {
+    std::memset(tile + static_cast<std::size_t>(i) * kTile, 0,
+                sizeof(double) * nj);
+  }
+  la::detail::gemm_packed_serial(ni, nj, d, 1.0, pts.row(i0), d, false,
+                                 pts.row(j0), d, true, tile, kTile);
 }
+}  // namespace
 
 std::string kernel_name(KernelType t) {
   switch (t) {
@@ -75,21 +91,32 @@ double KernelMatrix::entry(int i, int j) const {
 
 la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
                                  const std::vector<int>& cols) const {
-  la::Matrix out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+  const int nr = static_cast<int>(rows.size());
+  const int nc = static_cast<int>(cols.size());
+  la::Matrix out(nr, nc);
 #pragma omp atomic
-  element_evals_ += static_cast<long>(rows.size()) * cols.size();
-  const int d = points_.cols();
+  element_evals_ += static_cast<long>(nr) * nc;
+  if (nr == 0 || nc == 0) return out;
+
+  // Gather the two point subsets into contiguous panels, one packed GEMM
+  // for all inner products, then the fused elementwise kernel transform.
+  // The packed core is used unconditionally — never the small-product
+  // fallback — so a given (i, j) inner product has exactly the same bits
+  // here as in dense() and multiply(): the randomized HSS builder subtracts
+  // extract()-based diagonal blocks from multiply()-based samples and
+  // relies on that cancellation staying below its absolute rank floor.
+  const la::Matrix rpts = points_.rows_subset(rows);
+  const la::Matrix cpts = points_.rows_subset(cols);
+  la::detail::gemm_packed_serial(nr, nc, points_.cols(), 1.0, rpts.data(),
+                                 rpts.cols(), false, cpts.data(), cpts.cols(),
+                                 true, out.data(), nc);
 #pragma omp parallel for schedule(static) if (out.size() > 4096)
-  for (std::size_t r = 0; r < rows.size(); ++r) {
+  for (int r = 0; r < nr; ++r) {
     const int i = rows[r];
-    const double* xi = points_.row(i);
-    double* orow = out.row(static_cast<int>(r));
-    for (std::size_t c = 0; c < cols.size(); ++c) {
+    double* orow = out.row(r);
+    for (int c = 0; c < nc; ++c) {
       const int j = cols[c];
-      const double* xj = points_.row(j);
-      double dot = 0.0;
-      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
-      double v = from_products(dot, sqnorm_[i], sqnorm_[j]);
+      double v = from_products(orow[c], sqnorm_[i], sqnorm_[j]);
       if (i == j) v += lambda_;
       orow[c] = v;
     }
@@ -101,64 +128,72 @@ la::Matrix KernelMatrix::dense() const {
   const int nn = n();
   la::Matrix out(nn, nn);
   element_evals_ += static_cast<long>(nn) * nn;
-  const int d = points_.cols();
-#pragma omp parallel for schedule(dynamic, 8)
-  for (int i = 0; i < nn; ++i) {
-    const double* xi = points_.row(i);
-    double* orow = out.row(i);
-    for (int j = 0; j <= i; ++j) {
-      const double* xj = points_.row(j);
-      double dot = 0.0;
-      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
-      orow[j] = from_products(dot, sqnorm_[i], sqnorm_[j]);
+
+  // syrk-style assembly: only tiles on or below the diagonal are computed —
+  // inner products X_I X_J^T through the packed gemm core (the serving
+  // path's panel scheme), the fused kernel transform, then a mirror into
+  // the upper triangle.  Tiles are element-disjoint, so the parallel
+  // dynamic schedule cannot change any value.
+  const int ntiles = (nn + kTile - 1) / kTile;
+#pragma omp parallel
+  {
+    std::vector<double> tile(static_cast<std::size_t>(kTile) * kTile);
+#pragma omp for schedule(dynamic)
+    for (int ibt = 0; ibt < ntiles; ++ibt) {
+      const int ib = ibt * kTile;
+      const int ni = std::min(kTile, nn - ib);
+      for (int jb = 0; jb <= ib; jb += kTile) {
+        const int nj = std::min(kTile, nn - jb);
+        dot_tile(points_, ib, ni, jb, nj, tile.data());
+        const bool diag_tile = ib == jb;
+        for (int i = 0; i < ni; ++i) {
+          const double* trow = tile.data() + static_cast<std::size_t>(i) * kTile;
+          double* orow = out.row(ib + i);
+          const int jmax = diag_tile ? i + 1 : nj;
+          for (int j = 0; j < jmax; ++j) {
+            const double v =
+                from_products(trow[j], sqnorm_[ib + i], sqnorm_[jb + j]);
+            orow[jb + j] = v;
+            if (ib + i != jb + j) out(jb + j, ib + i) = v;
+          }
+        }
+      }
     }
   }
-  // Mirror the lower triangle and add the diagonal shift.
-  for (int i = 0; i < nn; ++i) {
-    for (int j = i + 1; j < nn; ++j) out(i, j) = out(j, i);
-    out(i, i) += lambda_;
-  }
+  for (int i = 0; i < nn; ++i) out(i, i) += lambda_;
   return out;
 }
 
 la::Matrix KernelMatrix::multiply(const la::Matrix& x) const {
   assert(x.rows() == n());
-  const int nn = n(), d = points_.cols(), s = x.cols();
+  const int nn = n(), s = x.cols();
   la::Matrix out(nn, s);
 
   // Tiles of K are materialized once, transformed, and immediately folded
-  // into the output: S(I,:) += K(I,J) * X(J,:).  Parallel over row tiles —
-  // each thread owns disjoint output rows.
+  // into the output: S(I,:) += K(I,J) * X(J,:) — both products through the
+  // packed gemm core.  Parallel over row tiles (each thread owns disjoint
+  // output rows); the j-tile accumulation order is fixed, so the result is
+  // thread-count invariant.
 #pragma omp parallel
   {
-    la::Matrix tile(kTile, kTile);
+    std::vector<double> tile(static_cast<std::size_t>(kTile) * kTile);
 #pragma omp for schedule(dynamic)
     for (int ib = 0; ib < nn; ib += kTile) {
       const int ni = std::min(kTile, nn - ib);
       for (int jb = 0; jb < nn; jb += kTile) {
         const int nj = std::min(kTile, nn - jb);
         // tile = X_I * X_J^T  then elementwise kernel transform.
+        dot_tile(points_, ib, ni, jb, nj, tile.data());
         for (int i = 0; i < ni; ++i) {
-          const double* xi = points_.row(ib + i);
-          double* trow = tile.row(i);
+          double* trow = tile.data() + static_cast<std::size_t>(i) * kTile;
           for (int j = 0; j < nj; ++j) {
-            const double* xj = points_.row(jb + j);
-            double dot = 0.0;
-            for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
-            trow[j] = from_products(dot, sqnorm_[ib + i], sqnorm_[jb + j]);
+            trow[j] = from_products(trow[j], sqnorm_[ib + i], sqnorm_[jb + j]);
           }
         }
         // S(I,:) += tile * X(J,:)
-        for (int i = 0; i < ni; ++i) {
-          double* orow = out.row(ib + i);
-          const double* trow = tile.row(i);
-          for (int j = 0; j < nj; ++j) {
-            const double t = trow[j];
-            if (t == 0.0) continue;
-            const double* xrow = x.row(jb + j);
-            for (int c = 0; c < s; ++c) orow[c] += t * xrow[c];
-          }
-        }
+        la::detail::gemm_packed_serial(ni, s, nj, 1.0, tile.data(), kTile,
+                                       false, x.row(jb), s, false, out.row(ib),
+                                       s);
       }
       // Diagonal shift.
       if (lambda_ != 0.0) {
@@ -216,17 +251,23 @@ la::Matrix KernelMatrix::cross(const la::Matrix& other_points) const {
   la::Matrix out(m, nn);
 #pragma omp atomic
   element_evals_ += static_cast<long>(m) * nn;
-#pragma omp parallel for schedule(dynamic, 8)
-  for (int i = 0; i < m; ++i) {
-    const double* xi = other_points.row(i);
-    double ni = 0.0;
-    for (int k = 0; k < d; ++k) ni += xi[k] * xi[k];
-    double* orow = out.row(i);
-    for (int j = 0; j < nn; ++j) {
-      const double* xj = points_.row(j);
-      double dot = 0.0;
-      for (int k = 0; k < d; ++k) dot += xi[k] * xj[k];
-      orow[j] = from_products(dot, ni, sqnorm_[j]);
+  if (m == 0 || nn == 0) return out;
+  // Row panels of the cross block: one packed gemm per panel straight into
+  // the output rows, then the fused kernel transform in place.
+#pragma omp parallel for schedule(dynamic)
+  for (int ib = 0; ib < m; ib += kTile) {
+    const int ni = std::min(kTile, m - ib);
+    la::detail::gemm_packed_serial(ni, nn, d, 1.0, other_points.row(ib), d,
+                                   false, points_.data(), d, true, out.row(ib),
+                                   nn);
+    for (int i = 0; i < ni; ++i) {
+      const double* xi = other_points.row(ib + i);
+      double sq = 0.0;
+      for (int k = 0; k < d; ++k) sq += xi[k] * xi[k];
+      double* orow = out.row(ib + i);
+      for (int j = 0; j < nn; ++j) {
+        orow[j] = from_products(orow[j], sq, sqnorm_[j]);
+      }
     }
   }
   return out;

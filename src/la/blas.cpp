@@ -2,15 +2,57 @@
 
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "la/gemm_kernel.hpp"
 
 namespace khss::la {
 
 namespace {
 
-// Core row-major kernel: C(mxn) += alpha * A(mxk) * B(kxn), no transposes.
-// Parallel over rows of C; the inner j-loop is a contiguous fused
-// multiply-add over B's row, which vectorizes well.
-void gemm_nn(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+using detail::gemm_packed_serial;
+
+// C-tile edge for the parallel gemm partition: each (kGemmTileRows x
+// kGemmTileCols) tile of C is computed by one serial packed-gemm call over
+// the full k, so the partition — and therefore every accumulation order —
+// depends only on the shape, never on the thread count.
+constexpr int kGemmTileRows = 256;
+constexpr int kGemmTileCols = 256;
+
+// Diagonal-block edge for the blocked triangular solves and the RHS column
+// width of one parallel work item (threads own disjoint columns of B).
+constexpr int kTrsmBlock = 64;
+constexpr int kTrsmRhsBlock = 128;
+
+// Row-block edge for the transposed gemv partial sums: partials are formed
+// per fixed block and reduced in ascending block order, so the result is
+// identical for any thread count.
+constexpr int kGemvBlock = 256;
+
+// Tiny products skip packing entirely: direct dot loops over op(A)/op(B).
+void gemm_small(double alpha, const Matrix& a, Trans ta, const Matrix& b,
+                Trans tb, Matrix& c) {
+  const int m = c.rows(), n = c.cols();
+  const int k = ta == Trans::kNo ? a.cols() : a.rows();
+#pragma omp parallel for schedule(static) if (static_cast<long>(m) * n * k > 32768)
+  for (int i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == Trans::kNo ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::kNo ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      ci[j] += alpha * s;
+    }
+  }
+}
+
+// Naive core kernels, retained as the parity/bench baseline (gemm_naive).
+// Row-major i-k-j: the inner loop is a contiguous fused multiply-add over
+// B's row.
+void gemm_nn_naive(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
   const int m = c.rows(), n = c.cols(), k = a.cols();
 #pragma omp parallel for schedule(static) if (static_cast<long>(m) * n * k > 32768)
   for (int i = 0; i < m; ++i) {
@@ -18,7 +60,6 @@ void gemm_nn(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
     const double* ai = a.row(i);
     for (int p = 0; p < k; ++p) {
       const double aip = alpha * ai[p];
-      if (aip == 0.0) continue;
       const double* bp = b.row(p);
       for (int j = 0; j < n; ++j) ci[j] += aip * bp[j];
     }
@@ -26,7 +67,7 @@ void gemm_nn(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
 }
 
 // C(mxn) += alpha * A(mxk) * B(nxk)^T : dot-product formulation.
-void gemm_nt(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+void gemm_nt_naive(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
   const int m = c.rows(), n = c.cols(), k = a.cols();
 #pragma omp parallel for schedule(static) if (static_cast<long>(m) * n * k > 32768)
   for (int i = 0; i < m; ++i) {
@@ -41,40 +82,91 @@ void gemm_nt(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-}  // namespace
+void scale_for_beta(double beta, Matrix& c) {
+  if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    c.scale(beta);
+  }
+}
 
-void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
-          double beta, Matrix& c) {
+void check_gemm_shapes(const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+                       const Matrix& c) {
   const int m = ta == Trans::kNo ? a.rows() : a.cols();
   const int k = ta == Trans::kNo ? a.cols() : a.rows();
   const int kb = tb == Trans::kNo ? b.rows() : b.cols();
   const int n = tb == Trans::kNo ? b.cols() : b.rows();
   assert(k == kb);
   assert(c.rows() == m && c.cols() == n);
-  (void)kb;
   (void)m;
   (void)n;
+  (void)k;
+  (void)kb;
+  (void)c;
+}
 
-  if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    c.scale(beta);
+}  // namespace
+
+void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          double beta, Matrix& c) {
+  check_gemm_shapes(a, ta, b, tb, c);
+  const int m = c.rows(), n = c.cols();
+  const int k = ta == Trans::kNo ? a.cols() : a.rows();
+
+  scale_for_beta(beta, c);
+  if (alpha == 0.0 || k == 0 || m == 0 || n == 0) return;
+
+  // m-free dispatch: see kSmallGemmOps — row splits must never change the
+  // code path a given output row takes.
+  if (static_cast<long>(n) * k <= detail::kSmallGemmOps) {
+    gemm_small(alpha, a, ta, b, tb, c);
+    return;
   }
+  const long flops = 2L * m * n * k;
+
+  // Both transpose flags are handled inside the packing stage — no operand
+  // is ever materialized.  lda/ldb are the row strides of the matrices as
+  // stored; the booleans tell the packers how to index them.
+  const double* ap = a.data();
+  const double* bp = b.data();
+  const int lda = a.cols(), ldb = b.cols(), ldc = c.cols();
+  const bool tta = ta == Trans::kYes, ttb = tb == Trans::kYes;
+  const int mt = (m + kGemmTileRows - 1) / kGemmTileRows;
+  const int nt = (n + kGemmTileCols - 1) / kGemmTileCols;
+
+#pragma omp parallel for collapse(2) schedule(dynamic) \
+    if (mt * nt > 1 && flops > 262144)
+  for (int it = 0; it < mt; ++it) {
+    for (int jt = 0; jt < nt; ++jt) {
+      const int i0 = it * kGemmTileRows;
+      const int j0 = jt * kGemmTileCols;
+      const int mi = std::min(kGemmTileRows, m - i0);
+      const int nj = std::min(kGemmTileCols, n - j0);
+      const double* atile = tta ? ap + i0 : ap + static_cast<std::size_t>(i0) * lda;
+      const double* btile = ttb ? bp + static_cast<std::size_t>(j0) * ldb : bp + j0;
+      gemm_packed_serial(mi, nj, k, alpha, atile, lda, tta, btile, ldb, ttb,
+                         c.data() + static_cast<std::size_t>(i0) * ldc + j0, ldc);
+    }
+  }
+}
+
+void gemm_naive(double alpha, const Matrix& a, Trans ta, const Matrix& b,
+                Trans tb, double beta, Matrix& c) {
+  check_gemm_shapes(a, ta, b, tb, c);
+  const int k = ta == Trans::kNo ? a.cols() : a.rows();
+  scale_for_beta(beta, c);
   if (alpha == 0.0 || k == 0) return;
 
-  // Transposed-A cases are rare and small in this codebase (translation
-  // operators, ID coefficient blocks); materializing A^T keeps the hot NN/NT
-  // kernels simple and cache-friendly.
   if (ta == Trans::kNo && tb == Trans::kNo) {
-    gemm_nn(alpha, a, b, c);
+    gemm_nn_naive(alpha, a, b, c);
   } else if (ta == Trans::kNo && tb == Trans::kYes) {
-    gemm_nt(alpha, a, b, c);
+    gemm_nt_naive(alpha, a, b, c);
   } else if (ta == Trans::kYes && tb == Trans::kNo) {
     const Matrix at = a.transposed();
-    gemm_nn(alpha, at, b, c);
+    gemm_nn_naive(alpha, at, b, c);
   } else {
     const Matrix at = a.transposed();
-    gemm_nt(alpha, at, b, c);
+    gemm_nt_naive(alpha, at, b, c);
   }
 }
 
@@ -111,12 +203,34 @@ void gemv(double alpha, const Matrix& a, Trans ta, const Vector& x, double beta,
       y[i] += alpha * s;
     }
   } else {
-    // y += alpha * A^T x : accumulate row-wise to keep memory access on A
-    // contiguous; serial accumulation into y (sizes here are modest).
-    for (int i = 0; i < a.rows(); ++i) {
-      const double* ai = a.row(i);
-      const double axi = alpha * x[i];
-      for (int j = 0; j < a.cols(); ++j) y[j] += axi * ai[j];
+    // y += alpha * A^T x, accumulated row-wise so memory access on A stays
+    // contiguous.  Rows are cut into fixed kGemvBlock partial sums computed
+    // in parallel, then reduced in ascending block order — the partition
+    // depends only on the shape, so the result is thread-count invariant.
+    const int rows = a.rows(), cols = a.cols();
+    const int nblocks = (rows + kGemvBlock - 1) / kGemvBlock;
+    if (a.size() <= 32768 || nblocks == 1) {
+      for (int i = 0; i < rows; ++i) {
+        const double* ai = a.row(i);
+        const double axi = alpha * x[i];
+        for (int j = 0; j < cols; ++j) y[j] += axi * ai[j];
+      }
+      return;
+    }
+    std::vector<double> partial(static_cast<std::size_t>(nblocks) * cols, 0.0);
+#pragma omp parallel for schedule(static)
+    for (int blk = 0; blk < nblocks; ++blk) {
+      double* part = partial.data() + static_cast<std::size_t>(blk) * cols;
+      const int hi = std::min(rows, (blk + 1) * kGemvBlock);
+      for (int i = blk * kGemvBlock; i < hi; ++i) {
+        const double* ai = a.row(i);
+        const double axi = alpha * x[i];
+        for (int j = 0; j < cols; ++j) part[j] += axi * ai[j];
+      }
+    }
+    for (int blk = 0; blk < nblocks; ++blk) {
+      const double* part = partial.data() + static_cast<std::size_t>(blk) * cols;
+      for (int j = 0; j < cols; ++j) y[j] += part[j];
     }
   }
 }
@@ -172,20 +286,112 @@ double diff_f(const Matrix& a, const Matrix& b) {
   return std::sqrt(s);
 }
 
+namespace {
+
+// Unblocked forward substitution on a column slice [c0, c0+nc) of B.
+void trsm_lower_unblocked(const Matrix& l, Matrix& b, bool unit, int r0,
+                          int nr, int c0, int nc) {
+  for (int i = 0; i < nr; ++i) {
+    double* bi = b.row(r0 + i) + c0;
+    const double* li = l.row(r0 + i) + r0;
+    for (int p = 0; p < i; ++p) {
+      const double lip = li[p];
+      const double* bp = b.row(r0 + p) + c0;
+      for (int j = 0; j < nc; ++j) bi[j] -= lip * bp[j];
+    }
+    if (!unit) {
+      const double inv = 1.0 / li[i];
+      for (int j = 0; j < nc; ++j) bi[j] *= inv;
+    }
+  }
+}
+
+// Unblocked backward substitution with U on a diagonal block.
+void trsm_upper_unblocked(const Matrix& u, Matrix& b, int r0, int nr, int c0,
+                          int nc) {
+  for (int i = nr - 1; i >= 0; --i) {
+    double* bi = b.row(r0 + i) + c0;
+    const double* ui = u.row(r0 + i) + r0;
+    for (int p = i + 1; p < nr; ++p) {
+      const double uip = ui[p];
+      const double* bp = b.row(r0 + p) + c0;
+      for (int j = 0; j < nc; ++j) bi[j] -= uip * bp[j];
+    }
+    const double inv = 1.0 / ui[i];
+    for (int j = 0; j < nc; ++j) bi[j] *= inv;
+  }
+}
+
+// Unblocked backward substitution with L^T on a diagonal block (L stored
+// lower): row i of L^T is column i of L.
+void trsm_lower_trans_unblocked(const Matrix& l, Matrix& b, int r0, int nr,
+                                int c0, int nc) {
+  for (int i = nr - 1; i >= 0; --i) {
+    double* bi = b.row(r0 + i) + c0;
+    for (int p = i + 1; p < nr; ++p) {
+      const double lpi = l(r0 + p, r0 + i);
+      const double* bp = b.row(r0 + p) + c0;
+      for (int j = 0; j < nc; ++j) bi[j] -= lpi * bp[j];
+    }
+    const double inv = 1.0 / l(r0 + i, r0 + i);
+    for (int j = 0; j < nc; ++j) bi[j] *= inv;
+  }
+}
+
+bool trsm_is_small(int n, int nrhs) {
+  return n <= kTrsmBlock || static_cast<long>(n) * n * nrhs < 65536;
+}
+
+}  // namespace
+
 void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
   assert(l.rows() == l.cols() && l.rows() == b.rows());
   const int n = l.rows(), nrhs = b.cols();
-  for (int i = 0; i < n; ++i) {
-    double* bi = b.row(i);
-    for (int p = 0; p < i; ++p) {
-      const double lip = l(i, p);
-      if (lip == 0.0) continue;
-      const double* bp = b.row(p);
-      for (int j = 0; j < nrhs; ++j) bi[j] -= lip * bp[j];
+  if (trsm_is_small(n, nrhs)) {
+    trsm_lower_unblocked(l, b, unit_diagonal, 0, n, 0, nrhs);
+    return;
+  }
+  // Threads own disjoint column blocks of B; inside a block, row panels are
+  // eliminated in order with one packed gemm per panel.
+  const int ldb = b.cols();
+#pragma omp parallel for schedule(static) if (nrhs > kTrsmRhsBlock)
+  for (int cb = 0; cb < nrhs; cb += kTrsmRhsBlock) {
+    const int nc = std::min(kTrsmRhsBlock, nrhs - cb);
+    for (int ib = 0; ib < n; ib += kTrsmBlock) {
+      const int nr = std::min(kTrsmBlock, n - ib);
+      if (ib > 0) {
+        gemm_packed_serial(nr, nc, ib, -1.0, l.row(ib), l.cols(), false,
+                           b.data() + cb, ldb, false,
+                           b.row(ib) + cb, ldb);
+      }
+      trsm_lower_unblocked(l, b, unit_diagonal, ib, nr, cb, nc);
     }
-    if (!unit_diagonal) {
-      const double inv = 1.0 / l(i, i);
-      for (int j = 0; j < nrhs; ++j) bi[j] *= inv;
+  }
+}
+
+void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
+  assert(l.rows() == l.cols() && l.rows() == b.rows());
+  const int n = l.rows(), nrhs = b.cols();
+  if (trsm_is_small(n, nrhs)) {
+    trsm_lower_trans_unblocked(l, b, 0, n, 0, nrhs);
+    return;
+  }
+  const int ldb = b.cols();
+  const int nblocks = (n + kTrsmBlock - 1) / kTrsmBlock;
+#pragma omp parallel for schedule(static) if (nrhs > kTrsmRhsBlock)
+  for (int cb = 0; cb < nrhs; cb += kTrsmRhsBlock) {
+    const int nc = std::min(kTrsmRhsBlock, nrhs - cb);
+    for (int blk = nblocks - 1; blk >= 0; --blk) {
+      const int ib = blk * kTrsmBlock;
+      const int nr = std::min(kTrsmBlock, n - ib);
+      const int rest = n - ib - nr;
+      if (rest > 0) {
+        // B_ib -= L(ib+nr.., ib..ib+nr)^T * B(ib+nr..)
+        gemm_packed_serial(nr, nc, rest, -1.0, l.row(ib + nr) + ib, l.cols(),
+                           true, b.row(ib + nr) + cb, ldb, false,
+                           b.row(ib) + cb, ldb);
+      }
+      trsm_lower_trans_unblocked(l, b, ib, nr, cb, nc);
     }
   }
 }
@@ -193,30 +399,57 @@ void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
 void trsm_upper_left(const Matrix& u, Matrix& b) {
   assert(u.rows() == u.cols() && u.rows() == b.rows());
   const int n = u.rows(), nrhs = b.cols();
-  for (int i = n - 1; i >= 0; --i) {
-    double* bi = b.row(i);
-    for (int p = i + 1; p < n; ++p) {
-      const double uip = u(i, p);
-      if (uip == 0.0) continue;
-      const double* bp = b.row(p);
-      for (int j = 0; j < nrhs; ++j) bi[j] -= uip * bp[j];
+  if (trsm_is_small(n, nrhs)) {
+    trsm_upper_unblocked(u, b, 0, n, 0, nrhs);
+    return;
+  }
+  const int ldb = b.cols();
+  const int nblocks = (n + kTrsmBlock - 1) / kTrsmBlock;
+#pragma omp parallel for schedule(static) if (nrhs > kTrsmRhsBlock)
+  for (int cb = 0; cb < nrhs; cb += kTrsmRhsBlock) {
+    const int nc = std::min(kTrsmRhsBlock, nrhs - cb);
+    for (int blk = nblocks - 1; blk >= 0; --blk) {
+      const int ib = blk * kTrsmBlock;
+      const int nr = std::min(kTrsmBlock, n - ib);
+      const int rest = n - ib - nr;
+      if (rest > 0) {
+        gemm_packed_serial(nr, nc, rest, -1.0, u.row(ib) + ib + nr, u.cols(),
+                           false, b.row(ib + nr) + cb, ldb, false,
+                           b.row(ib) + cb, ldb);
+      }
+      trsm_upper_unblocked(u, b, ib, nr, cb, nc);
     }
-    const double inv = 1.0 / u(i, i);
-    for (int j = 0; j < nrhs; ++j) bi[j] *= inv;
   }
 }
 
 void trsm_upper_right(const Matrix& u, Matrix& b) {
-  // Solve X U = B  column-by-column of X (columns of U define the order).
+  // Solve X U = B in place of B.  Every row of X depends only on the same
+  // row of B, so threads own disjoint row blocks; inside a block, column
+  // panels are eliminated left to right with one packed gemm per panel.
   assert(u.rows() == u.cols() && u.cols() == b.cols());
   const int n = u.cols(), m = b.rows();
-  for (int j = 0; j < n; ++j) {
-    const double inv = 1.0 / u(j, j);
-    for (int i = 0; i < m; ++i) {
-      double* bi = b.row(i);
-      bi[j] *= inv;
-      const double xij = bi[j];
-      for (int p = j + 1; p < n; ++p) bi[p] -= xij * u(j, p);
+  const int ldb = b.cols();
+  const bool small = n <= kTrsmBlock || static_cast<long>(n) * n * m < 65536;
+#pragma omp parallel for schedule(static) if (!small && m > kTrsmBlock)
+  for (int rb = 0; rb < m; rb += kTrsmBlock) {
+    const int nr = std::min(kTrsmBlock, m - rb);
+    for (int jb = 0; jb < n; jb += kTrsmBlock) {
+      const int nj = std::min(kTrsmBlock, n - jb);
+      if (jb > 0) {
+        // B(rb.., jb..) -= X(rb.., 0:jb) * U(0:jb, jb..)
+        gemm_packed_serial(nr, nj, jb, -1.0, b.row(rb), ldb, false,
+                           u.data() + jb, u.cols(), false,
+                           b.row(rb) + jb, ldb);
+      }
+      for (int i = 0; i < nr; ++i) {
+        double* bi = b.row(rb + i) + jb;
+        for (int j = 0; j < nj; ++j) {
+          const double xij = bi[j] / u(jb + j, jb + j);
+          bi[j] = xij;
+          const double* uj = u.row(jb + j) + jb;
+          for (int p = j + 1; p < nj; ++p) bi[p] -= xij * uj[p];
+        }
+      }
     }
   }
 }

@@ -1,11 +1,13 @@
 #pragma once
 // BLAS-like dense kernels (OpenMP-parallel) on la::Matrix / la::Vector.
 //
-// Naming follows BLAS loosely; all routines are straightforward, portable
-// C++ tuned for the matrix sizes this library actually uses (leaf blocks of
-// tens of rows up to sample blocks of a few thousand).  The gemm micro-kernel
-// uses an i-k-j loop order so the inner loop is a contiguous saxpy the
-// compiler vectorizes.
+// Naming follows BLAS loosely.  gemm() routes through the packed,
+// register-tiled core in gemm_kernel.hpp (all four transpose cases, no
+// operand materialization); the triangular solves and the multi-RHS
+// substitutions are cache-blocked on top of the same core.  Parallel work
+// is always partitioned into fixed, shape-only tiles whose accumulation
+// order never depends on the thread count, so every routine here is
+// bit-identical across thread counts (see DESIGN.md "Compute core").
 
 #include "la/matrix.hpp"
 
@@ -16,6 +18,13 @@ enum class Trans { kNo, kYes };
 /// C = alpha * op(A) * op(B) + beta * C.  Shapes are checked with asserts.
 void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
           double beta, Matrix& c);
+
+/// The pre-blocking triple-loop gemm (i-k-j saxpy / dot forms, transposed
+/// operands materialized).  Kept as the parity and perf baseline for the
+/// packed core: tests pin gemm() against it at 1e-12 and bench_micro_la
+/// reports the blocked/naive speedup.
+void gemm_naive(double alpha, const Matrix& a, Trans ta, const Matrix& b,
+                Trans tb, double beta, Matrix& c);
 
 /// Convenience: returns op(A) * op(B).
 Matrix matmul(const Matrix& a, const Matrix& b, Trans ta = Trans::kNo,
@@ -45,6 +54,11 @@ double diff_f(const Matrix& a, const Matrix& b);
 
 /// Solve L * X = B in place of B, L lower-triangular (unit or not).
 void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal);
+
+/// Solve L^T * X = B in place of B, L lower-triangular (stored lower; the
+/// transpose is applied implicitly).  Back-substitution half of the blocked
+/// Cholesky solve.
+void trsm_lower_trans_left(const Matrix& l, Matrix& b);
 
 /// Solve U * X = B in place of B, U upper-triangular.
 void trsm_upper_left(const Matrix& u, Matrix& b);

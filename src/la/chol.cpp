@@ -4,30 +4,106 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/blas.hpp"
+#include "la/gemm_kernel.hpp"
+
 namespace khss::la {
 
 namespace {
 
-// Returns false on a non-positive pivot instead of throwing.
+// Panel width of the right-looking blocked factorization.  The trailing
+// update is a syrk-shaped packed gemm — the O(n^3) bulk of the work — done
+// per column block so threads own disjoint output.  kCholInner is the
+// sub-block width of the panel solve: everything left of the current
+// sub-block folds in through gemm, only the kCholInner-wide substitution
+// itself runs scalar.
+constexpr int kCholBlock = 64;
+constexpr int kCholInner = 32;
+
+// Unblocked left-looking Cholesky of the nb x nb diagonal block at
+// a[0..nb, 0..nb] (leading dimension lda).  Returns false on a
+// non-positive pivot.
+bool chol_diag_block(double* a, int lda, int nb) {
+  for (int k = 0; k < nb; ++k) {
+    double* ak = a + static_cast<std::size_t>(k) * lda;
+    double d = ak[k];
+    for (int p = 0; p < k; ++p) d -= ak[p] * ak[p];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    d = std::sqrt(d);
+    ak[k] = d;
+    const double inv = 1.0 / d;
+    for (int i = k + 1; i < nb; ++i) {
+      double* ai = a + static_cast<std::size_t>(i) * lda;
+      double s = ai[k];
+      for (int p = 0; p < k; ++p) s -= ai[p] * ak[p];
+      ai[k] = s * inv;
+    }
+  }
+  return true;
+}
+
+// Right-looking blocked Cholesky: per panel, factor the diagonal block,
+// solve the sub-diagonal panel against L11^T (row-parallel), then fold the
+// syrk trailing update through the packed gemm core (column-block
+// parallel).  Returns false on a non-positive pivot.
 bool cholesky_inplace(Matrix& a) {
   assert(a.rows() == a.cols());
   const int n = a.rows();
-  for (int k = 0; k < n; ++k) {
-    double d = a(k, k);
-    for (int p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
-    if (d <= 0.0 || !std::isfinite(d)) return false;
-    d = std::sqrt(d);
-    a(k, k) = d;
-    const double inv = 1.0 / d;
-#pragma omp parallel for schedule(static) if ((n - k) > 256)
-    for (int i = k + 1; i < n; ++i) {
-      double s = a(i, k);
-      const double* ai = a.row(i);
-      const double* ak = a.row(k);
-      for (int p = 0; p < k; ++p) s -= ai[p] * ak[p];
-      a(i, k) = s * inv;
+  const int lda = n;
+  double* A = a.data();
+
+  for (int kb = 0; kb < n; kb += kCholBlock) {
+    const int nb = std::min(kCholBlock, n - kb);
+    double* diag = A + static_cast<std::size_t>(kb) * lda + kb;
+    if (!chol_diag_block(diag, lda, nb)) return false;
+
+    const int i2 = kb + nb;
+    const int m2 = n - i2;
+    if (m2 == 0) continue;
+
+    // Panel solve: X * L11^T = A21.  The part left of the current
+    // sub-block is one packed gemm (A21 columns jb.. minus
+    // A21(:, 0:jb) * L11(jb.., 0:jb)^T); only the kCholInner-wide
+    // substitution against the diagonal sub-block runs scalar, one
+    // independent row at a time.
+    for (int jb = 0; jb < nb; jb += kCholInner) {
+      const int nj = std::min(kCholInner, nb - jb);
+#pragma omp parallel for schedule(static) if (m2 > 2 * kCholBlock)
+      for (int rb = 0; rb < m2; rb += kCholBlock) {
+        const int nr = std::min(kCholBlock, m2 - rb);
+        double* arows = A + static_cast<std::size_t>(i2 + rb) * lda + kb;
+        if (jb > 0) {
+          detail::gemm_packed_serial(
+              nr, nj, jb, -1.0, arows, lda, false,
+              A + static_cast<std::size_t>(kb + jb) * lda + kb, lda, true,
+              arows + jb, lda);
+        }
+        for (int i = 0; i < nr; ++i) {
+          double* ai = arows + static_cast<std::size_t>(i) * lda;
+          for (int j = jb; j < jb + nj; ++j) {
+            const double* lj = A + static_cast<std::size_t>(kb + j) * lda + kb;
+            double s = ai[j];
+            for (int p = jb; p < j; ++p) s -= ai[p] * lj[p];
+            ai[j] = s / lj[j];
+          }
+        }
+      }
+    }
+
+    // Trailing update A22 -= L21 * L21^T.  Only the lower trapezoid of each
+    // column block is needed by later panels; the few extra entries above
+    // the diagonal are overwritten when the upper triangle is cleared below.
+#pragma omp parallel for schedule(dynamic) \
+    if (static_cast<long>(m2) * m2 * nb > 262144)
+    for (int jb = 0; jb < m2; jb += kCholBlock) {
+      const int nbj = std::min(kCholBlock, m2 - jb);
+      const double* l21 = A + static_cast<std::size_t>(i2 + jb) * lda + kb;
+      detail::gemm_packed_serial(
+          m2 - jb, nbj, nb, -1.0, l21, lda, false, l21, lda, true,
+          A + static_cast<std::size_t>(i2 + jb) * lda + (i2 + jb), lda);
     }
   }
+
   // Zero the strict upper triangle so l() is clean.
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) a(i, j) = 0.0;
@@ -62,32 +138,9 @@ Vector CholeskyFactor::solve(const Vector& b) const {
 }
 
 void CholeskyFactor::solve_inplace(Matrix& b) const {
-  const int n = l_.rows();
-  assert(b.rows() == n);
-  const int nrhs = b.cols();
-  for (int i = 0; i < n; ++i) {
-    const double* li = l_.row(i);
-    double* bi = b.row(i);
-    for (int j = 0; j < i; ++j) {
-      const double lij = li[j];
-      if (lij == 0.0) continue;
-      const double* bj = b.row(j);
-      for (int c = 0; c < nrhs; ++c) bi[c] -= lij * bj[c];
-    }
-    const double inv = 1.0 / li[i];
-    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
-  }
-  for (int i = n - 1; i >= 0; --i) {
-    double* bi = b.row(i);
-    for (int j = i + 1; j < n; ++j) {
-      const double lji = l_(j, i);
-      if (lji == 0.0) continue;
-      const double* bj = b.row(j);
-      for (int c = 0; c < nrhs; ++c) bi[c] -= lji * bj[c];
-    }
-    const double inv = 1.0 / l_(i, i);
-    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
-  }
+  assert(b.rows() == l_.rows());
+  trsm_lower_left(l_, b, /*unit_diagonal=*/false);
+  trsm_lower_trans_left(l_, b);
 }
 
 bool CholeskyFactor::is_spd(const Matrix& a) {

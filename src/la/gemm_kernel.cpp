@@ -1,0 +1,202 @@
+#include "la/gemm_kernel.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace khss::la::detail {
+
+namespace {
+
+#if defined(__GNUC__)
+#define KHSS_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define KHSS_ALWAYS_INLINE inline
+#endif
+
+// Packing workspace, one set per thread.  Sized once for the largest block
+// the driver ever uses; reused across calls so the hot loop never allocates.
+struct PackBuffers {
+  std::vector<double> a;  // kMC x kKC, alpha folded in, kMR-row panels
+  std::vector<double> b;  // kKC x kNC, kNR-column panels
+  PackBuffers()
+      : a(static_cast<std::size_t>(kMC) * kKC),
+        b(static_cast<std::size_t>(kKC) * kNC) {}
+};
+
+PackBuffers& buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// Pack an mc x kc block of alpha*op(A) into kMR-row panels: panel ir holds
+// rows [ir, ir+kMR) stored p-major (ap[p*kMR + i]), short last panel
+// zero-padded so the microkernel never branches on row count.
+KHSS_ALWAYS_INLINE void pack_a(int mc, int kc, double alpha, const double* a,
+                               int lda, bool ta, double* ap) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = mc - ir < kMR ? mc - ir : kMR;
+    double* dst = ap + static_cast<std::size_t>(ir) * kc;
+    if (!ta) {
+      for (int p = 0; p < kc; ++p) {
+        for (int i = 0; i < mr; ++i) {
+          dst[p * kMR + i] = alpha * a[static_cast<std::size_t>(ir + i) * lda + p];
+        }
+        for (int i = mr; i < kMR; ++i) dst[p * kMR + i] = 0.0;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        const double* arow = a + static_cast<std::size_t>(p) * lda + ir;
+        for (int i = 0; i < mr; ++i) dst[p * kMR + i] = alpha * arow[i];
+        for (int i = mr; i < kMR; ++i) dst[p * kMR + i] = 0.0;
+      }
+    }
+  }
+}
+
+// Pack a kc x nc block of op(B) into kNR-column panels (bp[p*kNR + j]),
+// short last panel zero-padded.
+KHSS_ALWAYS_INLINE void pack_b(int kc, int nc, const double* b, int ldb,
+                               bool tb, double* bp) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = nc - jr < kNR ? nc - jr : kNR;
+    double* dst = bp + static_cast<std::size_t>(jr) * kc;
+    if (!tb) {
+      for (int p = 0; p < kc; ++p) {
+        const double* brow = b + static_cast<std::size_t>(p) * ldb + jr;
+        for (int j = 0; j < nr; ++j) dst[p * kNR + j] = brow[j];
+        for (int j = nr; j < kNR; ++j) dst[p * kNR + j] = 0.0;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        for (int j = 0; j < nr; ++j) {
+          dst[p * kNR + j] = b[static_cast<std::size_t>(jr + j) * ldb + p];
+        }
+        for (int j = nr; j < kNR; ++j) dst[p * kNR + j] = 0.0;
+      }
+    }
+  }
+}
+
+// kMR x kNR register microkernel over a depth-kc packed panel pair.  The
+// accumulator block lives in registers for the whole kc loop; mr/nr trim
+// only the final store, so edge tiles share the same code path (and the
+// same flop order) as interior ones.
+KHSS_ALWAYS_INLINE void micro_kernel(int kc, const double* ap,
+                                     const double* bp, double* c, int ldc,
+                                     int mr, int nr) {
+  double acc[kMR][kNR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const double* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const double* brow = bp + static_cast<std::size_t>(p) * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const double av = arow[i];
+      for (int j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      double* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < kNR; ++j) crow[j] += acc[i][j];
+    }
+  } else {
+    for (int i = 0; i < mr; ++i) {
+      double* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+
+// Full blocked driver: jc (kNC) -> pc (kKC, sequential: C accumulation
+// order is fixed) -> ic (kMC) -> jr/ir microkernels.
+KHSS_ALWAYS_INLINE void gemm_driver(int m, int n, int k, double alpha,
+                                    const double* a, int lda, bool ta,
+                                    const double* b, int ldb, bool tb,
+                                    double* c, int ldc) {
+  PackBuffers& bufs = buffers();
+  double* apack = bufs.a.data();
+  double* bpack = bufs.b.data();
+
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = n - jc < kNC ? n - jc : kNC;
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = k - pc < kKC ? k - pc : kKC;
+      pack_b(kc, nc, tb ? b + static_cast<std::size_t>(jc) * ldb + pc
+                        : b + static_cast<std::size_t>(pc) * ldb + jc,
+             ldb, tb, bpack);
+      for (int ic = 0; ic < m; ic += kMC) {
+        const int mc = m - ic < kMC ? m - ic : kMC;
+        pack_a(mc, kc, alpha,
+               ta ? a + static_cast<std::size_t>(pc) * lda + ic
+                  : a + static_cast<std::size_t>(ic) * lda + pc,
+               lda, ta, apack);
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const int nr = nc - jr < kNR ? nc - jr : kNR;
+          const double* bpanel = bpack + static_cast<std::size_t>(jr) * kc;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = mc - ir < kMR ? mc - ir : kMR;
+            micro_kernel(kc, apack + static_cast<std::size_t>(ir) * kc,
+                         bpanel,
+                         c + static_cast<std::size_t>(ic + ir) * ldc + jc + jr,
+                         ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_driver_generic(int m, int n, int k, double alpha, const double* a,
+                         int lda, bool ta, const double* b, int ldb, bool tb,
+                         double* c, int ldc) {
+  gemm_driver(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define KHSS_GEMM_MULTIVERSION 1
+__attribute__((target("avx2,fma"))) void gemm_driver_avx2(
+    int m, int n, int k, double alpha, const double* a, int lda, bool ta,
+    const double* b, int ldb, bool tb, double* c, int ldc) {
+  gemm_driver(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+}
+#elif defined(__x86_64__) && defined(__clang__)
+#define KHSS_GEMM_MULTIVERSION 1
+__attribute__((target("avx2,fma"))) void gemm_driver_avx2(
+    int m, int n, int k, double alpha, const double* a, int lda, bool ta,
+    const double* b, int ldb, bool tb, double* c, int ldc) {
+  gemm_driver(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+}
+#endif
+
+using GemmFn = void (*)(int, int, int, double, const double*, int, bool,
+                        const double*, int, bool, double*, int);
+
+bool detect_avx2() {
+#if defined(KHSS_GEMM_MULTIVERSION)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+GemmFn resolve_gemm() {
+#if defined(KHSS_GEMM_MULTIVERSION)
+  if (detect_avx2()) return gemm_driver_avx2;
+#endif
+  return gemm_driver_generic;
+}
+
+const bool kUseAvx2 = detect_avx2();
+const GemmFn kGemmFn = resolve_gemm();
+
+}  // namespace
+
+void gemm_packed_serial(int m, int n, int k, double alpha, const double* a,
+                        int lda, bool ta, const double* b, int ldb, bool tb,
+                        double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == 0.0) return;
+  kGemmFn(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+}
+
+bool gemm_kernel_is_avx2() { return kUseAvx2; }
+
+}  // namespace khss::la::detail

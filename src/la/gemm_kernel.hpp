@@ -1,0 +1,53 @@
+#pragma once
+// Packed, register-tiled GEMM core (DESIGN.md "Compute core").
+//
+// This is the cache-blocked replacement for the naive triple-loop kernels:
+// a BLIS-style MR x NR register microkernel under KC/MC/NC cache blocking
+// with A/B packing buffers.  The entry point below is a *serial* kernel on
+// raw row-major buffers with explicit leading dimensions, so the blocked
+// level-3 routines (Cholesky, LU, TRSM, the symmetric kernel assembly) can
+// run it on submatrices in place; all parallelism lives in the callers,
+// which partition output into disjoint tiles — that is what makes every
+// result bit-identical for any thread count.
+//
+// The microkernel is compiled twice when the toolchain supports function
+// target attributes: a baseline ISA version and an AVX2+FMA version picked
+// once at startup via __builtin_cpu_supports.  Dispatch depends only on the
+// host CPU, never on shapes or thread counts, so run-to-run determinism on
+// one machine is unaffected.
+
+namespace khss::la::detail {
+
+// Blocking parameters (see DESIGN.md "Compute core" for the re-tuning
+// recipe).  kMR x kNR is the register tile: kMR*kNR accumulators must fit
+// the vector register file with room for one B row and an A broadcast.
+// kKC sizes the packed A/B panel depth (kMR*kKC doubles of A per panel),
+// kMC bounds the packed A block (kMC x kKC ~ L2-resident), kNC bounds the
+// packed B panel width (kKC x kNC).
+inline constexpr int kMR = 4;
+inline constexpr int kNR = 8;
+inline constexpr int kKC = 256;
+inline constexpr int kMC = 128;
+inline constexpr int kNC = 256;
+
+/// gemm() skips packing when op(B) holds at most this many entries (n*k,
+/// leaf-sized blocks).  The cutoff deliberately ignores the row count m:
+/// per-row results of both paths are independent of the rows they share a
+/// call with, so a shape-only, m-free dispatch keeps gemm() bit-identical
+/// under any row split — the serving path's panel/batch invariance contract
+/// rides on this.
+inline constexpr long kSmallGemmOps = 1024;
+
+/// C(m x n, ldc) += alpha * op(A) * op(B), serial, packed.
+/// A stores op(A)'s source with leading dimension lda: element (i, p) of
+/// op(A) is a[i*lda + p] when ta == false and a[p*lda + i] when ta == true
+/// (same convention for B with tb).  Callers handle beta by pre-scaling C.
+void gemm_packed_serial(int m, int n, int k, double alpha, const double* a,
+                        int lda, bool ta, const double* b, int ldb, bool tb,
+                        double* c, int ldc);
+
+/// True when the AVX2+FMA microkernel was selected at startup (reporting
+/// aid for the perf harness; the generic kernel is used otherwise).
+bool gemm_kernel_is_avx2();
+
+}  // namespace khss::la::detail

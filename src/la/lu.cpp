@@ -3,44 +3,95 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "la/blas.hpp"
+#include "la/gemm_kernel.hpp"
 
 namespace khss::la {
+
+namespace {
+
+// Panel width of the right-looking blocked factorization with partial
+// pivoting.  Inside a panel the rank-1 updates touch panel columns only;
+// the deferred trailing update is one packed gemm per column block.
+constexpr int kLuBlock = 32;
+
+}  // namespace
 
 LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
   assert(a_.rows() == a_.cols());
   const int n = a_.rows();
+  const int lda = n;
+  double* A = a_.data();
   piv_.resize(n);
 
-  for (int k = 0; k < n; ++k) {
-    // Partial pivot: largest magnitude in column k at or below the diagonal.
-    int piv = k;
-    double best = std::fabs(a_(k, k));
-    for (int i = k + 1; i < n; ++i) {
-      const double v = std::fabs(a_(i, k));
-      if (v > best) {
-        best = v;
-        piv = i;
+  for (int kb = 0; kb < n; kb += kLuBlock) {
+    const int nb = std::min(kLuBlock, n - kb);
+    const int kend = kb + nb;
+
+    // Panel factorization: pivot search on the fully-updated column, full
+    // row swap (right-looking semantics), then a rank-1 update restricted
+    // to the remaining panel columns.
+    for (int k = kb; k < kend; ++k) {
+      int piv = k;
+      double best = std::fabs(A[static_cast<std::size_t>(k) * lda + k]);
+      for (int i = k + 1; i < n; ++i) {
+        const double v = std::fabs(A[static_cast<std::size_t>(i) * lda + k]);
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+      piv_[k] = piv;
+      if (piv != k) {
+        double* rk = A + static_cast<std::size_t>(k) * lda;
+        double* rp = A + static_cast<std::size_t>(piv) * lda;
+        for (int j = 0; j < n; ++j) std::swap(rk[j], rp[j]);
+      }
+      const double akk = A[static_cast<std::size_t>(k) * lda + k];
+      if (akk == 0.0) {
+        throw std::runtime_error("LUFactor: singular matrix");
+      }
+      const double inv = 1.0 / akk;
+      const double* ak = A + static_cast<std::size_t>(k) * lda;
+#pragma omp parallel for schedule(static) if (n - k > 256)
+      for (int i = k + 1; i < n; ++i) {
+        double* ai = A + static_cast<std::size_t>(i) * lda;
+        const double lik = ai[k] * inv;
+        ai[k] = lik;
+        for (int j = k + 1; j < kend; ++j) ai[j] -= lik * ak[j];
       }
     }
-    piv_[k] = piv;
-    if (piv != k) {
-      for (int j = 0; j < n; ++j) std::swap(a_(k, j), a_(piv, j));
-    }
-    if (a_(k, k) == 0.0) {
-      throw std::runtime_error("LUFactor: singular matrix");
+
+    const int rest = n - kend;
+    if (rest == 0) continue;
+
+    // U12 block: solve unit-lower L11 * X = A(kb:kend, kend:n) in place,
+    // parallel over disjoint column blocks of the right-hand side.
+#pragma omp parallel for schedule(static) if (rest > kLuBlock)
+    for (int cb = 0; cb < rest; cb += kLuBlock) {
+      const int nc = std::min(kLuBlock, rest - cb);
+      for (int j = kb + 1; j < kend; ++j) {
+        double* bj = A + static_cast<std::size_t>(j) * lda + kend + cb;
+        const double* lrow = A + static_cast<std::size_t>(j) * lda + kb;
+        for (int p = kb; p < j; ++p) {
+          const double ljp = lrow[p - kb];
+          const double* bp = A + static_cast<std::size_t>(p) * lda + kend + cb;
+          for (int c = 0; c < nc; ++c) bj[c] -= ljp * bp[c];
+        }
+      }
     }
 
-    const double inv = 1.0 / a_(k, k);
-    for (int i = k + 1; i < n; ++i) a_(i, k) *= inv;
-
-    // Trailing update, parallel over rows for larger root systems.
-#pragma omp parallel for schedule(static) if ((n - k) > 128)
-    for (int i = k + 1; i < n; ++i) {
-      const double lik = a_(i, k);
-      if (lik == 0.0) continue;
-      const double* ak = a_.row(k);
-      double* ai = a_.row(i);
-      for (int j = k + 1; j < n; ++j) ai[j] -= lik * ak[j];
+    // Trailing update A22 -= L21 * U12, one packed gemm per column block.
+#pragma omp parallel for schedule(dynamic) \
+    if (static_cast<long>(rest) * rest * nb > 262144)
+    for (int cb = 0; cb < rest; cb += kLuBlock) {
+      const int nc = std::min(kLuBlock, rest - cb);
+      detail::gemm_packed_serial(
+          rest, nc, nb, -1.0, A + static_cast<std::size_t>(kend) * lda + kb,
+          lda, false, A + static_cast<std::size_t>(kb) * lda + kend + cb, lda,
+          false, A + static_cast<std::size_t>(kend) * lda + kend + cb, lda);
     }
   }
 }
@@ -77,28 +128,10 @@ void LUFactor::solve_inplace(Matrix& b) const {
       for (int c = 0; c < nrhs; ++c) std::swap(b(k, c), b(piv_[k], c));
     }
   }
-  for (int i = 0; i < n; ++i) {
-    const double* ai = a_.row(i);
-    double* bi = b.row(i);
-    for (int j = 0; j < i; ++j) {
-      const double lij = ai[j];
-      if (lij == 0.0) continue;
-      const double* bj = b.row(j);
-      for (int c = 0; c < nrhs; ++c) bi[c] -= lij * bj[c];
-    }
-  }
-  for (int i = n - 1; i >= 0; --i) {
-    const double* ai = a_.row(i);
-    double* bi = b.row(i);
-    for (int j = i + 1; j < n; ++j) {
-      const double uij = ai[j];
-      if (uij == 0.0) continue;
-      const double* bj = b.row(j);
-      for (int c = 0; c < nrhs; ++c) bi[c] -= uij * bj[c];
-    }
-    const double inv = 1.0 / ai[i];
-    for (int c = 0; c < nrhs; ++c) bi[c] *= inv;
-  }
+  // a_ stores the unit-lower L strictly below the diagonal and U on and
+  // above it; the blocked triangular solves read exactly those halves.
+  trsm_lower_left(a_, b, /*unit_diagonal=*/true);
+  trsm_upper_left(a_, b);
 }
 
 double LUFactor::log_abs_det() const {

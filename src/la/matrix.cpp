@@ -73,8 +73,11 @@ Matrix Matrix::cols_subset(const std::vector<int>& idx) const {
 
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
-  // Blocked transpose for cache friendliness on larger matrices.
+  // Blocked transpose for cache friendliness on larger matrices; row blocks
+  // write disjoint output columns, so the parallel split is safe and
+  // order-free (pure copies, no accumulation).
   constexpr int kBlock = 32;
+#pragma omp parallel for schedule(static) if (size() > 65536)
   for (int ib = 0; ib < rows_; ib += kBlock) {
     const int imax = ib + kBlock < rows_ ? ib + kBlock : rows_;
     for (int jb = 0; jb < cols_; jb += kBlock) {

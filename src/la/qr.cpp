@@ -48,11 +48,16 @@ QRFactor::QRFactor(Matrix a) : a_(std::move(a)) {
     tau_[j] = -v0 / alpha;  // = 2 / (v^T v) with v(j) = 1 scaling
     a_(j, j) = alpha;
 
-    // Apply (I - tau v v^T) to the trailing columns.
+    // Apply (I - tau v v^T) to the trailing columns.  Columns are
+    // independent (each reads the shared reflector, writes its own column),
+    // so the parallel split cannot change any accumulation order.
+    const double tj = tau_[j];
+#pragma omp parallel for schedule(static) \
+    if (static_cast<long>(n - j) * (m - j) > 16384)
     for (int c = j + 1; c < n; ++c) {
       double s = a_(j, c);
       for (int i = j + 1; i < m; ++i) s += a_(i, j) * a_(i, c);
-      s *= tau_[j];
+      s *= tj;
       a_(j, c) -= s;
       for (int i = j + 1; i < m; ++i) a_(i, c) -= s * a_(i, j);
     }
@@ -70,34 +75,39 @@ Matrix QRFactor::r() const {
 }
 
 void QRFactor::apply_qt(Matrix& b) const {
-  // Q^T = H_{k-1} ... H_1 H_0; apply in forward order.
+  // Q^T = H_{k-1} ... H_1 H_0.  Each column of B runs the whole reflector
+  // chain independently, so the multi-RHS parallel split is over columns
+  // (tau == 0 reflectors are identity and skipped — semantic, not a perf
+  // branch).
   assert(b.rows() == a_.rows());
   const int m = a_.rows(), nrhs = b.cols();
-  for (std::size_t j = 0; j < tau_.size(); ++j) {
-    const double t = tau_[j];
-    if (t == 0.0) continue;
-    for (int c = 0; c < nrhs; ++c) {
-      double s = b(static_cast<int>(j), c);
-      for (int i = static_cast<int>(j) + 1; i < m; ++i) {
-        s += a_(i, static_cast<int>(j)) * b(i, c);
-      }
+  const int k = static_cast<int>(tau_.size());
+#pragma omp parallel for schedule(static) \
+    if (nrhs > 4 && static_cast<long>(m) * k > 16384)
+  for (int c = 0; c < nrhs; ++c) {
+    for (int j = 0; j < k; ++j) {
+      const double t = tau_[j];
+      if (t == 0.0) continue;
+      double s = b(j, c);
+      for (int i = j + 1; i < m; ++i) s += a_(i, j) * b(i, c);
       s *= t;
-      b(static_cast<int>(j), c) -= s;
-      for (int i = static_cast<int>(j) + 1; i < m; ++i) {
-        b(i, c) -= s * a_(i, static_cast<int>(j));
-      }
+      b(j, c) -= s;
+      for (int i = j + 1; i < m; ++i) b(i, c) -= s * a_(i, j);
     }
   }
 }
 
 void QRFactor::apply_q(Matrix& b) const {
-  // Q = H_0 H_1 ... H_{k-1}; apply in reverse order.
+  // Q = H_0 H_1 ... H_{k-1}; reflectors in reverse order, columns parallel.
   assert(b.rows() == a_.rows());
   const int m = a_.rows(), nrhs = b.cols();
-  for (int j = static_cast<int>(tau_.size()) - 1; j >= 0; --j) {
-    const double t = tau_[j];
-    if (t == 0.0) continue;
-    for (int c = 0; c < nrhs; ++c) {
+  const int k = static_cast<int>(tau_.size());
+#pragma omp parallel for schedule(static) \
+    if (nrhs > 4 && static_cast<long>(m) * k > 16384)
+  for (int c = 0; c < nrhs; ++c) {
+    for (int j = k - 1; j >= 0; --j) {
+      const double t = tau_[j];
+      if (t == 0.0) continue;
       double s = b(j, c);
       for (int i = j + 1; i < m; ++i) s += a_(i, j) * b(i, c);
       s *= t;

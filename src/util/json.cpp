@@ -1,0 +1,176 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace khss::util {
+
+Json::Json(bool v) : type_(Type::kBool), bool_(v) {}
+Json::Json(long v) : type_(Type::kInt), int_(v) {}
+Json::Json(double v) : type_(Type::kDouble), double_(v) {}
+Json::Json(const char* v) : type_(Type::kString), string_(v) {}
+Json::Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  assert(type_ == Type::kObject && "Json::set on a non-object");
+  for (auto& kv : members_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  assert(type_ == Type::kArray && "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null keeps consumers parsing.
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  os << buf;
+}
+
+void indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+}  // namespace
+
+void Json::dump_indented(std::ostream& os, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      os << int_;
+      break;
+    case Type::kDouble:
+      dump_double(os, double_);
+      break;
+    case Type::kString:
+      dump_string(os, string_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        indent(os, depth + 1);
+        items_[i].dump_indented(os, depth + 1);
+        if (i + 1 < items_.size()) os << ',';
+        os << '\n';
+      }
+      indent(os, depth);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(os, depth + 1);
+        dump_string(os, members_[i].first);
+        os << ": ";
+        members_[i].second.dump_indented(os, depth + 1);
+        if (i + 1 < members_.size()) os << ',';
+        os << '\n';
+      }
+      indent(os, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os) const {
+  dump_indented(os, 0);
+  os << '\n';
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+bool Json::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  dump(out);
+  out.flush();  // surface deferred write errors (disk full) in the state
+  return static_cast<bool>(out);
+}
+
+}  // namespace khss::util

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "util/argparse.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -163,4 +165,49 @@ TEST(PhaseTimings, Accumulates) {
   EXPECT_DOUBLE_EQ(pt.get("solve"), 0.25);
   EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
   EXPECT_EQ(pt.all().size(), 2u);
+}
+
+TEST(Json, ScalarsAndNesting) {
+  u::Json doc = u::Json::object();
+  doc.set("name", "bench_micro_la");
+  doc.set("n", 512);
+  doc.set("gflops", 26.5);
+  doc.set("avx2", true);
+  u::Json arr = u::Json::array();
+  arr.push(u::Json::object().set("n", 128).set("speedup", 3.5));
+  arr.push(1.0);
+  doc.set("rows", std::move(arr));
+
+  const std::string s = doc.str();
+  EXPECT_NE(s.find("\"name\": \"bench_micro_la\""), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 512"), std::string::npos);
+  EXPECT_NE(s.find("\"avx2\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"speedup\": 3.5"), std::string::npos);
+  // Keys keep insertion order so trajectory files diff cleanly.
+  EXPECT_LT(s.find("\"name\""), s.find("\"gflops\""));
+}
+
+TEST(Json, EscapesAndRoundTripDoubles) {
+  u::Json doc = u::Json::object();
+  doc.set("quote\"back\\slash", "line\nbreak\ttab");
+  doc.set("tiny", 1.0000000000000002);
+  const std::string s = doc.str();
+  EXPECT_NE(s.find("\"quote\\\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(s.find("line\\nbreak\\ttab"), std::string::npos);
+  // max_digits10 formatting keeps the last ulp.
+  EXPECT_NE(s.find("1.0000000000000002"), std::string::npos);
+  u::Json nonfinite = u::Json::object();
+  nonfinite.set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_NE(nonfinite.str().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(Json, EmptyContainersAndNull) {
+  u::Json doc = u::Json::object();
+  doc.set("empty_obj", u::Json::object());
+  doc.set("empty_arr", u::Json::array());
+  doc.set("nothing", u::Json());
+  const std::string s = doc.str();
+  EXPECT_NE(s.find("\"empty_obj\": {}"), std::string::npos);
+  EXPECT_NE(s.find("\"empty_arr\": []"), std::string::npos);
+  EXPECT_NE(s.find("\"nothing\": null"), std::string::npos);
 }
