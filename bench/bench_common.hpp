@@ -83,6 +83,49 @@ inline void warn_backend_ignored(const util::ArgParser& args,
   }
 }
 
+/// Parse a comma-separated `--sizes` list ("128,256,512") for the micro
+/// harnesses; prints a friendly error and exits(2) on anything that is not
+/// a positive int (including out-of-range magnitudes).
+inline std::vector<int> parse_sizes(const std::string& csv,
+                                    const std::string& program) {
+  std::vector<int> sizes;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return;
+    bool ok = true;
+    for (const char d : cur) ok = ok && d >= '0' && d <= '9';
+    int v = 0;
+    if (ok) {
+      try {
+        v = std::stoi(cur);
+      } catch (const std::out_of_range&) {
+        ok = false;
+      }
+      ok = ok && v > 0;
+    }
+    if (!ok) {
+      std::cerr << program << ": bad --sizes entry '" << cur
+                << "' (positive integers, comma-separated)\n";
+      std::exit(2);
+    }
+    sizes.push_back(v);
+    cur.clear();
+  };
+  for (const char c : csv) {
+    if (c == ',') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  if (sizes.empty()) {
+    std::cerr << program << ": --sizes is empty\n";
+    std::exit(2);
+  }
+  return sizes;
+}
+
 inline CommonArgs parse_common(const util::ArgParser& args,
                                const BenchDefaults& def = {}) {
   CommonArgs c;

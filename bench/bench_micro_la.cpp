@@ -125,36 +125,6 @@ double gflops(double flops, double seconds) {
   return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
 }
 
-std::vector<int> parse_sizes(const std::string& csv) {
-  std::vector<int> sizes;
-  std::string cur;
-  auto flush = [&] {
-    if (cur.empty()) return;
-    for (const char d : cur) {
-      if (d < '0' || d > '9') {
-        std::cerr << "bench_micro_la: bad --sizes entry '" << cur
-                  << "' (positive integers, comma-separated)\n";
-        std::exit(2);
-      }
-    }
-    sizes.push_back(std::stoi(cur));
-    cur.clear();
-  };
-  for (const char c : csv) {
-    if (c == ',') {
-      flush();
-    } else {
-      cur += c;
-    }
-  }
-  flush();
-  if (sizes.empty()) {
-    std::cerr << "bench_micro_la: --sizes is empty\n";
-    std::exit(2);
-  }
-  return sizes;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,7 +132,7 @@ int main(int argc, char** argv) {
   bench::warn_backend_ignored(args, "benchmarks the la/ kernels directly");
   bench::CommonArgs c = bench::parse_common(args, {.n = 0, .dataset = "-"});
   const std::vector<int> sizes =
-      parse_sizes(args.get_string("sizes", "128,256,512"));
+      bench::parse_sizes(args.get_string("sizes", "128,256,512"), args.program());
   // This bench is sized by --sizes, not --n; keep the header's n honest.
   c.n = *std::max_element(sizes.begin(), sizes.end());
   const int nrhs = static_cast<int>(args.get_int("nrhs", 64));

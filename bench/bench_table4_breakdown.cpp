@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
                      "COVTYPE t=" + std::to_string(high)});
 
   // rows[phase][column]
-  std::vector<std::array<double, 4>> cells(6);
+  constexpr int kPhases = 10;
+  std::vector<std::array<double, 4>> cells(kPhases);
   int col = 0;
   for (const std::string name : {"SUSY", "COVTYPE"}) {
     bench::PreparedData d = bench::prepare(name, n, 200, c.seed);
@@ -47,16 +48,21 @@ int main(int argc, char** argv) {
       cells[3][col] = r.stats.compress_seconds -
                       r.stats.sampling_seconds;
       cells[4][col] = r.stats.factor_seconds;
-      cells[5][col] = r.stats.solve_seconds;
+      cells[5][col] = r.stats.factor_tree_seconds;
+      cells[6][col] = r.stats.factor_root_seconds;
+      cells[7][col] = r.stats.solve_seconds;
+      cells[8][col] = r.stats.solve_forward_seconds;
+      cells[9][col] = r.stats.solve_backward_seconds;
       ++col;
     }
   }
   util::set_threads(util::hardware_threads());
 
-  const char* phase_names[6] = {"H construction", "HSS construction",
-                                "--> Sampling", "--> Other", "Factorization",
-                                "Solve"};
-  for (int p = 0; p < 6; ++p) {
+  const char* phase_names[kPhases] = {
+      "H construction", "HSS construction", "--> Sampling", "--> Other",
+      "Factorization",  "--> ULV sweep",    "--> Root LU",  "Solve",
+      "--> Forward",    "--> Backward"};
+  for (int p = 0; p < kPhases; ++p) {
     table.add_row({phase_names[p], util::Table::fmt(cells[p][0], 3),
                    util::Table::fmt(cells[p][1], 3),
                    util::Table::fmt(cells[p][2], 3),
@@ -74,7 +80,7 @@ int main(int argc, char** argv) {
     for (int col2 = 0; col2 < 4; ++col2) {
       util::Json run = util::Json::object();
       run.set("run", run_names[col2]);
-      for (int p = 0; p < 6; ++p) run.set(phase_names[p], cells[p][col2]);
+      for (int p = 0; p < kPhases; ++p) run.set(phase_names[p], cells[p][col2]);
       runs.push(std::move(run));
     }
     doc.set("phase_seconds", std::move(runs));

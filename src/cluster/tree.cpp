@@ -100,6 +100,23 @@ bool ClusterTree::validate() const {
   return true;
 }
 
+std::vector<std::vector<int>> levels_bottom_up(const std::vector<int>& parent) {
+  if (parent.empty()) return {};
+  std::vector<int> depth(parent.size(), 0);
+  int maxd = 0;
+  // Children always carry a larger id than their parent (the builders append
+  // nodes in creation order), so one forward pass resolves every depth.
+  for (std::size_t id = 1; id < parent.size(); ++id) {
+    depth[id] = depth[parent[id]] + 1;
+    maxd = std::max(maxd, depth[id]);
+  }
+  std::vector<std::vector<int>> by_level(maxd + 1);
+  for (std::size_t id = 0; id < parent.size(); ++id) {
+    by_level[maxd - depth[id]].push_back(static_cast<int>(id));
+  }
+  return by_level;
+}
+
 void annotate_geometry(std::vector<ClusterNode>& nodes,
                        const la::Matrix& permuted_points) {
   const int d = permuted_points.cols();

@@ -66,6 +66,26 @@ class ClusterTree {
   int leaf_size_ = 0;
 };
 
+/// Group node ids by tree depth, deepest level first.  Nodes on one level
+/// are pairwise independent in any bottom-up (or, reversed, top-down) sweep:
+/// this is the shared schedule of the level-synchronous parallel passes —
+/// HSS construction, ULV factorization/solve, and the HSS matvec sweeps.
+/// `parent[id]` is the parent node id (ignored for id 0, the root).
+std::vector<std::vector<int>> levels_bottom_up(const std::vector<int>& parent);
+
+/// Same, computed from any node vector with `left`/`right`/`is_leaf()`
+/// members (ClusterNode, hss::HSSNode, hodlr Node, ...).
+template <typename Node>
+std::vector<std::vector<int>> levels_bottom_up(const std::vector<Node>& nodes) {
+  std::vector<int> parent(nodes.size(), -1);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (nodes[id].is_leaf()) continue;
+    parent[nodes[id].left] = static_cast<int>(id);
+    parent[nodes[id].right] = static_cast<int>(id);
+  }
+  return levels_bottom_up(parent);
+}
+
 /// Compute centroid/radius for every node from the (already permuted) points.
 void annotate_geometry(std::vector<ClusterNode>& nodes,
                        const la::Matrix& permuted_points);

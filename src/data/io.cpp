@@ -1,6 +1,7 @@
 #include "data/io.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -10,6 +11,51 @@
 namespace khss::data {
 
 namespace {
+
+// Loader parse errors carry file:line context — std::stod/std::stoi would
+// otherwise escape as bare std::invalid_argument / std::out_of_range with no
+// hint of which of a million input lines was malformed.
+[[noreturn]] void parse_error(const std::string& path, int line,
+                              const std::string& what,
+                              const std::string& token) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what +
+                           " '" + token + "'");
+}
+
+// Strict full-token double: rejects empty tokens, trailing junk ("2.5.3",
+// "1e9x") and out-of-range magnitudes, which std::stod alone accepts or
+// reports without context.
+double parse_double_token(const std::string& tok, const std::string& path,
+                          int line, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    while (pos < tok.size() &&
+           std::isspace(static_cast<unsigned char>(tok[pos]))) {
+      ++pos;
+    }
+    if (pos != tok.size()) parse_error(path, line, what, tok);
+    return v;
+  } catch (const std::invalid_argument&) {
+    parse_error(path, line, what, tok);
+  } catch (const std::out_of_range&) {
+    parse_error(path, line, what + " (out of range)", tok);
+  }
+}
+
+int parse_int_token(const std::string& tok, const std::string& path, int line,
+                    const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) parse_error(path, line, what, tok);
+    return v;
+  } catch (const std::invalid_argument&) {
+    parse_error(path, line, what, tok);
+  } catch (const std::out_of_range&) {
+    parse_error(path, line, what + " (out of range)", tok);
+  }
+}
 
 // Map arbitrary label values (e.g. {-1, +1} or {1..26}) to dense ids 0..c-1,
 // preserving sorted order of the original values.
@@ -34,21 +80,26 @@ Dataset load_csv(const std::string& path, char delimiter) {
   std::vector<double> raw_labels;
   std::string line;
   int dim = -1;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::vector<double> vals;
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, delimiter)) {
       if (cell.empty()) continue;
-      vals.push_back(std::stod(cell));
+      vals.push_back(parse_double_token(cell, path, lineno, "bad CSV cell"));
     }
     if (vals.empty()) continue;
     if (dim < 0) {
       dim = static_cast<int>(vals.size()) - 1;
       if (dim <= 0) throw std::runtime_error("load_csv: need >= 2 columns");
     } else if (static_cast<int>(vals.size()) != dim + 1) {
-      throw std::runtime_error("load_csv: ragged row in " + path);
+      throw std::runtime_error("load_csv: " + path + ":" +
+                               std::to_string(lineno) + ": ragged row (" +
+                               std::to_string(vals.size()) + " columns, expected " +
+                               std::to_string(dim + 1) + ")");
     }
     raw_labels.push_back(vals[0]);
     vals.erase(vals.begin());
@@ -75,24 +126,48 @@ Dataset load_libsvm(const std::string& path, int dim) {
   std::vector<double> raw_labels;
   std::string line;
   int max_index = dim;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::stringstream ss(line);
-    double label;
-    if (!(ss >> label)) continue;
-    raw_labels.push_back(label);
+    std::string label_tok;
+    if (!(ss >> label_tok)) continue;  // whitespace-only line
+    // A label that fails to parse is an error, never a silent skip — the
+    // old `if (!(ss >> label)) continue;` dropped whole data rows.
+    raw_labels.push_back(
+        parse_double_token(label_tok, path, lineno, "bad label"));
     std::vector<std::pair<int, double>> feats;
     std::string tok;
     while (ss >> tok) {
       const auto colon = tok.find(':');
       if (colon == std::string::npos) {
-        throw std::runtime_error("load_libsvm: malformed token '" + tok + "'");
+        parse_error(path, lineno, "malformed feature token", tok);
       }
-      const int idx = std::stoi(tok.substr(0, colon));
-      const double val = std::stod(tok.substr(colon + 1));
-      if (idx <= 0) throw std::runtime_error("load_libsvm: 1-based indices");
+      const int idx =
+          parse_int_token(tok.substr(0, colon), path, lineno, "bad index");
+      const double val = parse_double_token(tok.substr(colon + 1), path,
+                                            lineno, "bad value");
+      if (idx <= 0) {
+        parse_error(path, lineno, "indices are 1-based; bad index", tok);
+      }
       max_index = std::max(max_index, idx);
       feats.emplace_back(idx - 1, val);
+    }
+    // Duplicate indices within a row would silently overwrite a value;
+    // one O(k log k) pass per row keeps dense rows linear-ish to load.
+    std::vector<int> idxs;
+    idxs.reserve(feats.size());
+    for (const auto& [j, v] : feats) {
+      (void)v;
+      idxs.push_back(j);
+    }
+    std::sort(idxs.begin(), idxs.end());
+    for (std::size_t i = 1; i < idxs.size(); ++i) {
+      if (idxs[i] == idxs[i - 1]) {
+        parse_error(path, lineno, "duplicate feature index",
+                    std::to_string(idxs[i] + 1));
+      }
     }
     rows.push_back(std::move(feats));
   }

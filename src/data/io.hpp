@@ -10,11 +10,15 @@ namespace khss::data {
 
 /// CSV with the class label in the first column, features after it.
 /// Lines starting with '#' and empty lines are skipped.
-/// Throws std::runtime_error on malformed input or missing file.
+/// Throws std::runtime_error on malformed input or missing file; parse
+/// errors (bad numeric cell, ragged row) name the file and line.
 Dataset load_csv(const std::string& path, char delimiter = ',');
 
 /// LIBSVM sparse text format: "<label> idx:val idx:val ...", 1-based indices.
 /// The feature dimension is the largest index seen unless `dim` is given.
+/// Throws std::runtime_error (with file:line context) on malformed labels,
+/// indices or values, and on duplicate feature indices within a row —
+/// nothing is silently skipped.
 Dataset load_libsvm(const std::string& path, int dim = 0);
 
 /// Write a dataset as CSV (label first), for interchange with plotting tools.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "la/blas.hpp"
 #include "util/timer.hpp"
@@ -72,7 +74,11 @@ HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
 }
 
 la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
-  assert(x.rows() == n_);
+  if (x.rows() != n_) {
+    throw std::invalid_argument("HODLRMatrix::matmat: x has " +
+                                std::to_string(x.rows()) +
+                                " rows; expected n = " + std::to_string(n_));
+  }
   const int s = x.cols();
   la::Matrix y(n_, s);
   for (const auto& nd : nodes_) {
@@ -101,6 +107,11 @@ la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
 }
 
 la::Vector HODLRMatrix::matvec(const la::Vector& x) const {
+  if (static_cast<int>(x.size()) != n_) {
+    throw std::invalid_argument("HODLRMatrix::matvec: x has " +
+                                std::to_string(x.size()) +
+                                " entries; expected n = " + std::to_string(n_));
+  }
   la::Matrix xm(n_, 1);
   for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
   la::Matrix ym = matmat(xm);
@@ -130,53 +141,77 @@ void HODLRMatrix::shift_diagonal(double delta) {
   }
 }
 
+namespace {
+
+// Subtrees below this many points are factored/applied inline: task-spawn
+// overhead would swamp the work.  The cutoff keys on the node size only
+// (never on thread count or load), so the arithmetic done at every node is
+// fixed and results stay bit-identical however OpenMP schedules the tasks.
+constexpr int kSmwTaskPoints = 384;
+
+}  // namespace
+
 SMWFactorization::SMWFactorization(const HODLRMatrix& hodlr) : hodlr_(hodlr) {
+  nf_.resize(hodlr_.nodes().size());
+  if (nf_.empty()) return;
+  // The two subtrees under any node are independent; factor them as
+  // recursive OpenMP tasks.
+#pragma omp parallel
+#pragma omp single
+  factor_node(0);
+}
+
+void SMWFactorization::factor_node(int node_id) {
   const auto& nodes = hodlr_.nodes();
-  nf_.resize(nodes.size());
-
-  for (int id : hodlr_.postorder()) {
-    const auto& nd = nodes[id];
-    NodeFactor& nf = nf_[id];
-    if (nd.is_leaf()) {
-      nf.leaf_lu = std::make_unique<la::LUFactor>(nd.d);
-      continue;
-    }
-    const auto& a = nodes[nd.left];
-    const auto& b = nodes[nd.right];
-    const int na = a.size(), nb = b.size();
-    const int r1 = nd.upper.rank(), r2 = nd.lower.rank();
-    const int m = na + nb;
-
-    // A = blkdiag(A_a, A_b) + W Z^T with
-    //   W = [U_up  0   ;  0  U_lo],   Z = [0  V_lo ;  V_up  0].
-    la::Matrix w(m, r1 + r2), z(m, r1 + r2);
-    if (r1 > 0) {
-      w.set_block(0, 0, nd.upper.u);
-      z.set_block(na, 0, nd.upper.v);
-    }
-    if (r2 > 0) {
-      w.set_block(na, r1, nd.lower.u);
-      z.set_block(0, r1, nd.lower.v);
-    }
-
-    // D^{-1} W via the children's (already built) inverses.
-    la::Matrix dinv_w = w;
-    {
-      la::Matrix top = dinv_w.block(0, 0, na, r1 + r2);
-      apply_inverse(nd.left, &top);
-      dinv_w.set_block(0, 0, top);
-      la::Matrix bot = dinv_w.block(na, 0, nb, r1 + r2);
-      apply_inverse(nd.right, &bot);
-      dinv_w.set_block(na, 0, bot);
-    }
-
-    // Capacitance C = I + Z^T D^{-1} W.
-    la::Matrix cap = la::matmul(z, dinv_w, la::Trans::kYes, la::Trans::kNo);
-    cap.shift_diagonal(1.0);
-    nf.cap_lu = std::make_unique<la::LUFactor>(std::move(cap));
-    nf.dinv_w = std::move(dinv_w);
-    nf.z = std::move(z);
+  const auto& nd = nodes[node_id];
+  NodeFactor& nf = nf_[node_id];
+  if (nd.is_leaf()) {
+    nf.leaf_lu = std::make_unique<la::LUFactor>(nd.d);
+    return;
   }
+
+#pragma omp task default(shared) if (nodes[nd.left].size() > kSmwTaskPoints)
+  factor_node(nd.left);
+  factor_node(nd.right);
+#pragma omp taskwait
+
+  const auto& a = nodes[nd.left];
+  const auto& b = nodes[nd.right];
+  const int na = a.size(), nb = b.size();
+  const int r1 = nd.upper.rank(), r2 = nd.lower.rank();
+  const int m = na + nb;
+
+  // A = blkdiag(A_a, A_b) + W Z^T with
+  //   W = [U_up  0   ;  0  U_lo],   Z = [0  V_lo ;  V_up  0].
+  la::Matrix w(m, r1 + r2), z(m, r1 + r2);
+  if (r1 > 0) {
+    w.set_block(0, 0, nd.upper.u);
+    z.set_block(na, 0, nd.upper.v);
+  }
+  if (r2 > 0) {
+    w.set_block(na, r1, nd.lower.u);
+    z.set_block(0, r1, nd.lower.v);
+  }
+
+  // D^{-1} W via the children's (just built) inverses.
+  la::Matrix dinv_w = w;
+  {
+    la::Matrix top = dinv_w.block(0, 0, na, r1 + r2);
+    la::Matrix bot = dinv_w.block(na, 0, nb, r1 + r2);
+#pragma omp task default(shared) if (na > kSmwTaskPoints)
+    apply_inverse(nd.left, &top);
+    apply_inverse(nd.right, &bot);
+#pragma omp taskwait
+    dinv_w.set_block(0, 0, top);
+    dinv_w.set_block(na, 0, bot);
+  }
+
+  // Capacitance C = I + Z^T D^{-1} W.
+  la::Matrix cap = la::matmul(z, dinv_w, la::Trans::kYes, la::Trans::kNo);
+  cap.shift_diagonal(1.0);
+  nf.cap_lu = std::make_unique<la::LUFactor>(std::move(cap));
+  nf.dinv_w = std::move(dinv_w);
+  nf.z = std::move(z);
 }
 
 void SMWFactorization::apply_inverse(int node_id, la::Matrix* b) const {
@@ -193,30 +228,51 @@ void SMWFactorization::apply_inverse(int node_id, la::Matrix* b) const {
   const int nb = nd.size() - na;
   const int s = b->cols();
 
-  // b1 = D^{-1} b (recursively on the children).
+  // b1 = D^{-1} b (recursively on the children; the halves are disjoint
+  // copies, so they run as independent tasks).
   {
     la::Matrix top = b->block(0, 0, na, s);
-    apply_inverse(nd.left, &top);
-    b->set_block(0, 0, top);
     la::Matrix bot = b->block(na, 0, nb, s);
+#pragma omp task default(shared) if (na > kSmwTaskPoints)
+    apply_inverse(nd.left, &top);
     apply_inverse(nd.right, &bot);
+#pragma omp taskwait
+    b->set_block(0, 0, top);
     b->set_block(na, 0, bot);
   }
   if (nf.z.cols() == 0) return;  // no off-diagonal coupling
 
   // b -= D^{-1}W (I + Z^T D^{-1}W)^{-1} Z^T b1.
-  la::Matrix t = la::matmul(nf.z, *b, la::Trans::kYes, la::Trans::kNo);
+  la::Matrix t =
+      la::matmul_rhs_invariant(nf.z, *b, la::Trans::kYes, la::Trans::kNo);
   nf.cap_lu->solve_inplace(t);
-  la::gemm(-1.0, nf.dinv_w, la::Trans::kNo, t, la::Trans::kNo, 1.0, *b);
+  la::gemm_rhs_invariant(-1.0, nf.dinv_w, la::Trans::kNo, t, la::Trans::kNo,
+                         1.0, *b);
 }
 
 la::Matrix SMWFactorization::solve(const la::Matrix& b) const {
+  if (b.rows() != hodlr_.n()) {
+    throw std::invalid_argument("SMWFactorization::solve: right-hand side "
+                                "has " + std::to_string(b.rows()) +
+                                " rows; the factored matrix has n = " +
+                                std::to_string(hodlr_.n()));
+  }
   la::Matrix x = b;
+  // Task region for the recursive descent; a no-op team of one when called
+  // from inside an enclosing parallel region.
+#pragma omp parallel
+#pragma omp single
   apply_inverse(0, &x);
   return x;
 }
 
 la::Vector SMWFactorization::solve(const la::Vector& b) const {
+  if (static_cast<int>(b.size()) != hodlr_.n()) {
+    throw std::invalid_argument("SMWFactorization::solve: right-hand side "
+                                "has " + std::to_string(b.size()) +
+                                " entries; the factored matrix has n = " +
+                                std::to_string(hodlr_.n()));
+  }
   la::Matrix bm(static_cast<int>(b.size()), 1);
   for (std::size_t i = 0; i < b.size(); ++i) bm(static_cast<int>(i), 0) = b[i];
   la::Matrix xm = solve(bm);

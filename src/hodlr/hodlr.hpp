@@ -98,8 +98,15 @@ class SMWFactorization {
   std::size_t memory_bytes() const;
 
  private:
+  // Recursive bottom-up factorization of one subtree.  Sibling subtrees are
+  // independent and run as OpenMP tasks (shape-only spawn cutoff), so the
+  // factor is bit-identical for any thread count.
+  void factor_node(int node_id);
+
   // Recursive application of this subtree's inverse to columns of B
-  // (B rows span the node's index range).
+  // (B rows span the node's index range).  The two child halves run as
+  // OpenMP tasks; per-node blocks route through la::gemm_rhs_invariant, so
+  // solves are bit-identical for any thread count and RHS column split.
   void apply_inverse(int node_id, la::Matrix* b) const;
 
   struct NodeFactor {

@@ -21,23 +21,6 @@ la::TruncationOptions id_truncation(const HSSOptions& opts) {
   return t;
 }
 
-// Node levels (root = 0); nodes on the same level are independent in the
-// bottom-up pass and are processed in parallel.
-std::vector<std::vector<int>> levels_bottom_up(const std::vector<HSSNode>& nodes) {
-  std::vector<int> depth(nodes.size(), 0);
-  int maxd = 0;
-  for (std::size_t id = 1; id < nodes.size(); ++id) {
-    depth[id] = depth[nodes[id].parent] + 1;
-    maxd = std::max(maxd, depth[id]);
-  }
-  std::vector<std::vector<int>> by_level(maxd + 1);
-  for (std::size_t id = 0; id < nodes.size(); ++id) {
-    by_level[depth[id]].push_back(static_cast<int>(id));
-  }
-  std::reverse(by_level.begin(), by_level.end());  // deepest first
-  return by_level;
-}
-
 std::vector<int> range_indices(int lo, int hi) {
   std::vector<int> idx(hi - lo);
   for (int i = lo; i < hi; ++i) idx[i - lo] = i;
@@ -72,7 +55,7 @@ HSSMatrix build_hss_direct(const cluster::ClusterTree& tree,
   const int n = tree.num_points();
   std::vector<HSSNode> nodes = skeleton_from_tree(tree);
   const la::TruncationOptions trunc = id_truncation(opts);
-  const auto by_level = levels_bottom_up(nodes);
+  const auto by_level = cluster::levels_bottom_up(nodes);
 
   for (const auto& level : by_level) {
 #pragma omp parallel for schedule(dynamic)
@@ -354,7 +337,7 @@ HSSMatrix build_hss_randomized(const cluster::ClusterTree& tree,
     }
 
     std::vector<HSSNode> nodes = skeleton_from_tree(tree);
-    const auto by_level = levels_bottom_up(nodes);
+    const auto by_level = cluster::levels_bottom_up(nodes);
     if (try_randomized_build(nodes, by_level, extract, r_block, s_block,
                              rc_block, sc_block, opts)) {
       HSSMatrix out(std::move(nodes), tree.postorder(), n);

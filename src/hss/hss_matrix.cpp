@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "la/blas.hpp"
 
@@ -9,7 +11,10 @@ namespace khss::hss {
 
 HSSMatrix::HSSMatrix(std::vector<HSSNode> nodes, std::vector<int> postorder,
                      int n)
-    : nodes_(std::move(nodes)), postorder_(std::move(postorder)), n_(n) {}
+    : nodes_(std::move(nodes)),
+      postorder_(std::move(postorder)),
+      levels_(cluster::levels_bottom_up(nodes_)),
+      n_(n) {}
 
 std::vector<HSSNode> skeleton_from_tree(const cluster::ClusterTree& tree) {
   std::vector<HSSNode> nodes(tree.num_nodes());
@@ -25,57 +30,81 @@ std::vector<HSSNode> skeleton_from_tree(const cluster::ClusterTree& tree) {
 }
 
 la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
-  assert(x.rows() == n_);
+  if (x.rows() != n_) {
+    throw std::invalid_argument("HSSMatrix::matmat: x has " +
+                                std::to_string(x.rows()) +
+                                " rows; expected n = " + std::to_string(n_));
+  }
   const int s = x.cols();
   la::Matrix y(n_, s);
   if (nodes_.empty()) return y;
 
+  // Level-synchronous sweeps (see DESIGN.md "Parallel hierarchical solve"):
+  // nodes on one level only touch their own slot and their children's
+  // (up sweep) or their parent's slot written a level earlier (down sweep),
+  // so every level runs in parallel and the result is bit-identical for any
+  // thread count.  Blocks route through la::gemm_rhs_invariant so matvec()
+  // columns match matmat() columns bit-for-bit under any RHS split.
+
   // Up sweep: xt[i] = V_i^T x(I_i), nested through translation operators.
   std::vector<la::Matrix> xt(nodes_.size());
-  for (int id : postorder_) {
-    const HSSNode& nd = nodes_[id];
-    if (id == root()) continue;  // root has no V
-    if (nd.is_leaf()) {
-      la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
-      xt[id] = la::matmul(nd.v, xloc, la::Trans::kYes, la::Trans::kNo);
-    } else {
-      const int rl = nodes_[nd.left].vrank();
-      const int rr = nodes_[nd.right].vrank();
-      la::Matrix stacked(rl + rr, s);
-      stacked.set_block(0, 0, xt[nd.left]);
-      stacked.set_block(rl, 0, xt[nd.right]);
-      xt[id] = la::matmul(nd.v, stacked, la::Trans::kYes, la::Trans::kNo);
+  for (const auto& level : levels_) {
+#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
+    for (std::size_t t = 0; t < level.size(); ++t) {
+      const int id = level[t];
+      const HSSNode& nd = nodes_[id];
+      if (id == root()) continue;  // root has no V
+      if (nd.is_leaf()) {
+        la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
+        xt[id] =
+            la::matmul_rhs_invariant(nd.v, xloc, la::Trans::kYes,
+                                     la::Trans::kNo);
+      } else {
+        const int rl = nodes_[nd.left].vrank();
+        const int rr = nodes_[nd.right].vrank();
+        la::Matrix stacked(rl + rr, s);
+        stacked.set_block(0, 0, xt[nd.left]);
+        stacked.set_block(rl, 0, xt[nd.right]);
+        xt[id] = la::matmul_rhs_invariant(nd.v, stacked, la::Trans::kYes,
+                                          la::Trans::kNo);
+      }
     }
   }
 
   // Down sweep: f[i] collects sum of U-side contributions entering node i.
   std::vector<la::Matrix> f(nodes_.size());
-  for (auto it = postorder_.rbegin(); it != postorder_.rend(); ++it) {
-    const int id = *it;
-    const HSSNode& nd = nodes_[id];
-    if (nd.is_leaf()) continue;
-    const int l = nd.left, r = nd.right;
-    la::Matrix fl = la::matmul(nd.b01, xt[r]);
-    la::Matrix fr = la::matmul(nd.b10, xt[l]);
-    if (id != root() && !f[id].empty()) {
-      // Spread the parent's contribution through the translation operator.
-      la::Matrix g = la::matmul(nd.u, f[id]);
-      const int rl = nodes_[l].urank();
-      fl.add(g.block(0, 0, rl, s));
-      fr.add(g.block(rl, 0, nodes_[r].urank(), s));
+  for (auto lit = levels_.rbegin(); lit != levels_.rend(); ++lit) {
+    const auto& level = *lit;
+#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
+    for (std::size_t t = 0; t < level.size(); ++t) {
+      const int id = level[t];
+      const HSSNode& nd = nodes_[id];
+      if (nd.is_leaf()) continue;
+      const int l = nd.left, r = nd.right;
+      la::Matrix fl = la::matmul_rhs_invariant(nd.b01, xt[r]);
+      la::Matrix fr = la::matmul_rhs_invariant(nd.b10, xt[l]);
+      if (id != root() && !f[id].empty()) {
+        // Spread the parent's contribution through the translation operator.
+        la::Matrix g = la::matmul_rhs_invariant(nd.u, f[id]);
+        const int rl = nodes_[l].urank();
+        fl.add(g.block(0, 0, rl, s));
+        fr.add(g.block(rl, 0, nodes_[r].urank(), s));
+      }
+      f[l] = std::move(fl);
+      f[r] = std::move(fr);
     }
-    f[l] = std::move(fl);
-    f[r] = std::move(fr);
   }
 
-  // Leaves: y(I) = D x(I) + U f.
-  for (int id : postorder_) {
+  // Leaves: y(I) = D x(I) + U f.  Leaves own disjoint row ranges of y.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < postorder_.size(); ++t) {
+    const int id = postorder_[t];
     const HSSNode& nd = nodes_[id];
     if (!nd.is_leaf()) continue;
     la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
-    la::Matrix yloc = la::matmul(nd.d, xloc);
+    la::Matrix yloc = la::matmul_rhs_invariant(nd.d, xloc);
     if (id != root() && !f[id].empty() && nd.urank() > 0) {
-      la::Matrix uf = la::matmul(nd.u, f[id]);
+      la::Matrix uf = la::matmul_rhs_invariant(nd.u, f[id]);
       yloc.add(uf);
     }
     y.set_block(nd.lo, 0, yloc);
@@ -84,6 +113,11 @@ la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
 }
 
 la::Vector HSSMatrix::matvec(const la::Vector& x) const {
+  if (static_cast<int>(x.size()) != n_) {
+    throw std::invalid_argument("HSSMatrix::matvec: x has " +
+                                std::to_string(x.size()) +
+                                " entries; expected n = " + std::to_string(n_));
+  }
   la::Matrix xm(n_, 1);
   for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
   la::Matrix ym = matmat(xm);

@@ -97,6 +97,10 @@ class HSSMatrix {
  private:
   std::vector<HSSNode> nodes_;
   std::vector<int> postorder_;
+  /// cluster::levels_bottom_up over nodes_, computed once at construction
+  /// (the tree structure is fixed for the matrix's lifetime); the schedule
+  /// of the level-parallel matvec/matmat sweeps.
+  std::vector<std::vector<int>> levels_;
   int n_ = 0;
 };
 

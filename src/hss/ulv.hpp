@@ -18,6 +18,15 @@
 // one factorization), and refactorizing after a diagonal (lambda) update
 // needs no recompression — the properties Sections 2 and 5.3 of the paper
 // rely on.
+//
+// Parallel engine (DESIGN.md "Parallel hierarchical solve"): both phases are
+// level-synchronous sweeps over cluster::levels_bottom_up.  Nodes on one
+// level are pairwise independent (a node touches only its own factor slot
+// and its children's), so each level runs under `omp parallel for`; the work
+// done at a node is a fixed serial computation, which makes factorization
+// and solve bit-identical for every thread count.  Multi-RHS solves route
+// their per-node blocks through la::gemm_rhs_invariant, so solutions are
+// also bit-identical under any column split of the right-hand-side block.
 
 #include <memory>
 #include <vector>
@@ -28,23 +37,44 @@
 
 namespace khss::hss {
 
+/// Per-phase wall times of the most recent factor/solve (feeds
+/// solver::SolverStats and the BENCH_hier.json trajectory).
+struct ULVStats {
+  double factor_seconds = 0.0;        // whole factorization
+  double factor_tree_seconds = 0.0;   // level-parallel elimination sweep
+  double factor_root_seconds = 0.0;   // dense root assembly + LU
+  double solve_seconds = 0.0;         // last solve, whole
+  double solve_forward_seconds = 0.0;   // bottom-up elimination sweep
+  double solve_backward_seconds = 0.0;  // top-down back-substitution sweep
+  int levels = 0;                     // tree levels swept
+  int last_rhs = 0;                   // RHS columns of the last solve
+};
+
 class ULVFactorization {
  public:
   /// Factor an HSS matrix.  The HSS matrix must stay alive and unmodified
   /// while this factorization is used (it is referenced during solve).
   explicit ULVFactorization(const HSSMatrix& hss);
 
-  /// Solve A x = b.
+  /// Solve A x = b.  Throws std::invalid_argument when b.size() != n.
   la::Vector solve(const la::Vector& b) const;
 
-  /// Solve for multiple right-hand sides (columns of B).
+  /// Solve for multiple right-hand sides (columns of B).  Throws
+  /// std::invalid_argument when b.rows() != n.
   la::Matrix solve(const la::Matrix& b) const;
 
   /// Factor memory footprint in bytes.
   std::size_t memory_bytes() const;
 
-  /// ||A x - b|| / ||b|| for a given solve (diagnostic helper).
+  /// ||A x - b|| / ||b|| for a given solve (diagnostic helper).  Throws
+  /// std::invalid_argument when x or b is not of size n.
   double relative_residual(const la::Vector& x, const la::Vector& b) const;
+
+  /// Phase timings of the last factor/solve.  Solve fields are updated by
+  /// the (logically const) solves; concurrent solves on one factorization
+  /// would race on them — solves themselves are internally parallel, so
+  /// callers are expected to issue them one at a time.
+  const ULVStats& stats() const { return stats_; }
 
  private:
   struct NodeFactor {
@@ -59,10 +89,20 @@ class ULVFactorization {
   };
 
   void factor();
+  /// Reduced (D, U, V) at `id` in the coordinates left over after the
+  /// children's eliminations (U/V skipped for the root).
+  void assemble_node(int id, la::Matrix& d, la::Matrix& u,
+                     la::Matrix& v) const;
+  /// Elimination steps 1-3 at a non-root node with assembled (d, u, v).
+  void eliminate_node(int id, la::Matrix d, la::Matrix u, la::Matrix v);
 
   const HSSMatrix& hss_;
   std::vector<NodeFactor> nf_;
   std::unique_ptr<la::LUFactor> root_lu_;
+  /// Node ids grouped by depth, deepest first — the level-synchronous
+  /// schedule shared by factor() and both solve sweeps.
+  std::vector<std::vector<int>> levels_;
+  mutable ULVStats stats_;
 };
 
 }  // namespace khss::hss

@@ -107,8 +107,10 @@ void check_gemm_shapes(const Matrix& a, Trans ta, const Matrix& b, Trans tb,
 
 }  // namespace
 
-void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
-          double beta, Matrix& c) {
+namespace {
+
+void gemm_impl(double alpha, const Matrix& a, Trans ta, const Matrix& b,
+               Trans tb, double beta, Matrix& c, bool allow_small) {
   check_gemm_shapes(a, ta, b, tb, c);
   const int m = c.rows(), n = c.cols();
   const int k = ta == Trans::kNo ? a.cols() : a.rows();
@@ -117,8 +119,9 @@ void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   if (alpha == 0.0 || k == 0 || m == 0 || n == 0) return;
 
   // m-free dispatch: see kSmallGemmOps — row splits must never change the
-  // code path a given output row takes.
-  if (static_cast<long>(n) * k <= detail::kSmallGemmOps) {
+  // code path a given output row takes.  gemm_rhs_invariant() additionally
+  // disables this shortcut so *column* splits cannot change a column's path.
+  if (allow_small && static_cast<long>(n) * k <= detail::kSmallGemmOps) {
     gemm_small(alpha, a, ta, b, tb, c);
     return;
   }
@@ -148,6 +151,27 @@ void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
                          c.data() + static_cast<std::size_t>(i0) * ldc + j0, ldc);
     }
   }
+}
+
+}  // namespace
+
+void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          double beta, Matrix& c) {
+  gemm_impl(alpha, a, ta, b, tb, beta, c, /*allow_small=*/true);
+}
+
+void gemm_rhs_invariant(double alpha, const Matrix& a, Trans ta,
+                        const Matrix& b, Trans tb, double beta, Matrix& c) {
+  gemm_impl(alpha, a, ta, b, tb, beta, c, /*allow_small=*/false);
+}
+
+Matrix matmul_rhs_invariant(const Matrix& a, const Matrix& b, Trans ta,
+                            Trans tb) {
+  const int m = ta == Trans::kNo ? a.rows() : a.cols();
+  const int n = tb == Trans::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  gemm_rhs_invariant(1.0, a, ta, b, tb, 0.0, c);
+  return c;
 }
 
 void gemm_naive(double alpha, const Matrix& a, Trans ta, const Matrix& b,
@@ -338,16 +362,18 @@ void trsm_lower_trans_unblocked(const Matrix& l, Matrix& b, int r0, int nr,
   }
 }
 
-bool trsm_is_small(int n, int nrhs) {
-  return n <= kTrsmBlock || static_cast<long>(n) * n * nrhs < 65536;
-}
+// Width-free dispatch: the unblocked/blocked choice keys on the triangular
+// factor's size only, never on the RHS count, so splitting a solve's columns
+// across calls cannot change the path (and therefore the bits) any column
+// takes.  The hierarchical solvers' RHS-split invariance rides on this.
+bool trsm_is_small(int n) { return n <= kTrsmBlock; }
 
 }  // namespace
 
 void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
   assert(l.rows() == l.cols() && l.rows() == b.rows());
   const int n = l.rows(), nrhs = b.cols();
-  if (trsm_is_small(n, nrhs)) {
+  if (trsm_is_small(n)) {
     trsm_lower_unblocked(l, b, unit_diagonal, 0, n, 0, nrhs);
     return;
   }
@@ -372,7 +398,7 @@ void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
 void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
   assert(l.rows() == l.cols() && l.rows() == b.rows());
   const int n = l.rows(), nrhs = b.cols();
-  if (trsm_is_small(n, nrhs)) {
+  if (trsm_is_small(n)) {
     trsm_lower_trans_unblocked(l, b, 0, n, 0, nrhs);
     return;
   }
@@ -399,7 +425,7 @@ void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
 void trsm_upper_left(const Matrix& u, Matrix& b) {
   assert(u.rows() == u.cols() && u.rows() == b.rows());
   const int n = u.rows(), nrhs = b.cols();
-  if (trsm_is_small(n, nrhs)) {
+  if (trsm_is_small(n)) {
     trsm_upper_unblocked(u, b, 0, n, 0, nrhs);
     return;
   }
@@ -429,7 +455,7 @@ void trsm_upper_right(const Matrix& u, Matrix& b) {
   assert(u.rows() == u.cols() && u.cols() == b.cols());
   const int n = u.cols(), m = b.rows();
   const int ldb = b.cols();
-  const bool small = n <= kTrsmBlock || static_cast<long>(n) * n * m < 65536;
+  const bool small = trsm_is_small(n);
 #pragma omp parallel for schedule(static) if (!small && m > kTrsmBlock)
   for (int rb = 0; rb < m; rb += kTrsmBlock) {
     const int nr = std::min(kTrsmBlock, m - rb);

@@ -30,6 +30,19 @@ void gemm_naive(double alpha, const Matrix& a, Trans ta, const Matrix& b,
 Matrix matmul(const Matrix& a, const Matrix& b, Trans ta = Trans::kNo,
               Trans tb = Trans::kNo);
 
+/// gemm() whose per-column results are additionally independent of how many
+/// columns share the call: the small-product shortcut (which keys on the
+/// column count) is skipped, so every column always runs the packed core.
+/// The multi-RHS sweeps of the hierarchical solvers route through this —
+/// solving k right-hand sides in one call, column by column, or under any
+/// other column split must produce bit-identical solutions.
+void gemm_rhs_invariant(double alpha, const Matrix& a, Trans ta,
+                        const Matrix& b, Trans tb, double beta, Matrix& c);
+
+/// Convenience: returns op(A) * op(B) via gemm_rhs_invariant().
+Matrix matmul_rhs_invariant(const Matrix& a, const Matrix& b,
+                            Trans ta = Trans::kNo, Trans tb = Trans::kNo);
+
 /// y = alpha * op(A) * x + beta * y.
 void gemv(double alpha, const Matrix& a, Trans ta, const Vector& x, double beta,
           Vector& y);

@@ -66,6 +66,8 @@ void HSSSolver::factor() {
   util::Timer t;
   ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
   stats_.factor_seconds = t.seconds();
+  stats_.factor_tree_seconds = ulv_->stats().factor_tree_seconds;
+  stats_.factor_root_seconds = ulv_->stats().factor_root_seconds;
   stats_.factor_memory_bytes = ulv_->memory_bytes();
 }
 
@@ -74,6 +76,8 @@ la::Vector HSSSolver::solve(const la::Vector& b) {
   util::Timer t;
   la::Vector x = ulv_->solve(b);
   stats_.solve_seconds = t.seconds();
+  stats_.solve_forward_seconds = ulv_->stats().solve_forward_seconds;
+  stats_.solve_backward_seconds = ulv_->stats().solve_backward_seconds;
   return x;
 }
 

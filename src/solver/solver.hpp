@@ -125,6 +125,16 @@ struct SolverStats {
   bool solve_converged = true;
   double solve_relative_residual = 0.0;
 
+  // Hierarchical factor/solve phase detail (ULV-based backends only; zero
+  // elsewhere).  Factor splits into the level-parallel elimination sweep and
+  // the dense root LU; solve into the bottom-up forward sweep and the
+  // top-down back-substitution.  bench_table4_breakdown and bench_micro_hier
+  // print these rows (BENCH_hier.json trajectory).
+  double factor_tree_seconds = 0.0;
+  double factor_root_seconds = 0.0;
+  double solve_forward_seconds = 0.0;
+  double solve_backward_seconds = 0.0;
+
   // HSS randomized-construction detail (kHSS* backends only).
   double h_construction_seconds = 0.0;
   double sampling_seconds = 0.0;  // portion of compress spent in A*R products

@@ -14,6 +14,7 @@
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
 #include "hss/build.hpp"
+#include "hss/ulv.hpp"
 #include "kernel/kernel.hpp"
 #include "krr/krr.hpp"
 #include "predict/batch_predictor.hpp"
@@ -249,6 +250,68 @@ TEST(Determinism, PredictionThreadInvariant) {
     for (int c = 0; c < serial.cols(); ++c) {
       EXPECT_EQ(serial(i, c), parallel(i, c));
     }
+  }
+}
+
+namespace {
+
+// Shared HSS fixture for the hierarchical-solve pins below.
+struct UlvFixture {
+  UlvFixture() : hss(build_once(/*data_seed=*/3, /*hss_seed=*/7)) {
+    util::Rng rng(21);
+    b.resize(hss.n(), 5);
+    rng.fill_normal(b.data(), b.size());
+  }
+  hs::HSSMatrix hss;
+  la::Matrix b;
+};
+
+}  // namespace
+
+// The level-parallel ULV engine must factor and solve to the exact same
+// bits at every thread count (fixed shape-only work assignment; each node's
+// elimination is a fixed serial computation).
+TEST(Determinism, UlvFactorSolveThreadInvariant) {
+  UlvFixture fx;
+  util::set_threads(1);
+  khss::hss::ULVFactorization serial(fx.hss);
+  const la::Matrix xs = serial.solve(fx.b);
+  util::set_threads(util::hardware_threads());
+  khss::hss::ULVFactorization parallel(fx.hss);
+  const la::Matrix xp = parallel.solve(fx.b);
+  expect_matrices_identical(xs, xp);
+}
+
+// Splitting the RHS block across solve calls must not change any column's
+// bits (gemm_rhs_invariant routing + width-free TRSM dispatch).
+TEST(Determinism, UlvSolveRhsSplitInvariant) {
+  UlvFixture fx;
+  util::set_threads(util::hardware_threads());
+  khss::hss::ULVFactorization ulv(fx.hss);
+  const la::Matrix x = ulv.solve(fx.b);
+  const int n = fx.hss.n();
+  la::Matrix stitched(n, 5);
+  stitched.set_block(0, 0, ulv.solve(fx.b.block(0, 0, n, 2)));
+  stitched.set_block(0, 2, ulv.solve(fx.b.block(0, 2, n, 3)));
+  expect_matrices_identical(x, stitched);
+}
+
+// The level-parallel matvec sweeps: thread invariance, and single-vector
+// matvec() must reproduce the matching matmat() column bit-for-bit.
+TEST(Determinism, HssMatvecThreadAndRhsSplitInvariant) {
+  UlvFixture fx;
+  util::set_threads(1);
+  const la::Matrix ys = fx.hss.matmat(fx.b);
+  util::set_threads(util::hardware_threads());
+  const la::Matrix yp = fx.hss.matmat(fx.b);
+  expect_matrices_identical(ys, yp);
+
+  const int n = fx.hss.n();
+  for (int j = 0; j < fx.b.cols(); ++j) {
+    la::Vector xc(n);
+    for (int i = 0; i < n; ++i) xc[i] = fx.b(i, j);
+    la::Vector yc = fx.hss.matvec(xc);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(yp(i, j), yc[i]) << "col " << j;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
@@ -11,6 +12,7 @@
 #include "la/blas.hpp"
 #include "la/lu.hpp"
 #include "util/rng.hpp"
+#include "util/threads.hpp"
 
 namespace cl = khss::cluster;
 namespace hd = khss::hodlr;
@@ -191,6 +193,83 @@ TEST(SMW, LambdaShiftThenRefactor) {
   la::LUFactor lu(shifted);
   la::Vector xref = lu.solve(b);
   for (int i = 0; i < 256; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(SMW, RejectsWrongShapeRhs) {
+  // Same defect class as the ULV entry points: release builds compiled the
+  // asserts away and recursed into out-of-bounds block copies.
+  const int n = 100;
+  Case c = make_case(n, 3, 1.0, 2.0, 16);
+  hd::HODLRMatrix m(*c.kernel, c.tree, {});
+  hd::SMWFactorization smw(m);
+
+  EXPECT_THROW(smw.solve(la::Matrix(n - 1, 2)), std::invalid_argument);
+  EXPECT_THROW(smw.solve(la::Vector(n + 1)), std::invalid_argument);
+  EXPECT_THROW(m.matmat(la::Matrix(n + 5, 1)), std::invalid_argument);
+  EXPECT_THROW(m.matvec(la::Vector(n - 2)), std::invalid_argument);
+  EXPECT_NO_THROW(smw.solve(la::Vector(n, 1.0)));
+}
+
+TEST(SMW, SolveIsBitwiseInvariantUnderRhsSplits) {
+  // The task-parallel SMW recursion routes per-node blocks through
+  // la::gemm_rhs_invariant: one block, chunks, or single columns must give
+  // bit-identical solutions.
+  Case c = make_case(300, 4, 1.0, 1.5, 14);
+  hd::HODLRMatrix m(*c.kernel, c.tree, {});
+  hd::SMWFactorization smw(m);
+
+  khss::util::Rng rng(15);
+  la::Matrix b(300, 5);
+  rng.fill_normal(b.data(), b.size());
+  const la::Matrix x = smw.solve(b);
+
+  const la::Matrix x1 = smw.solve(b.block(0, 0, 300, 2));
+  const la::Matrix x2 = smw.solve(b.block(0, 2, 300, 3));
+  for (int i = 0; i < 300; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_EQ(x(i, j), x1(i, j));
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(x(i, 2 + j), x2(i, j));
+  }
+  for (int j = 0; j < 5; ++j) {
+    la::Vector bc(300);
+    for (int i = 0; i < 300; ++i) bc[i] = b(i, j);
+    la::Vector xc = smw.solve(bc);
+    for (int i = 0; i < 300; ++i) EXPECT_EQ(x(i, j), xc[i]) << "col " << j;
+  }
+}
+
+// Stress tier (CTest label `stress`, weekly ASan/UBSan): the task-parallel
+// factor/solve recursion at size, with the thread-invariance contract.
+TEST(HodlrStress, TaskParallelFactorSolveAtSize) {
+  const int n = 1500;
+  Case c = make_case(n, 5, 1.0, 2.0, 41);
+  hd::HODLROptions opts;
+  opts.rtol = 1e-8;
+  hd::HODLRMatrix m(*c.kernel, c.tree, opts);
+
+  khss::util::set_threads(1);
+  hd::SMWFactorization serial(m);
+  khss::util::set_threads(khss::util::hardware_threads());
+  hd::SMWFactorization parallel(m);
+
+  khss::util::Rng rng(42);
+  la::Matrix b(n, 6);
+  rng.fill_normal(b.data(), b.size());
+  const la::Matrix xs = serial.solve(b);
+  const la::Matrix xp = parallel.solve(b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 6; ++j) EXPECT_EQ(xs(i, j), xp(i, j));
+  }
+
+  // Residual in the compressed operator stays at machine precision.
+  la::Matrix ax = m.matmat(xp);
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      num += (ax(i, j) - b(i, j)) * (ax(i, j) - b(i, j));
+      den += b(i, j) * b(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-8);
 }
 
 TEST(SMW, SingleLeafTree) {

@@ -82,6 +82,35 @@ TEST(IoCsv, ErrorPaths) {
   EXPECT_THROW(data::load_csv(one_col.path()), std::runtime_error);
 }
 
+TEST(IoCsv, BadCellNamesFileAndLine) {
+  ScratchFile bad("badcell.csv");
+  bad.write("1,2,3\n2,oops,4\n");
+  try {
+    data::load_csv(bad.path());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(bad.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  }
+}
+
+TEST(IoCsv, TrailingJunkCellRejected) {
+  // std::stod alone parses the "2.5" prefix and silently drops ".3".
+  ScratchFile bad("junkcell.csv");
+  bad.write("1,2.5.3\n");
+  EXPECT_THROW(data::load_csv(bad.path()), std::runtime_error);
+}
+
+TEST(IoCsv, OutOfRangeCellIsRuntimeError) {
+  // Regression: this used to escape as bare std::out_of_range (which is a
+  // logic_error, not a runtime_error) straight out of std::stod.
+  ScratchFile bad("range.csv");
+  bad.write("1,1e999\n");
+  EXPECT_THROW(data::load_csv(bad.path()), std::runtime_error);
+}
+
 TEST(IoLibsvm, ReadWriteReadRoundTrip) {
   ScratchFile first("rt1.svm"), second("rt2.svm");
   // Sparse rows with gaps, an all-zero row, and multi-class labels.
@@ -117,6 +146,56 @@ TEST(IoLibsvm, ErrorPaths) {
   ScratchFile zero_idx("zeroidx.svm");
   zero_idx.write("1 0:0.5\n");
   EXPECT_THROW(data::load_libsvm(zero_idx.path()), std::runtime_error);
+}
+
+TEST(IoLibsvm, BadLabelThrowsInsteadOfSkipping) {
+  // Regression: `if (!(ss >> label)) continue;` used to silently drop the
+  // whole row — a 3-row file loaded as 2 rows with no diagnostic.
+  ScratchFile bad("badlabel.svm");
+  bad.write("1 1:0.5\nabc 1:0.25\n2 1:1.0\n");
+  try {
+    data::load_libsvm(bad.path());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+  }
+}
+
+TEST(IoLibsvm, DuplicateFeatureIndexRejected) {
+  ScratchFile dup("dup.svm");
+  dup.write("1 2:1.0 3:0.5 2:3.0\n");
+  try {
+    data::load_libsvm(dup.path());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":1:"), std::string::npos) << msg;
+  }
+}
+
+TEST(IoLibsvm, BadValueAndIndexAreRuntimeErrorsWithContext) {
+  // Regression: both used to escape as bare std::invalid_argument /
+  // std::out_of_range from std::stod / std::stoi.
+  ScratchFile bad_val("badval.svm");
+  bad_val.write("1 1:0.5\n3 2:xyz\n");
+  try {
+    data::load_libsvm(bad_val.path());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+
+  ScratchFile big_idx("bigidx.svm");
+  big_idx.write("1 99999999999999999999:1.0\n");
+  EXPECT_THROW(data::load_libsvm(big_idx.path()), std::runtime_error);
+
+  ScratchFile junk_val("junkval.svm");
+  junk_val.write("1 1:2.5rats\n");
+  EXPECT_THROW(data::load_libsvm(junk_val.path()), std::runtime_error);
 }
 
 TEST(IoCross, CsvAndLibsvmAgree) {

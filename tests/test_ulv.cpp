@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
@@ -11,6 +12,7 @@
 #include "la/blas.hpp"
 #include "la/lu.hpp"
 #include "util/rng.hpp"
+#include "util/threads.hpp"
 
 namespace cl = khss::cluster;
 namespace hs = khss::hss;
@@ -203,6 +205,131 @@ TEST(ULV, IdentityMatrix) {
   la::Vector b = random_vector(n, 12);
   la::Vector x = ulv.solve(b);
   for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], b[i], 1e-11);
+}
+
+TEST(ULV, RejectsWrongShapeRhs) {
+  // Regression: release builds compiled the old assert away and read out of
+  // bounds; all three entry points must throw at runtime instead.
+  const int n = 100;
+  Case c = kernel_case(n, 3, 1.0, 2.0, 21);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, {});
+  hs::ULVFactorization ulv(hss);
+
+  EXPECT_THROW(ulv.solve(la::Matrix(n - 1, 2)), std::invalid_argument);
+  EXPECT_THROW(ulv.solve(la::Matrix(n + 1, 1)), std::invalid_argument);
+  EXPECT_THROW(ulv.solve(la::Vector(n - 1)), std::invalid_argument);
+  EXPECT_THROW(ulv.solve(la::Vector(0)), std::invalid_argument);
+  EXPECT_THROW(ulv.relative_residual(la::Vector(5), la::Vector(n)),
+               std::invalid_argument);
+  EXPECT_THROW(ulv.relative_residual(la::Vector(n), la::Vector(n + 3)),
+               std::invalid_argument);
+  // Correct shapes still pass through.
+  la::Vector b = random_vector(n, 22);
+  EXPECT_NO_THROW(ulv.solve(b));
+  EXPECT_NO_THROW(ulv.relative_residual(b, b));
+}
+
+TEST(ULV, SolveIsBitwiseInvariantUnderRhsSplits) {
+  // One factorization, one logical set of right-hand sides: solving them in
+  // a single block, in chunks, or column-by-column (the Vector entry point)
+  // must produce bit-identical solutions — gemm_rhs_invariant routing plus
+  // the width-free TRSM dispatch.
+  const int n = 300;
+  Case c = kernel_case(n, 4, 1.0, 1.5, 23);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, {});
+  hs::ULVFactorization ulv(hss);
+
+  khss::util::Rng rng(24);
+  la::Matrix b(n, 7);
+  rng.fill_normal(b.data(), b.size());
+  const la::Matrix x = ulv.solve(b);
+
+  // Chunked: {3, 4} columns.
+  la::Matrix x1 = ulv.solve(b.block(0, 0, n, 3));
+  la::Matrix x2 = ulv.solve(b.block(0, 3, n, 4));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(x(i, j), x1(i, j));
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(x(i, 3 + j), x2(i, j));
+  }
+
+  // Column-by-column through the Vector overload.
+  for (int j = 0; j < 7; ++j) {
+    la::Vector bc(n);
+    for (int i = 0; i < n; ++i) bc[i] = b(i, j);
+    la::Vector xc = ulv.solve(bc);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(x(i, j), xc[i]) << "col " << j;
+  }
+}
+
+TEST(ULV, StatsReportPhases) {
+  Case c = kernel_case(256, 4, 1.0, 1.0, 25);
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.dense, c.tree, {});
+  hs::ULVFactorization ulv(hss);
+
+  const hs::ULVStats& st = ulv.stats();
+  EXPECT_GT(st.levels, 1);
+  EXPECT_GT(st.factor_seconds, 0.0);
+  EXPECT_GE(st.factor_seconds,
+            st.factor_tree_seconds);  // tree sweep is part of the total
+  EXPECT_GT(st.factor_root_seconds, 0.0);
+
+  la::Matrix b(256, 3);
+  khss::util::Rng rng(26);
+  rng.fill_normal(b.data(), b.size());
+  (void)ulv.solve(b);
+  EXPECT_EQ(ulv.stats().last_rhs, 3);
+  EXPECT_GT(ulv.stats().solve_seconds, 0.0);
+  EXPECT_GT(ulv.stats().solve_forward_seconds, 0.0);
+  EXPECT_GT(ulv.stats().solve_backward_seconds, 0.0);
+  EXPECT_GE(ulv.stats().solve_seconds, ulv.stats().solve_forward_seconds);
+}
+
+// Stress tier (CTest label `stress`, weekly ASan/UBSan): the level-parallel
+// engine on a larger randomized build, multi-RHS, with the thread-count and
+// RHS-split invariance contracts re-checked at size.
+TEST(ULVStress, LargeRandomizedSystemMultiRhs) {
+  const int n = 1600;
+  Case c = kernel_case(n, 6, 1.0, 2.0, 31);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-8;
+  hs::HSSMatrix hss =
+      hs::build_hss_from_dense(c.dense, c.tree, opts, /*randomized=*/true);
+
+  khss::util::set_threads(1);
+  hs::ULVFactorization serial(hss);
+  khss::util::set_threads(khss::util::hardware_threads());
+  hs::ULVFactorization parallel(hss);
+
+  la::Matrix b(n, 9);
+  khss::util::Rng rng(32);
+  rng.fill_normal(b.data(), b.size());
+  const la::Matrix xs = serial.solve(b);
+  const la::Matrix xp = parallel.solve(b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 9; ++j) EXPECT_EQ(xs(i, j), xp(i, j));
+  }
+
+  // Split invariance at size: first 4 columns as their own block.
+  const la::Matrix xhalf = parallel.solve(b.block(0, 0, n, 4));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(xp(i, j), xhalf(i, j));
+  }
+
+  // And the solve is actually right (residual in the dense operator).
+  for (int j = 0; j < 3; ++j) {
+    la::Vector bc(n), xc(n);
+    for (int i = 0; i < n; ++i) {
+      bc[i] = b(i, j);
+      xc[i] = xp(i, j);
+    }
+    la::Vector ax = la::matvec(c.dense, xc);
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < n; ++i) {
+      num += (ax[i] - bc[i]) * (ax[i] - bc[i]);
+      den += bc[i] * bc[i];
+    }
+    EXPECT_LT(std::sqrt(num / den), 1e-6) << "col " << j;
+  }
 }
 
 TEST(ULV, MemoryAccounting) {
