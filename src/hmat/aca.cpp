@@ -25,7 +25,20 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
   std::vector<la::Vector> ucols, vcols;
   std::vector<char> row_used(m, 0), col_used(n, 0);
 
+  // Pack whatever has been accumulated into `out` — every return path must
+  // do this (an earlier version dropped the factors on the tiny-pivot
+  // paths, silently approximating partially-captured blocks by zero).
+  auto pack = [&]() {
+    out->u = la::Matrix(m, static_cast<int>(ucols.size()));
+    out->v = la::Matrix(n, static_cast<int>(vcols.size()));
+    for (std::size_t c = 0; c < ucols.size(); ++c) {
+      for (int i = 0; i < m; ++i) out->u(i, static_cast<int>(c)) = ucols[c][i];
+      for (int j = 0; j < n; ++j) out->v(j, static_cast<int>(c)) = vcols[c][j];
+    }
+  };
+
   double norm2_est = 0.0;  // ||A_k||_F^2 running estimate
+  double scale = 0.0;      // largest |entry| magnitude sampled so far
   int next_row = 0;
   int tiny_pivots = 0;
 
@@ -53,10 +66,18 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
       }
     }
 
-    if (piv < 0 || piv_abs < 1e-300) {
-      // This row is (numerically) fully captured; try a different row.
+    // A pivot far below the magnitudes already seen is numerical noise:
+    // dividing the row by it would inject enormous spurious factors (kernel
+    // blocks with a wide dynamic range — e.g. a small-bandwidth Gaussian
+    // between well-separated clusters — can have rows 30+ orders of
+    // magnitude below their columns).  Treat such rows as captured and move
+    // to a different one instead of dividing.
+    if (piv < 0 || piv_abs < 1e-300 || piv_abs < 1e-14 * scale) {
       ++tiny_pivots;
-      if (tiny_pivots >= opts.min_pivot_tries) return true;
+      if (tiny_pivots >= opts.min_pivot_tries) {
+        pack();
+        return true;
+      }
       int candidate = -1;
       for (int i = 0; i < m; ++i) {
         if (!row_used[i]) {
@@ -64,13 +85,17 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
           break;
         }
       }
-      if (candidate < 0) return true;  // every row visited: done
+      if (candidate < 0) {  // every row visited: done
+        pack();
+        return true;
+      }
       next_row = candidate;
       --k;  // retry without consuming rank budget
       continue;
     }
     tiny_pivots = 0;
     col_used[piv] = 1;
+    scale = std::max(scale, piv_abs);
 
     // v_k = residual row / pivot;  u_k = residual column at the pivot.
     la::Vector vk(n);
@@ -85,6 +110,7 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
       const la::Vector& ut = ucols[t];
       for (int i = 0; i < m; ++i) uk[i] -= vj * ut[i];
     }
+    for (int i = 0; i < m; ++i) scale = std::max(scale, std::fabs(uk[i]));
 
     // Update the Frobenius norm estimate of the approximation:
     // ||A_k||^2 = ||A_{k-1}||^2 + 2 sum_t (u_t . u_k)(v_t . v_k) + |u_k|^2 |v_k|^2.
@@ -109,12 +135,7 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
     if (k + 1 == rank_cap) {
       // Rank cap reached without the last term becoming negligible.
       // Pack factors anyway so the caller can decide.
-      out->u = la::Matrix(m, static_cast<int>(ucols.size()));
-      out->v = la::Matrix(n, static_cast<int>(vcols.size()));
-      for (std::size_t c = 0; c < ucols.size(); ++c) {
-        for (int i = 0; i < m; ++i) out->u(i, static_cast<int>(c)) = ucols[c][i];
-        for (int j = 0; j < n; ++j) out->v(j, static_cast<int>(c)) = vcols[c][j];
-      }
+      pack();
       return false;
     }
 
@@ -134,13 +155,68 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
     if (next_row < 0) break;  // all rows visited
   }
 
-  out->u = la::Matrix(m, static_cast<int>(ucols.size()));
-  out->v = la::Matrix(n, static_cast<int>(vcols.size()));
-  for (std::size_t c = 0; c < ucols.size(); ++c) {
-    for (int i = 0; i < m; ++i) out->u(i, static_cast<int>(c)) = ucols[c][i];
-    for (int j = 0; j < n; ++j) out->v(j, static_cast<int>(c)) = vcols[c][j];
-  }
+  pack();
   return true;
+}
+
+bool validate_lowrank(int m, int n, const EntryFn& entry, const LowRank& lr,
+                      double rtol, int max_probes) {
+  if (m == 0 || n == 0) return true;
+  // Deterministic stride sample of FULL rows and FULL columns: the probe set
+  // differs from the pivot rows ACA consumed, so systematic misses (content
+  // in rows ACA never looked at) show up here.  Probing both directions
+  // means a missed region escapes only if it dodges every sampled row AND
+  // every sampled column — with clustered orderings placing related points
+  // contiguously, that needs the region to be smaller than one row stride by
+  // one column stride.
+  const int row_probes = std::min(m, max_probes);
+  const int row_stride = std::max(1, m / row_probes);
+  const int col_probes = std::min(n, max_probes);
+  const int col_stride = std::max(1, n / col_probes);
+  double err2 = 0.0, ref2 = 0.0;
+  for (int i = 0; i < m; i += row_stride) {
+    for (int j = 0; j < n; ++j) {
+      const double a = entry(i, j);
+      double rec = 0.0;
+      for (int c = 0; c < lr.rank(); ++c) rec += lr.u(i, c) * lr.v(j, c);
+      err2 += (rec - a) * (rec - a);
+      ref2 += a * a;
+    }
+  }
+  for (int j = 0; j < n; j += col_stride) {
+    for (int i = 0; i < m; ++i) {
+      const double a = entry(i, j);
+      double rec = 0.0;
+      for (int c = 0; c < lr.rank(); ++c) rec += lr.u(i, c) * lr.v(j, c);
+      err2 += (rec - a) * (rec - a);
+      ref2 += a * a;
+    }
+  }
+  // Relative check with an absolute floor: an all-tiny sample with an
+  // all-tiny reconstruction is fine regardless of the ratio.
+  return err2 <= rtol * rtol * ref2 + 1e-280;
+}
+
+LowRank dense_svd_lowrank(int m, int n, const EntryFn& entry, double rtol) {
+  LowRank lr;
+  if (m == 0 || n == 0) return lr;
+  la::Matrix block(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) block(i, j) = entry(i, j);
+  }
+  la::SVDOptions svd_opts;
+  svd_opts.compute_uv = true;
+  la::SVDResult s = la::svd(block, svd_opts);
+  int keep = 0;
+  const double cutoff = s.s.empty() ? 0.0 : rtol * s.s[0];
+  while (keep < static_cast<int>(s.s.size()) && s.s[keep] > cutoff) ++keep;
+  if (keep == 0) return lr;  // numerically zero block
+  lr.u = s.u.block(0, 0, m, keep);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < keep; ++j) lr.u(i, j) *= s.s[j];
+  }
+  lr.v = s.v.block(0, 0, n, keep);
+  return lr;
 }
 
 void recompress(LowRank* lr, double rtol) {

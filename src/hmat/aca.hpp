@@ -38,4 +38,18 @@ bool aca(int m, int n, const EntryFn& entry, const ACAOptions& opts,
 /// small core, truncate at rtol (relative to the largest singular value).
 void recompress(LowRank* lr, double rtol);
 
+/// Cheap a-posteriori check of an ACA factorization: reconstructs a
+/// deterministic stride sample of up to `max_probes` rows and compares
+/// against the true entries.  Returns false when the sampled relative
+/// Frobenius error exceeds rtol — ACA's internal convergence estimate can
+/// pass while the factorization misses whole regions of a block (or blows
+/// up) on kernels with a wide dynamic range.
+bool validate_lowrank(int m, int n, const EntryFn& entry, const LowRank& lr,
+                      double rtol, int max_probes = 32);
+
+/// Exact fallback: materialize the block, SVD it, truncate at rtol (relative
+/// to the largest singular value).  O(m*n) element evaluations + an SVD —
+/// the price of correctness when aca()/validate_lowrank() report failure.
+LowRank dense_svd_lowrank(int m, int n, const EntryFn& entry, double rtol);
+
 }  // namespace khss::hmat

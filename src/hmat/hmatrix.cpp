@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 #include "util/threads.hpp"
 #include "util/timer.hpp"
 
@@ -129,7 +130,9 @@ void build_rec(BuildCtx& ctx, int na, int nb) {
 
 HMatrix::HMatrix(const kernel::KernelMatrix& kernel,
                  const cluster::ClusterTree& tree, const HOptions& opts) {
-  assert(kernel.n() == tree.num_points());
+  KHSS_REQUIRE(kernel.n() == tree.num_points(),
+               "HMatrix: kernel has " << kernel.n() << " points but tree has "
+                                      << tree.num_points());
   n_ = kernel.n();
   lambda_ = kernel.lambda();
   build(kernel, tree, opts);
@@ -215,7 +218,9 @@ void apply_block(const HBlock& blk, const la::Matrix& x, la::Matrix& out,
 }  // namespace
 
 la::Matrix HMatrix::multiply(const la::Matrix& x) const {
-  assert(x.rows() == n_);
+  KHSS_REQUIRE(x.rows() == n_, "HMatrix::multiply: x has " << x.rows()
+                                   << " rows; the operator is of order "
+                                   << n_);
   const int s = x.cols();
   la::Matrix out(n_, s);
 

@@ -1,11 +1,9 @@
 #include "hodlr/hodlr.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
-#include <string>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::hodlr {
@@ -13,7 +11,10 @@ namespace khss::hodlr {
 HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
                          const cluster::ClusterTree& tree,
                          const HODLROptions& opts) {
-  assert(kernel.n() == tree.num_points());
+  KHSS_REQUIRE(kernel.n() == tree.num_points(),
+               "HODLRMatrix: kernel has " << kernel.n()
+                   << " points but the cluster tree holds "
+                   << tree.num_points());
   util::Timer timer;
   n_ = kernel.n();
   nodes_.resize(tree.num_nodes());
@@ -45,18 +46,30 @@ HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
     aca_opts.rtol = opts.rtol;
     aca_opts.max_rank =
         opts.max_rank > 0 ? opts.max_rank : std::min(a.size(), b.size());
+    // ACA first; then validate against a sampled reference and fall back to
+    // an exact truncated SVD of the materialized block when ACA missed
+    // content or diverged (possible on kernels with a wide dynamic range —
+    // its internal convergence estimate only sees the rows it visited).
+    auto compress = [&](int rows, int cols, const hmat::EntryFn& f,
+                        hmat::LowRank* lr) {
+      const bool converged = hmat::aca(rows, cols, f, aca_opts, lr);
+      if (converged && opts.recompress && lr->rank() > 1) {
+        hmat::recompress(lr, opts.rtol);
+      }
+      if (!converged ||
+          !hmat::validate_lowrank(rows, cols, f, *lr, 30.0 * opts.rtol,
+                                  /*max_probes=*/64)) {
+        *lr = hmat::dense_svd_lowrank(rows, cols, f, opts.rtol);
+      }
+    };
     hmat::EntryFn up = [&](int i, int j) {
       return kernel.entry(a.lo + i, b.lo + j);
     };
-    hmat::aca(a.size(), b.size(), up, aca_opts, &nd.upper);
+    compress(a.size(), b.size(), up, &nd.upper);
     hmat::EntryFn lo = [&](int i, int j) {
       return kernel.entry(b.lo + i, a.lo + j);
     };
-    hmat::aca(b.size(), a.size(), lo, aca_opts, &nd.lower);
-    if (opts.recompress) {
-      if (nd.upper.rank() > 1) hmat::recompress(&nd.upper, opts.rtol);
-      if (nd.lower.rank() > 1) hmat::recompress(&nd.lower, opts.rtol);
-    }
+    compress(b.size(), a.size(), lo, &nd.lower);
   }
 
   stats_ = HODLRStats{};
@@ -74,11 +87,9 @@ HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
 }
 
 la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
-  if (x.rows() != n_) {
-    throw std::invalid_argument("HODLRMatrix::matmat: x has " +
-                                std::to_string(x.rows()) +
-                                " rows; expected n = " + std::to_string(n_));
-  }
+  KHSS_REQUIRE(x.rows() == n_, "HODLRMatrix::matmat: x has "
+                                   << x.rows() << " rows; expected n = "
+                                   << n_);
   const int s = x.cols();
   la::Matrix y(n_, s);
   for (const auto& nd : nodes_) {
@@ -107,11 +118,10 @@ la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
 }
 
 la::Vector HODLRMatrix::matvec(const la::Vector& x) const {
-  if (static_cast<int>(x.size()) != n_) {
-    throw std::invalid_argument("HODLRMatrix::matvec: x has " +
-                                std::to_string(x.size()) +
-                                " entries; expected n = " + std::to_string(n_));
-  }
+  KHSS_REQUIRE(static_cast<int>(x.size()) == n_,
+               "HODLRMatrix::matvec: x has " << x.size()
+                                             << " entries; expected n = "
+                                             << n_);
   la::Matrix xm(n_, 1);
   for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
   la::Matrix ym = matmat(xm);
@@ -217,7 +227,7 @@ void SMWFactorization::factor_node(int node_id) {
 void SMWFactorization::apply_inverse(int node_id, la::Matrix* b) const {
   const auto& nd = hodlr_.nodes()[node_id];
   const NodeFactor& nf = nf_[node_id];
-  assert(b->rows() == nd.size());
+  KHSS_ASSERT_DBG(b->rows() == nd.size());
 
   if (nd.is_leaf()) {
     nf.leaf_lu->solve_inplace(*b);
@@ -251,12 +261,10 @@ void SMWFactorization::apply_inverse(int node_id, la::Matrix* b) const {
 }
 
 la::Matrix SMWFactorization::solve(const la::Matrix& b) const {
-  if (b.rows() != hodlr_.n()) {
-    throw std::invalid_argument("SMWFactorization::solve: right-hand side "
-                                "has " + std::to_string(b.rows()) +
-                                " rows; the factored matrix has n = " +
-                                std::to_string(hodlr_.n()));
-  }
+  KHSS_REQUIRE(b.rows() == hodlr_.n(),
+               "SMWFactorization::solve: right-hand side has "
+                   << b.rows() << " rows; the factored matrix has n = "
+                   << hodlr_.n());
   la::Matrix x = b;
   // Task region for the recursive descent; a no-op team of one when called
   // from inside an enclosing parallel region.
@@ -267,12 +275,10 @@ la::Matrix SMWFactorization::solve(const la::Matrix& b) const {
 }
 
 la::Vector SMWFactorization::solve(const la::Vector& b) const {
-  if (static_cast<int>(b.size()) != hodlr_.n()) {
-    throw std::invalid_argument("SMWFactorization::solve: right-hand side "
-                                "has " + std::to_string(b.size()) +
-                                " entries; the factored matrix has n = " +
-                                std::to_string(hodlr_.n()));
-  }
+  KHSS_REQUIRE(static_cast<int>(b.size()) == hodlr_.n(),
+               "SMWFactorization::solve: right-hand side has "
+                   << b.size() << " entries; the factored matrix has n = "
+                   << hodlr_.n());
   la::Matrix bm(static_cast<int>(b.size()), 1);
   for (std::size_t i = 0; i < b.size(); ++i) bm(static_cast<int>(i), 0) = b[i];
   la::Matrix xm = solve(bm);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 #include "la/rrqr.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -308,10 +309,12 @@ HSSMatrix build_hss_randomized(const cluster::ClusterTree& tree,
                                const SampleFn& sample,
                                const SampleFn& sample_transpose,
                                const HSSOptions& opts) {
-  if (!opts.symmetric && !sample_transpose) {
-    throw std::invalid_argument(
-        "build_hss_randomized: non-symmetric build needs a transpose sampler");
-  }
+  KHSS_REQUIRE(opts.symmetric || sample_transpose,
+               "build_hss_randomized: non-symmetric build needs a transpose "
+               "sampler");
+  KHSS_REQUIRE(extract && sample,
+               "build_hss_randomized: extract and sample callbacks must be "
+               "set");
   util::Timer total_timer;
   const int n = tree.num_points();
   util::Rng rng(opts.seed);
@@ -361,8 +364,12 @@ HSSMatrix build_hss_randomized(const cluster::ClusterTree& tree,
 HSSMatrix build_hss_from_dense(const la::Matrix& a,
                                const cluster::ClusterTree& tree,
                                const HSSOptions& opts, bool randomized) {
-  assert(a.rows() == a.cols());
-  assert(a.rows() == tree.num_points());
+  KHSS_REQUIRE(a.rows() == a.cols(), "build_hss_from_dense: matrix is "
+                                         << a.rows() << " x " << a.cols()
+                                         << ", not square");
+  KHSS_REQUIRE(a.rows() == tree.num_points(),
+               "build_hss_from_dense: matrix order " << a.rows()
+                   << " != tree points " << tree.num_points());
   ExtractFn extract = [&a](const std::vector<int>& rows,
                            const std::vector<int>& cols) {
     la::Matrix out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));

@@ -1,11 +1,9 @@
 #include "hss/hss_matrix.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
-#include <string>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 
 namespace khss::hss {
 
@@ -30,11 +28,9 @@ std::vector<HSSNode> skeleton_from_tree(const cluster::ClusterTree& tree) {
 }
 
 la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
-  if (x.rows() != n_) {
-    throw std::invalid_argument("HSSMatrix::matmat: x has " +
-                                std::to_string(x.rows()) +
-                                " rows; expected n = " + std::to_string(n_));
-  }
+  KHSS_REQUIRE(x.rows() == n_, "HSSMatrix::matmat: x has "
+                                   << x.rows() << " rows; expected n = "
+                                   << n_);
   const int s = x.cols();
   la::Matrix y(n_, s);
   if (nodes_.empty()) return y;
@@ -113,11 +109,9 @@ la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
 }
 
 la::Vector HSSMatrix::matvec(const la::Vector& x) const {
-  if (static_cast<int>(x.size()) != n_) {
-    throw std::invalid_argument("HSSMatrix::matvec: x has " +
-                                std::to_string(x.size()) +
-                                " entries; expected n = " + std::to_string(n_));
-  }
+  KHSS_REQUIRE(static_cast<int>(x.size()) == n_,
+               "HSSMatrix::matvec: x has " << x.size()
+                                           << " entries; expected n = " << n_);
   la::Matrix xm(n_, 1);
   for (int i = 0; i < n_; ++i) xm(i, 0) = x[i];
   la::Matrix ym = matmat(xm);

@@ -1,25 +1,14 @@
 #include "hss/ulv.hpp"
 
 #include <cmath>
-#include <stdexcept>
-#include <string>
+#include <mutex>
 
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::hss {
-
-namespace {
-
-[[noreturn]] void throw_rhs_shape(const char* where, int got, int n) {
-  throw std::invalid_argument(std::string("ULVFactorization::") + where +
-                              ": right-hand side has " + std::to_string(got) +
-                              " rows; the factored matrix has n = " +
-                              std::to_string(n));
-}
-
-}  // namespace
 
 ULVFactorization::ULVFactorization(const HSSMatrix& hss) : hss_(hss) {
   nf_.resize(hss_.nodes().size());
@@ -147,13 +136,15 @@ void ULVFactorization::factor() {
 }
 
 la::Matrix ULVFactorization::solve(const la::Matrix& b) const {
-  if (b.rows() != hss_.n()) throw_rhs_shape("solve", b.rows(), hss_.n());
+  KHSS_REQUIRE(b.rows() == hss_.n(),
+               "ULVFactorization::solve: right-hand side has "
+                   << b.rows() << " rows; the factored matrix has n = "
+                   << hss_.n());
   if (hss_.nodes().empty()) return la::Matrix(0, b.cols());
   util::Timer total;
   const auto& nodes = hss_.nodes();
   const int root = hss_.root();
   const int s = b.cols();
-  stats_.last_rhs = s;
 
   // Forward pass scratch.
   std::vector<la::Matrix> z(nodes.size());       // eliminated unknowns
@@ -252,7 +243,7 @@ la::Matrix ULVFactorization::solve(const la::Matrix& b) const {
 #pragma omp parallel for schedule(dynamic) if (level.size() > 1)
     for (std::size_t t = 0; t < level.size(); ++t) forward_node(level[t]);
   }
-  stats_.solve_forward_seconds = total.seconds();
+  const double forward_seconds = total.seconds();
 
   // Backward pass: distribute kept unknowns down the tree, un-rotating.
   // Top-down level sweep (reverse of levels_): a node reads the xkept slot
@@ -291,15 +282,24 @@ la::Matrix ULVFactorization::solve(const la::Matrix& b) const {
       }
     }
   }
-  stats_.solve_backward_seconds = backward.seconds();
-  stats_.solve_seconds = total.seconds();
+  // Timing fields are published in one locked write: solve() is const and
+  // may run concurrently on one factorization, so stats_ must never see a
+  // plain read-modify-write from here (the snapshot is last-writer-wins).
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.last_rhs = s;
+    stats_.solve_forward_seconds = forward_seconds;
+    stats_.solve_backward_seconds = backward.seconds();
+    stats_.solve_seconds = total.seconds();
+  }
   return x;
 }
 
 la::Vector ULVFactorization::solve(const la::Vector& b) const {
-  if (static_cast<int>(b.size()) != hss_.n()) {
-    throw_rhs_shape("solve", static_cast<int>(b.size()), hss_.n());
-  }
+  KHSS_REQUIRE(static_cast<int>(b.size()) == hss_.n(),
+               "ULVFactorization::solve: right-hand side has "
+                   << b.size() << " rows; the factored matrix has n = "
+                   << hss_.n());
   la::Matrix bm(hss_.n(), 1);
   for (int i = 0; i < hss_.n(); ++i) bm(i, 0) = b[i];
   la::Matrix xm = solve(bm);
@@ -323,12 +323,14 @@ std::size_t ULVFactorization::memory_bytes() const {
 
 double ULVFactorization::relative_residual(const la::Vector& x,
                                            const la::Vector& b) const {
-  if (static_cast<int>(x.size()) != hss_.n()) {
-    throw_rhs_shape("relative_residual", static_cast<int>(x.size()), hss_.n());
-  }
-  if (static_cast<int>(b.size()) != hss_.n()) {
-    throw_rhs_shape("relative_residual", static_cast<int>(b.size()), hss_.n());
-  }
+  KHSS_REQUIRE(static_cast<int>(x.size()) == hss_.n(),
+               "ULVFactorization::relative_residual: x has "
+                   << x.size() << " rows; the factored matrix has n = "
+                   << hss_.n());
+  KHSS_REQUIRE(static_cast<int>(b.size()) == hss_.n(),
+               "ULVFactorization::relative_residual: right-hand side has "
+                   << b.size() << " rows; the factored matrix has n = "
+                   << hss_.n());
   la::Vector ax = hss_.matvec(x);
   double num = 0.0, den = 0.0;
   for (std::size_t i = 0; i < b.size(); ++i) {

@@ -29,6 +29,7 @@
 // also bit-identical under any column split of the right-hand-side block.
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "hss/hss_matrix.hpp"
@@ -70,11 +71,15 @@ class ULVFactorization {
   /// std::invalid_argument when x or b is not of size n.
   double relative_residual(const la::Vector& x, const la::Vector& b) const;
 
-  /// Phase timings of the last factor/solve.  Solve fields are updated by
-  /// the (logically const) solves; concurrent solves on one factorization
-  /// would race on them — solves themselves are internally parallel, so
-  /// callers are expected to issue them one at a time.
-  const ULVStats& stats() const { return stats_; }
+  /// Phase timings of the last factor/solve, as a snapshot.  Solves are
+  /// const and safe to issue concurrently on one factorization (the factor
+  /// state is read-only after construction); the solve timing fields are
+  /// written under a mutex, so concurrent solves last-writer-win on the
+  /// snapshot instead of racing (pinned by tests/test_race_stress.cpp).
+  ULVStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
  private:
   struct NodeFactor {
@@ -102,6 +107,9 @@ class ULVFactorization {
   /// Node ids grouped by depth, deepest first — the level-synchronous
   /// schedule shared by factor() and both solve sweeps.
   std::vector<std::vector<int>> levels_;
+  /// Guards stats_ against concurrent const solves (TSan-found race: the
+  /// solve timing fields were plain writes from a const member function).
+  mutable std::mutex stats_mutex_;
   mutable ULVStats stats_;
 };
 

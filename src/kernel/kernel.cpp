@@ -1,9 +1,10 @@
 #include "kernel/kernel.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstring>
+
+#include "util/contracts.hpp"
 
 #include "la/blas.hpp"
 #include "la/gemm_kernel.hpp"
@@ -79,7 +80,7 @@ double KernelMatrix::from_products(double dot_xy, double nx, double ny) const {
 }
 
 double KernelMatrix::entry(int i, int j) const {
-  assert(i >= 0 && i < n() && j >= 0 && j < n());
+  KHSS_ASSERT_DBG(i >= 0 && i < n() && j >= 0 && j < n());
   const double* xi = points_.row(i);
   const double* xj = points_.row(j);
   double dot = 0.0;
@@ -93,9 +94,18 @@ la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
                                  const std::vector<int>& cols) const {
   const int nr = static_cast<int>(rows.size());
   const int nc = static_cast<int>(cols.size());
+  for (int i : rows) {
+    KHSS_REQUIRE(i >= 0 && i < n(), "KernelMatrix::extract: row index "
+                                        << i << " out of range [0, " << n()
+                                        << ")");
+  }
+  for (int j : cols) {
+    KHSS_REQUIRE(j >= 0 && j < n(), "KernelMatrix::extract: col index "
+                                        << j << " out of range [0, " << n()
+                                        << ")");
+  }
   la::Matrix out(nr, nc);
-#pragma omp atomic
-  element_evals_ += static_cast<long>(nr) * nc;
+  count_evals(static_cast<long>(nr) * nc);
   if (nr == 0 || nc == 0) return out;
 
   // Gather the two point subsets into contiguous panels, one packed GEMM
@@ -127,7 +137,7 @@ la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
 la::Matrix KernelMatrix::dense() const {
   const int nn = n();
   la::Matrix out(nn, nn);
-  element_evals_ += static_cast<long>(nn) * nn;
+  count_evals(static_cast<long>(nn) * nn);
 
   // syrk-style assembly: only tiles on or below the diagonal are computed —
   // inner products X_I X_J^T through the packed gemm core (the serving
@@ -165,7 +175,9 @@ la::Matrix KernelMatrix::dense() const {
 }
 
 la::Matrix KernelMatrix::multiply(const la::Matrix& x) const {
-  assert(x.rows() == n());
+  KHSS_REQUIRE(x.rows() == n(), "KernelMatrix::multiply: X has "
+                                    << x.rows() << " rows; expected n = "
+                                    << n());
   const int nn = n(), s = x.cols();
   la::Matrix out(nn, s);
 
@@ -205,15 +217,19 @@ la::Matrix KernelMatrix::multiply(const la::Matrix& x) const {
       }
     }
   }
-#pragma omp atomic
-  element_evals_ += static_cast<long>(nn) * nn;
+  count_evals(static_cast<long>(nn) * nn);
   return out;
 }
 
 la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
                                             const la::Vector& w) const {
-  assert(other_points.cols() == dim());
-  assert(static_cast<int>(w.size()) == n());
+  KHSS_REQUIRE(other_points.rows() == 0 || other_points.cols() == dim(),
+               "KernelMatrix::cross_times_vector: points have "
+                   << other_points.cols() << " features; trained dim is "
+                   << dim());
+  KHSS_REQUIRE(static_cast<int>(w.size()) == n(),
+               "KernelMatrix::cross_times_vector: w has "
+                   << w.size() << " entries; expected n = " << n());
   const int m = other_points.rows(), nn = n(), d = dim();
   la::Vector y(m, 0.0);
 
@@ -240,17 +256,17 @@ la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
     }
     y[i] = acc;
   }
-#pragma omp atomic
-  element_evals_ += static_cast<long>(m) * static_cast<long>(support.size());
+  count_evals(static_cast<long>(m) * static_cast<long>(support.size()));
   return y;
 }
 
 la::Matrix KernelMatrix::cross(const la::Matrix& other_points) const {
-  assert(other_points.cols() == dim());
+  KHSS_REQUIRE(other_points.rows() == 0 || other_points.cols() == dim(),
+               "KernelMatrix::cross: points have " << other_points.cols()
+                   << " features; trained dim is " << dim());
   const int m = other_points.rows(), nn = n(), d = dim();
   la::Matrix out(m, nn);
-#pragma omp atomic
-  element_evals_ += static_cast<long>(m) * nn;
+  count_evals(static_cast<long>(m) * nn);
   if (m == 0 || nn == 0) return out;
   // Row panels of the cross block: one packed gemm per panel straight into
   // the output rows, then the fused kernel transform in place.

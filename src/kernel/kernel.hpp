@@ -13,6 +13,7 @@
 // evaluate from inner products and squared norms, so tile evaluation reduces
 // to a GEMM plus an elementwise transform.
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -81,17 +82,25 @@ class KernelMatrix {
   /// Approximate number of kernel element evaluations since construction
   /// (bulk operations only; single entry() calls are not counted to keep the
   /// hot path free of synchronization).  Profiling aid for the partially
-  /// matrix-free interface.
-  long element_evals() const { return element_evals_; }
+  /// matrix-free interface.  Relaxed-atomic: one KernelMatrix may serve
+  /// concurrent extract()/multiply()/dense() callers (the solver and serving
+  /// layers share it), so the counter must not be a plain read-modify-write.
+  long element_evals() const {
+    return element_evals_.load(std::memory_order_relaxed);
+  }
 
  private:
   double from_products(double dot_xy, double nx, double ny) const;
+
+  void count_evals(long n) const {
+    element_evals_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   la::Matrix points_;
   KernelParams params_;
   double lambda_ = 0.0;
   std::vector<double> sqnorm_;  // ||x_i||^2 precomputed
-  mutable long element_evals_ = 0;
+  mutable std::atomic<long> element_evals_{0};
 };
 
 }  // namespace khss::kernel

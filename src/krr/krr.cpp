@@ -1,11 +1,11 @@
 #include "krr/krr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "hss/hss_matrix.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::krr {
@@ -28,9 +28,8 @@ solver::SolverOptions KRROptions::solver_options() const {
 KRRModel::KRRModel(KRROptions opts) : opts_(std::move(opts)) {}
 
 void KRRModel::fit(const la::Matrix& train_points) {
-  stats_ = KRRStats{};
   n_ = train_points.rows();
-  if (n_ == 0) throw std::invalid_argument("KRRModel::fit: empty training set");
+  KHSS_REQUIRE(n_ > 0, "KRRModel::fit: empty training set");
 
   // Step 0 of Algorithm 1: clustering-based reordering.
   {
@@ -56,12 +55,12 @@ void KRRModel::fit(const la::Matrix& train_points) {
   fitted_ = true;
 }
 
-const KRRStats& KRRModel::stats() const {
-  if (solver_) {
-    stats_ = solver_->stats();
-    stats_.cluster_seconds = cluster_seconds_;
-  }
-  return stats_;
+KRRStats KRRModel::stats() const {
+  // Snapshot by value: the merged view used to be cached in a mutable
+  // member, which made concurrent const stats() calls a data race.
+  KRRStats out = solver_ ? solver_->stats() : KRRStats{};
+  out.cluster_seconds = cluster_seconds_;
+  return out;
 }
 
 const hss::HSSMatrix& KRRModel::hss() const {
@@ -75,8 +74,10 @@ const hss::HSSMatrix& KRRModel::hss() const {
 }
 
 la::Vector KRRModel::solve(const la::Vector& y) {
-  if (!fitted_) throw std::logic_error("KRRModel::solve before fit");
-  assert(static_cast<int>(y.size()) == n_);
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::solve before fit");
+  KHSS_REQUIRE(static_cast<int>(y.size()) == n_,
+               "KRRModel::solve: y has " << y.size()
+                   << " entries; the fitted training set has n = " << n_);
 
   // Permute RHS into tree order, solve, permute back.
   la::Vector yp(n_);
@@ -104,11 +105,10 @@ void KRRModel::set_lambda(double lambda) {
 
 la::Vector KRRModel::decision_scores(const la::Matrix& test_points,
                                      const la::Vector& weights) const {
-  if (!fitted_) throw std::logic_error("KRRModel::decision_scores before fit");
-  if (static_cast<int>(weights.size()) != n_) {
-    throw std::invalid_argument(
-        "KRRModel::decision_scores: weights.size() != n()");
-  }
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::decision_scores before fit");
+  KHSS_REQUIRE(static_cast<int>(weights.size()) == n_,
+               "KRRModel::decision_scores: weights has "
+                   << weights.size() << " entries; expected n = " << n_);
   // Kernel holds permuted training points; permute the weights to match.
   la::Vector wp(n_);
   for (int i = 0; i < n_; ++i) wp[i] = weights[tree_.perm()[i]];
@@ -122,11 +122,10 @@ la::Matrix KRRModel::decision_scores_multi(const la::Matrix& test_points,
 
 predict::BatchPredictor KRRModel::make_predictor(
     const la::Matrix& weights, predict::PredictOptions opts) const {
-  if (!fitted_) throw std::logic_error("KRRModel::make_predictor before fit");
-  if (weights.rows() != n_) {
-    throw std::invalid_argument(
-        "KRRModel::make_predictor: weights.rows() != n()");
-  }
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::make_predictor before fit");
+  KHSS_REQUIRE(weights.rows() == n_, "KRRModel::make_predictor: weights has "
+                                         << weights.rows()
+                                         << " rows; expected n = " << n_);
   // Kernel holds permuted training points; permute the weight rows to match.
   la::Matrix wp(n_, weights.cols());
   for (int i = 0; i < n_; ++i) {
@@ -139,9 +138,12 @@ predict::BatchPredictor KRRModel::make_predictor(
 
 double KRRModel::training_residual(const la::Vector& weights,
                                    const la::Vector& y) const {
-  if (!fitted_) {
-    throw std::logic_error("KRRModel::training_residual before fit");
-  }
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::training_residual before fit");
+  KHSS_REQUIRE(static_cast<int>(weights.size()) == n_ &&
+                   static_cast<int>(y.size()) == n_,
+               "KRRModel::training_residual: weights/y have "
+                   << weights.size() << "/" << y.size()
+                   << " entries; expected n = " << n_);
   la::Vector wp(n_), yp(n_);
   for (int i = 0; i < n_; ++i) {
     wp[i] = weights[tree_.perm()[i]];
@@ -159,13 +161,19 @@ double KRRModel::training_residual(const la::Vector& weights,
 
 void KRRClassifier::fit(const la::Matrix& train_points,
                         const std::vector<int>& y) {
-  assert(train_points.rows() == static_cast<int>(y.size()));
+  KHSS_REQUIRE(train_points.rows() == static_cast<int>(y.size()),
+               "KRRClassifier::fit: " << train_points.rows()
+                   << " training points but " << y.size() << " labels");
+  // Validate labels BEFORE fitting: fit() is the expensive step, and a
+  // failed fit must not leave the classifier half-updated.
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    KHSS_REQUIRE(y[i] == 1 || y[i] == -1,
+                 "KRRClassifier: labels must be +-1, got " << y[i]
+                     << " at index " << i);
+  }
   model_.fit(train_points);
   y_.assign(y.size(), 0.0);
   for (std::size_t i = 0; i < y.size(); ++i) {
-    if (y[i] != 1 && y[i] != -1) {
-      throw std::invalid_argument("KRRClassifier: labels must be +-1");
-    }
     y_[i] = static_cast<double>(y[i]);
   }
   weights_ = model_.solve(y_);
@@ -199,7 +207,16 @@ void KRRClassifier::set_lambda(double lambda) {
 
 void OneVsAllKRR::fit(const la::Matrix& train_points,
                       const std::vector<int>& labels, int num_classes) {
-  assert(train_points.rows() == static_cast<int>(labels.size()));
+  KHSS_REQUIRE(train_points.rows() == static_cast<int>(labels.size()),
+               "OneVsAllKRR::fit: " << train_points.rows()
+                   << " training points but " << labels.size() << " labels");
+  KHSS_REQUIRE(num_classes > 0,
+               "OneVsAllKRR::fit: num_classes = " << num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    KHSS_REQUIRE(labels[i] >= 0 && labels[i] < num_classes,
+                 "OneVsAllKRR::fit: label " << labels[i] << " at index " << i
+                     << " outside [0, " << num_classes << ")");
+  }
   model_.fit(train_points);
   weights_.resize(train_points.rows(), num_classes);
   for (int c = 0; c < num_classes; ++c) {
@@ -215,7 +232,8 @@ void OneVsAllKRR::fit(const la::Matrix& train_points,
 }
 
 const predict::BatchPredictor& OneVsAllKRR::predictor() const {
-  if (!predictor_) throw std::logic_error("OneVsAllKRR::predictor before fit");
+  KHSS_REQUIRE_STATE(predictor_ != nullptr,
+                     "OneVsAllKRR::predictor before fit");
   return *predictor_;
 }
 
@@ -249,7 +267,9 @@ double OneVsAllKRR::accuracy(const la::Matrix& test_points,
 
 double accuracy_score(const std::vector<int>& predicted,
                       const std::vector<int>& truth) {
-  assert(predicted.size() == truth.size());
+  KHSS_REQUIRE(predicted.size() == truth.size(),
+               "krr::accuracy_score: " << predicted.size()
+                   << " predictions vs " << truth.size() << " labels");
   if (predicted.empty()) return 0.0;
   int correct = 0;
   for (std::size_t i = 0; i < predicted.size(); ++i) {

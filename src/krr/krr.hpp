@@ -81,7 +81,9 @@ class KRRModel {
   bool fitted() const { return fitted_; }
   int n() const { return n_; }
   const KRROptions& options() const { return opts_; }
-  const KRRStats& stats() const;
+  /// Merged stats snapshot (solver stats + cluster time), by value: a
+  /// cached mutable member would make concurrent const calls a data race.
+  KRRStats stats() const;
   const cluster::ClusterTree& tree() const { return tree_; }
   const kernel::KernelMatrix& kernel() const { return *kernel_; }
   const solver::KernelSolver& backend_solver() const { return *solver_; }
@@ -129,7 +131,6 @@ class KRRModel {
   cluster::ClusterTree tree_;
   std::unique_ptr<kernel::KernelMatrix> kernel_;  // holds permuted points
   std::unique_ptr<solver::KernelSolver> solver_;
-  mutable KRRStats stats_;  // merged view: solver stats + cluster_seconds
 };
 
 /// Binary classifier (labels +-1), Algorithm 1 end-to-end.

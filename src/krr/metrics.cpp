@@ -1,9 +1,10 @@
 #include "krr/metrics.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "util/contracts.hpp"
 
 namespace khss::krr {
 
@@ -30,7 +31,9 @@ double ConfusionMatrix::f1() const {
 
 ConfusionMatrix confusion(const std::vector<int>& predicted,
                           const std::vector<int>& truth) {
-  assert(predicted.size() == truth.size());
+  KHSS_REQUIRE(predicted.size() == truth.size(),
+               "krr::confusion: " << predicted.size() << " predicted entries vs "
+                   << truth.size() << " truth entries");
   ConfusionMatrix cm;
   for (std::size_t i = 0; i < predicted.size(); ++i) {
     const bool pos = predicted[i] == 1;
@@ -44,7 +47,9 @@ ConfusionMatrix confusion(const std::vector<int>& predicted,
 }
 
 double roc_auc(const la::Vector& scores, const std::vector<int>& truth) {
-  assert(scores.size() == truth.size());
+  KHSS_REQUIRE(scores.size() == truth.size(),
+               "krr::roc_auc: " << scores.size() << " scores entries vs "
+                   << truth.size() << " truth entries");
   const std::size_t n = scores.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -78,7 +83,9 @@ double roc_auc(const la::Vector& scores, const std::vector<int>& truth) {
 }
 
 double rmse(const la::Vector& predicted, const la::Vector& truth) {
-  assert(predicted.size() == truth.size());
+  KHSS_REQUIRE(predicted.size() == truth.size(),
+               "krr::rmse: " << predicted.size() << " predicted entries vs "
+                   << truth.size() << " truth entries");
   if (predicted.empty()) return 0.0;
   double s = 0.0;
   for (std::size_t i = 0; i < predicted.size(); ++i) {
@@ -89,7 +96,9 @@ double rmse(const la::Vector& predicted, const la::Vector& truth) {
 }
 
 double r_squared(const la::Vector& predicted, const la::Vector& truth) {
-  assert(predicted.size() == truth.size());
+  KHSS_REQUIRE(predicted.size() == truth.size(),
+               "krr::r_squared: " << predicted.size() << " predicted entries vs "
+                   << truth.size() << " truth entries");
   if (predicted.empty()) return 0.0;
   double mean = 0.0;
   for (double v : truth) mean += v;

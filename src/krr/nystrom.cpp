@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 #include "predict/batch_predictor.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -13,7 +14,8 @@ void NystromKRR::fit(const la::Matrix& train_points) {
   util::Timer timer;
   const int n = train_points.rows();
   const int m = std::min(opts_.landmarks, n);
-  if (m <= 0) throw std::invalid_argument("NystromKRR: landmarks must be > 0");
+  KHSS_REQUIRE(m > 0, "NystromKRR::fit: landmarks = " << opts_.landmarks
+                          << ", n = " << n << "; need both > 0");
 
   util::Rng rng(opts_.seed);
   const auto idx = rng.sample_without_replacement(n, m);
@@ -41,7 +43,7 @@ void NystromKRR::fit(const la::Matrix& train_points) {
 }
 
 void NystromKRR::factor() {
-  if (!fitted_) throw std::logic_error("NystromKRR::factor before fit");
+  KHSS_REQUIRE_STATE(fitted_, "NystromKRR::factor before fit");
   if (normal_lu_) return;
   util::Timer timer;
   la::Matrix normal = gram_;
@@ -53,7 +55,11 @@ void NystromKRR::factor() {
 }
 
 la::Vector NystromKRR::solve(const la::Vector& y) {
-  if (!fitted_) throw std::logic_error("NystromKRR::solve before fit");
+  KHSS_REQUIRE_STATE(fitted_, "NystromKRR::solve before fit");
+  KHSS_REQUIRE(static_cast<int>(y.size()) == k_nm_.rows(),
+               "NystromKRR::solve: y has " << y.size()
+                   << " entries; the fitted training set has n = "
+                   << k_nm_.rows());
   factor();
   util::Timer timer;
   la::Vector rhs = la::matvec(k_nm_, y, la::Trans::kYes);
@@ -70,9 +76,11 @@ void NystromKRR::set_lambda(double lambda) {
 
 la::Vector NystromKRR::decision_scores(const la::Matrix& test_points,
                                        const la::Vector& alpha) const {
-  if (!fitted_) {
-    throw std::logic_error("NystromKRR::decision_scores before fit");
-  }
+  KHSS_REQUIRE_STATE(fitted_, "NystromKRR::decision_scores before fit");
+  KHSS_REQUIRE(static_cast<int>(alpha.size()) == landmarks_.rows(),
+               "NystromKRR::decision_scores: alpha has "
+                   << alpha.size() << " entries; expected m = "
+                   << landmarks_.rows());
   // Batched serving path over the m landmark columns only.
   kernel::KernelMatrix landmark_kernel(landmarks_, opts_.kernel, 0.0);
   return predict::predict_single(landmark_kernel, alpha, test_points);

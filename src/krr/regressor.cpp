@@ -1,19 +1,22 @@
 #include "krr/regressor.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace khss::krr {
 
 void KRRRegressor::fit(const la::Matrix& train_points, const la::Vector& y) {
-  assert(train_points.rows() == static_cast<int>(y.size()));
+  KHSS_REQUIRE(train_points.rows() == static_cast<int>(y.size()),
+               "KRRRegressor::fit: " << train_points.rows()
+                   << " training points but " << y.size() << " targets");
   model_.fit(train_points);
   y_ = y;
   weights_ = model_.solve(y_);
 }
 
 la::Vector KRRRegressor::predict(const la::Matrix& test_points) const {
-  if (weights_.empty()) throw std::logic_error("KRRRegressor: not fitted");
+  KHSS_REQUIRE_STATE(!weights_.empty(), "KRRRegressor::predict before fit");
   return model_.decision_scores(test_points, weights_);
 }
 

@@ -1,10 +1,10 @@
 #include "la/blas.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "la/gemm_kernel.hpp"
+#include "util/contracts.hpp"
 
 namespace khss::la {
 
@@ -96,13 +96,12 @@ void check_gemm_shapes(const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   const int k = ta == Trans::kNo ? a.cols() : a.rows();
   const int kb = tb == Trans::kNo ? b.rows() : b.cols();
   const int n = tb == Trans::kNo ? b.cols() : b.rows();
-  assert(k == kb);
-  assert(c.rows() == m && c.cols() == n);
-  (void)m;
-  (void)n;
-  (void)k;
-  (void)kb;
-  (void)c;
+  KHSS_REQUIRE(k == kb, "la::gemm: inner dimensions differ, op(A) is " << m
+                            << " x " << k << " but op(B) is " << kb << " x "
+                            << n);
+  KHSS_REQUIRE(c.rows() == m && c.cols() == n,
+               "la::gemm: C is " << c.rows() << " x " << c.cols()
+                                 << " but op(A)*op(B) is " << m << " x " << n);
 }
 
 }  // namespace
@@ -206,10 +205,12 @@ void gemv(double alpha, const Matrix& a, Trans ta, const Vector& x, double beta,
           Vector& y) {
   const int m = ta == Trans::kNo ? a.rows() : a.cols();
   const int n = ta == Trans::kNo ? a.cols() : a.rows();
-  assert(static_cast<int>(x.size()) == n);
-  assert(static_cast<int>(y.size()) == m);
-  (void)n;
-  (void)m;
+  KHSS_REQUIRE(static_cast<int>(x.size()) == n,
+               "la::gemv: x has " << x.size() << " entries; op(A) is " << m
+                                  << " x " << n);
+  KHSS_REQUIRE(static_cast<int>(y.size()) == m,
+               "la::gemv: y has " << y.size() << " entries; op(A) is " << m
+                                  << " x " << n);
 
   if (beta == 0.0) {
     for (auto& v : y) v = 0.0;
@@ -266,12 +267,14 @@ Vector matvec(const Matrix& a, const Vector& x, Trans ta) {
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
-  assert(x.size() == y.size());
+  KHSS_REQUIRE(x.size() == y.size(), "la::axpy: size mismatch, " << x.size()
+                                         << " vs " << y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 double dot(const Vector& x, const Vector& y) {
-  assert(x.size() == y.size());
+  KHSS_REQUIRE(x.size() == y.size(), "la::dot: size mismatch, " << x.size()
+                                         << " vs " << y.size());
   double s = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
   return s;
@@ -299,7 +302,9 @@ double norm_max(const Matrix& a) {
 }
 
 double diff_f(const Matrix& a, const Matrix& b) {
-  assert(a.same_shape(b));
+  KHSS_REQUIRE(a.same_shape(b), "la::diff_f: shape mismatch, "
+                                    << a.rows() << " x " << a.cols() << " vs "
+                                    << b.rows() << " x " << b.cols());
   double s = 0.0;
   const double* da = a.data();
   const double* db = b.data();
@@ -371,7 +376,10 @@ bool trsm_is_small(int n) { return n <= kTrsmBlock; }
 }  // namespace
 
 void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
-  assert(l.rows() == l.cols() && l.rows() == b.rows());
+  KHSS_REQUIRE(l.rows() == l.cols() && l.rows() == b.rows(),
+               "la::trsm_lower_left: L is " << l.rows() << " x " << l.cols()
+                                            << ", B has " << b.rows()
+                                            << " rows");
   const int n = l.rows(), nrhs = b.cols();
   if (trsm_is_small(n)) {
     trsm_lower_unblocked(l, b, unit_diagonal, 0, n, 0, nrhs);
@@ -396,7 +404,10 @@ void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
 }
 
 void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
-  assert(l.rows() == l.cols() && l.rows() == b.rows());
+  KHSS_REQUIRE(l.rows() == l.cols() && l.rows() == b.rows(),
+               "la::trsm_lower_trans_left: L is "
+                   << l.rows() << " x " << l.cols() << ", B has " << b.rows()
+                   << " rows");
   const int n = l.rows(), nrhs = b.cols();
   if (trsm_is_small(n)) {
     trsm_lower_trans_unblocked(l, b, 0, n, 0, nrhs);
@@ -423,7 +434,10 @@ void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
 }
 
 void trsm_upper_left(const Matrix& u, Matrix& b) {
-  assert(u.rows() == u.cols() && u.rows() == b.rows());
+  KHSS_REQUIRE(u.rows() == u.cols() && u.rows() == b.rows(),
+               "la::trsm_upper_left: U is " << u.rows() << " x " << u.cols()
+                                            << ", B has " << b.rows()
+                                            << " rows");
   const int n = u.rows(), nrhs = b.cols();
   if (trsm_is_small(n)) {
     trsm_upper_unblocked(u, b, 0, n, 0, nrhs);
@@ -452,7 +466,10 @@ void trsm_upper_right(const Matrix& u, Matrix& b) {
   // Solve X U = B in place of B.  Every row of X depends only on the same
   // row of B, so threads own disjoint row blocks; inside a block, column
   // panels are eliminated left to right with one packed gemm per panel.
-  assert(u.rows() == u.cols() && u.cols() == b.cols());
+  KHSS_REQUIRE(u.rows() == u.cols() && u.cols() == b.cols(),
+               "la::trsm_upper_right: U is " << u.rows() << " x " << u.cols()
+                                             << ", B has " << b.cols()
+                                             << " cols");
   const int n = u.cols(), m = b.rows();
   const int ldb = b.cols();
   const bool small = trsm_is_small(n);
@@ -481,8 +498,10 @@ void trsm_upper_right(const Matrix& u, Matrix& b) {
 }
 
 Vector solve_lower(const Matrix& l, const Vector& b, bool unit_diagonal) {
-  assert(l.rows() == l.cols());
-  assert(static_cast<int>(b.size()) == l.rows());
+  KHSS_REQUIRE(l.rows() == l.cols() && static_cast<int>(b.size()) == l.rows(),
+               "la::solve_lower: L is " << l.rows() << " x " << l.cols()
+                                        << ", b has " << b.size()
+                                        << " entries");
   Vector x = b;
   for (int i = 0; i < l.rows(); ++i) {
     double s = x[i];
@@ -494,8 +513,10 @@ Vector solve_lower(const Matrix& l, const Vector& b, bool unit_diagonal) {
 }
 
 Vector solve_upper(const Matrix& u, const Vector& b) {
-  assert(u.rows() == u.cols());
-  assert(static_cast<int>(b.size()) == u.rows());
+  KHSS_REQUIRE(u.rows() == u.cols() && static_cast<int>(b.size()) == u.rows(),
+               "la::solve_upper: U is " << u.rows() << " x " << u.cols()
+                                        << ", b has " << b.size()
+                                        << " entries");
   Vector x = b;
   for (int i = u.rows() - 1; i >= 0; --i) {
     double s = x[i];

@@ -15,7 +15,8 @@ namespace khss::la {
 
 enum class Trans { kNo, kYes };
 
-/// C = alpha * op(A) * op(B) + beta * C.  Shapes are checked with asserts.
+/// C = alpha * op(A) * op(B) + beta * C.  Shapes are checked with
+/// KHSS_REQUIRE in every build type (util/contracts.hpp).
 void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
           double beta, Matrix& c);
 

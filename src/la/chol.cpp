@@ -1,8 +1,9 @@
 #include "la/chol.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 #include "la/blas.hpp"
 #include "la/gemm_kernel.hpp"
@@ -47,7 +48,9 @@ bool chol_diag_block(double* a, int lda, int nb) {
 // syrk trailing update through the packed gemm core (column-block
 // parallel).  Returns false on a non-positive pivot.
 bool cholesky_inplace(Matrix& a) {
-  assert(a.rows() == a.cols());
+  KHSS_REQUIRE(a.rows() == a.cols(), "la::cholesky_inplace: matrix is "
+                                         << a.rows() << " x " << a.cols()
+                                         << ", not square");
   const int n = a.rows();
   const int lda = n;
   double* A = a.data();
@@ -121,7 +124,9 @@ CholeskyFactor::CholeskyFactor(Matrix a) : l_(std::move(a)) {
 
 Vector CholeskyFactor::solve(const Vector& b) const {
   const int n = l_.rows();
-  assert(static_cast<int>(b.size()) == n);
+  KHSS_REQUIRE(static_cast<int>(b.size()) == n,
+               "CholeskyFactor::solve: b has " << b.size()
+                   << " entries; the factored matrix has n = " << n);
   Vector x = b;
   for (int i = 0; i < n; ++i) {
     double s = x[i];
@@ -138,7 +143,10 @@ Vector CholeskyFactor::solve(const Vector& b) const {
 }
 
 void CholeskyFactor::solve_inplace(Matrix& b) const {
-  assert(b.rows() == l_.rows());
+  KHSS_REQUIRE(b.rows() == l_.rows(),
+               "CholeskyFactor::solve_inplace: B has "
+                   << b.rows() << " rows; the factored matrix has n = "
+                   << l_.rows());
   trsm_lower_left(l_, b, /*unit_diagonal=*/false);
   trsm_lower_trans_left(l_, b);
 }

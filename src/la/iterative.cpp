@@ -1,8 +1,9 @@
 #include "la/iterative.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "util/contracts.hpp"
 
 #include "la/blas.hpp"
 
@@ -10,7 +11,10 @@ namespace khss::la {
 
 IterativeResult pcg(const MatVecFn& a, const MatVecFn& precond,
                     const Vector& b, Vector* x, const IterativeOptions& opts) {
-  assert(x && x->size() == b.size());
+  KHSS_REQUIRE(x != nullptr, "la::pcg: x is null");
+  KHSS_REQUIRE(x->size() == b.size(), "la::pcg: x has " << x->size()
+                                          << " entries, b has "
+                                          << b.size());
   const double bnorm = nrm2(b);
   IterativeResult res;
   if (bnorm == 0.0) {
@@ -58,7 +62,10 @@ IterativeResult pcg(const MatVecFn& a, const MatVecFn& precond,
 IterativeResult gmres(const MatVecFn& a, const MatVecFn& precond,
                       const Vector& b, Vector* x,
                       const IterativeOptions& opts) {
-  assert(x && x->size() == b.size());
+  KHSS_REQUIRE(x != nullptr, "la::gmres: x is null");
+  KHSS_REQUIRE(x->size() == b.size(), "la::gmres: x has " << x->size()
+                                          << " entries, b has "
+                                          << b.size());
   const int n = static_cast<int>(b.size());
   const double bnorm = nrm2(b);
   IterativeResult res;

@@ -20,7 +20,9 @@ constexpr int kLuBlock = 32;
 }  // namespace
 
 LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
-  assert(a_.rows() == a_.cols());
+  KHSS_REQUIRE(a_.rows() == a_.cols(), "LUFactor: matrix is "
+                                           << a_.rows() << " x "
+                                           << a_.cols() << ", not square");
   const int n = a_.rows();
   const int lda = n;
   double* A = a_.data();
@@ -98,7 +100,9 @@ LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
 
 Vector LUFactor::solve(const Vector& b) const {
   const int n = a_.rows();
-  assert(static_cast<int>(b.size()) == n);
+  KHSS_REQUIRE(static_cast<int>(b.size()) == n,
+               "LUFactor::solve: b has " << b.size()
+                   << " entries; the factored matrix has n = " << n);
   Vector x = b;
   for (int k = 0; k < n; ++k) {
     if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
@@ -121,7 +125,10 @@ Vector LUFactor::solve(const Vector& b) const {
 
 void LUFactor::solve_inplace(Matrix& b) const {
   const int n = a_.rows();
-  assert(b.rows() == n);
+  KHSS_REQUIRE(b.rows() == n, "LUFactor::solve_inplace: B has "
+                                  << b.rows()
+                                  << " rows; the factored matrix has n = "
+                                  << n);
   const int nrhs = b.cols();
   for (int k = 0; k < n; ++k) {
     if (piv_[k] != k) {

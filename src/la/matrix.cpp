@@ -21,7 +21,10 @@ Matrix Matrix::identity(int n) {
 }
 
 Matrix Matrix::block(int i0, int j0, int r, int c) const {
-  assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
+  KHSS_REQUIRE(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ &&
+                   j0 + c <= cols_,
+               "Matrix::block: slice (" << i0 << ", " << j0 << ") + " << r
+                   << " x " << c << " exceeds " << rows_ << " x " << cols_);
   Matrix out(r, c);
   if (c == 0) return out;  // row() may be null on empty storage (UBSan)
   for (int i = 0; i < r; ++i) {
@@ -31,7 +34,11 @@ Matrix Matrix::block(int i0, int j0, int r, int c) const {
 }
 
 void Matrix::set_block(int i0, int j0, const Matrix& b) {
-  assert(i0 >= 0 && j0 >= 0 && i0 + b.rows() <= rows_ && j0 + b.cols() <= cols_);
+  KHSS_REQUIRE(i0 >= 0 && j0 >= 0 && i0 + b.rows() <= rows_ &&
+                   j0 + b.cols() <= cols_,
+               "Matrix::set_block: block " << b.rows() << " x " << b.cols()
+                   << " at (" << i0 << ", " << j0 << ") exceeds " << rows_
+                   << " x " << cols_);
   if (b.cols() == 0) return;
   for (int i = 0; i < b.rows(); ++i) {
     std::memcpy(row(i0 + i) + j0, b.row(i), sizeof(double) * b.cols());
@@ -39,7 +46,11 @@ void Matrix::set_block(int i0, int j0, const Matrix& b) {
 }
 
 void Matrix::add_block(int i0, int j0, const Matrix& b, double alpha) {
-  assert(i0 >= 0 && j0 >= 0 && i0 + b.rows() <= rows_ && j0 + b.cols() <= cols_);
+  KHSS_REQUIRE(i0 >= 0 && j0 >= 0 && i0 + b.rows() <= rows_ &&
+                   j0 + b.cols() <= cols_,
+               "Matrix::add_block: block " << b.rows() << " x " << b.cols()
+                   << " at (" << i0 << ", " << j0 << ") exceeds " << rows_
+                   << " x " << cols_);
   for (int i = 0; i < b.rows(); ++i) {
     double* dst = row(i0 + i) + j0;
     const double* src = b.row(i);
@@ -51,7 +62,9 @@ Matrix Matrix::rows_subset(const std::vector<int>& idx) const {
   Matrix out(static_cast<int>(idx.size()), cols_);
   if (cols_ == 0) return out;
   for (std::size_t i = 0; i < idx.size(); ++i) {
-    assert(idx[i] >= 0 && idx[i] < rows_);
+    KHSS_REQUIRE(idx[i] >= 0 && idx[i] < rows_,
+                 "Matrix::rows_subset: index " << idx[i] << " out of range [0, "
+                     << rows_ << ")");
     std::memcpy(out.row(static_cast<int>(i)), row(idx[i]),
                 sizeof(double) * cols_);
   }
@@ -59,14 +72,17 @@ Matrix Matrix::rows_subset(const std::vector<int>& idx) const {
 }
 
 Matrix Matrix::cols_subset(const std::vector<int>& idx) const {
+  // Validate once, outside the per-row gather loop.
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    KHSS_REQUIRE(idx[j] >= 0 && idx[j] < cols_,
+                 "Matrix::cols_subset: index " << idx[j] << " out of range [0, "
+                     << cols_ << ")");
+  }
   Matrix out(rows_, static_cast<int>(idx.size()));
   for (int i = 0; i < rows_; ++i) {
     const double* src = row(i);
     double* dst = out.row(i);
-    for (std::size_t j = 0; j < idx.size(); ++j) {
-      assert(idx[j] >= 0 && idx[j] < cols_);
-      dst[j] = src[idx[j]];
-    }
+    for (std::size_t j = 0; j < idx.size(); ++j) dst[j] = src[idx[j]];
   }
   return out;
 }
@@ -95,7 +111,9 @@ void Matrix::scale(double alpha) {
 }
 
 void Matrix::add(const Matrix& other, double alpha) {
-  assert(same_shape(other));
+  KHSS_REQUIRE(same_shape(other), "Matrix::add: shape mismatch, "
+                                      << rows_ << " x " << cols_ << " vs "
+                                      << other.rows() << " x " << other.cols());
   const double* src = other.data();
   double* dst = data();
   for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];

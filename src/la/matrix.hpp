@@ -8,10 +8,11 @@
 // debug builds, cheap block copy in/out — and all heavy numerics live in the
 // free functions of blas.hpp / qr.hpp / svd.hpp etc.
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <vector>
+
+#include "util/contracts.hpp"
 
 namespace khss::la {
 
@@ -19,7 +20,8 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
-    assert(rows >= 0 && cols >= 0);
+    KHSS_REQUIRE(rows >= 0 && cols >= 0,
+                 "Matrix: negative shape " << rows << " x " << cols);
     data_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
   }
 
@@ -35,12 +37,15 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   std::size_t bytes() const { return data_.size() * sizeof(double); }
 
+  // Per-element access is the innermost loop of everything; bounds checks
+  // stay debug-only here (KHSS_ASSERT_DBG), unlike the block helpers below,
+  // which validate in every build type (see util/contracts.hpp).
   double& operator()(int i, int j) {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    KHSS_ASSERT_DBG(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<std::size_t>(i) * cols_ + j];
   }
   double operator()(int i, int j) const {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    KHSS_ASSERT_DBG(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<std::size_t>(i) * cols_ + j];
   }
 
@@ -53,6 +58,8 @@ class Matrix {
 
   void fill(double v) { data_.assign(data_.size(), v); }
   void resize(int rows, int cols) {
+    KHSS_REQUIRE(rows >= 0 && cols >= 0,
+                 "Matrix::resize: negative shape " << rows << " x " << cols);
     rows_ = rows;
     cols_ = cols;
     data_.assign(static_cast<std::size_t>(rows) * cols, 0.0);

@@ -79,7 +79,9 @@ void QRFactor::apply_qt(Matrix& b) const {
   // chain independently, so the multi-RHS parallel split is over columns
   // (tau == 0 reflectors are identity and skipped — semantic, not a perf
   // branch).
-  assert(b.rows() == a_.rows());
+  KHSS_REQUIRE(b.rows() == a_.rows(),
+               "QRFactor::apply_qt: B has " << b.rows()
+                   << " rows; Q is " << a_.rows() << " x " << a_.rows());
   const int m = a_.rows(), nrhs = b.cols();
   const int k = static_cast<int>(tau_.size());
 #pragma omp parallel for schedule(static) \
@@ -99,7 +101,9 @@ void QRFactor::apply_qt(Matrix& b) const {
 
 void QRFactor::apply_q(Matrix& b) const {
   // Q = H_0 H_1 ... H_{k-1}; reflectors in reverse order, columns parallel.
-  assert(b.rows() == a_.rows());
+  KHSS_REQUIRE(b.rows() == a_.rows(),
+               "QRFactor::apply_q: B has " << b.rows()
+                   << " rows; Q is " << a_.rows() << " x " << a_.rows());
   const int m = a_.rows(), nrhs = b.cols();
   const int k = static_cast<int>(tau_.size());
 #pragma omp parallel for schedule(static) \
@@ -134,7 +138,8 @@ Matrix QRFactor::q_full() const {
 
 QLResult ql_zero_top(const Matrix& u) {
   const int m = u.rows(), r = u.cols();
-  assert(m >= r);
+  KHSS_REQUIRE(m >= r, "la::ql_zero_top: U is " << m << " x " << r
+                           << "; needs rows >= cols");
 
   // Reverse rows and columns, factor with plain QR, then map back:
   //   P_m U P_r = Q R  =>  U = (P_m Q P_m) (P_m R P_r)
@@ -168,9 +173,8 @@ QLResult ql_zero_top(const Matrix& u) {
 
 LQResult lq(const Matrix& a) {
   const int me = a.rows(), m = a.cols();
-  assert(me <= m);
-  (void)me;
-  (void)m;
+  KHSS_REQUIRE(me <= m, "la::lq: A is " << me << " x " << m
+                            << "; needs rows <= cols");
 
   // A^T = Q2 R2 (full Q2 m x m, R2 upper-trapezoid m x me)
   // => A = R2^T Q2^T = [L 0] Q with Q = Q2^T, L = top me x me of R2, transposed.

@@ -1,9 +1,9 @@
 #include "predict/batch_predictor.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::predict {
@@ -21,10 +21,10 @@ BatchPredictor::BatchPredictor(const kernel::KernelMatrix& kernel,
       opts_(opts),
       dim_(kernel.dim()),
       num_outputs_(weights.cols()) {
-  if (weights.rows() != kernel.n()) {
-    throw std::invalid_argument(
-        "BatchPredictor: weights.rows() != kernel.n()");
-  }
+  KHSS_REQUIRE(weights.rows() == kernel.n(),
+               "BatchPredictor: weights has " << weights.rows()
+                   << " rows but the kernel holds n = " << kernel.n()
+                   << " training points");
 
   // Prune rows of W that are zero across every output; what remains is the
   // support the cross-kernel sweep actually has to touch.
@@ -66,9 +66,9 @@ BatchPredictor::BatchPredictor(const kernel::KernelMatrix& kernel,
 
 void BatchPredictor::predict_batch(const la::Matrix& points,
                                    la::Matrix& out_scores) const {
-  if (points.rows() > 0 && points.cols() != dim_) {
-    throw std::invalid_argument("BatchPredictor: points.cols() != dim()");
-  }
+  KHSS_REQUIRE(points.rows() == 0 || points.cols() == dim_,
+               "BatchPredictor::predict_batch: points have "
+                   << points.cols() << " features; trained dim is " << dim_);
   util::Timer timer;
   const int m = points.rows(), c = num_outputs_;
   out_scores.resize(m, c);  // zero-filled

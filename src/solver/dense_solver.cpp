@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::solver {
@@ -16,7 +17,8 @@ void DenseExactSolver::compress(const kernel::KernelMatrix& kernel,
 }
 
 void DenseExactSolver::factor() {
-  if (!kernel_) throw std::logic_error("DenseExactSolver::factor before compress");
+  KHSS_REQUIRE_STATE(kernel_ != nullptr,
+                     "DenseExactSolver::factor before compress");
   util::Timer t;
   la::Matrix k = kernel_->dense();
   stats_.compressed_memory_bytes = k.bytes();
@@ -26,7 +28,10 @@ void DenseExactSolver::factor() {
 }
 
 la::Vector DenseExactSolver::solve(const la::Vector& b) {
-  if (!chol_) throw std::logic_error("DenseExactSolver::solve before factor");
+  KHSS_REQUIRE_STATE(chol_.has_value(), "DenseExactSolver::solve before factor");
+  KHSS_REQUIRE(static_cast<int>(b.size()) == kernel_->n(),
+               "DenseExactSolver::solve: b has " << b.size()
+                   << " entries; the operator is of order " << kernel_->n());
   util::Timer t;
   la::Vector x = chol_->solve(b);
   stats_.solve_seconds = t.seconds();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::solver {
@@ -20,9 +21,8 @@ void HODLRSMWSolver::compress(const kernel::KernelMatrix& kernel,
 }
 
 void HODLRSMWSolver::factor() {
-  if (!hodlr_) {
-    throw std::logic_error("HODLRSMWSolver::factor before compress");
-  }
+  KHSS_REQUIRE_STATE(hodlr_ != nullptr,
+                     "HODLRSMWSolver::factor before compress");
   util::Timer t;
   smw_ = std::make_unique<hodlr::SMWFactorization>(*hodlr_);
   stats_.factor_seconds = t.seconds();
@@ -30,7 +30,7 @@ void HODLRSMWSolver::factor() {
 }
 
 la::Vector HODLRSMWSolver::solve(const la::Vector& b) {
-  if (!smw_) throw std::logic_error("HODLRSMWSolver::solve before factor");
+  KHSS_REQUIRE_STATE(smw_ != nullptr, "HODLRSMWSolver::solve before factor");
   util::Timer t;
   la::Vector x = smw_->solve(b);
   stats_.solve_seconds = t.seconds();

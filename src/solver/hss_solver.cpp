@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "la/iterative.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::solver {
@@ -62,7 +63,7 @@ void HSSSolver::compress(const kernel::KernelMatrix& kernel,
 }
 
 void HSSSolver::factor() {
-  if (hss_.empty()) throw std::logic_error("HSSSolver::factor before compress");
+  KHSS_REQUIRE_STATE(!hss_.empty(), "HSSSolver::factor before compress");
   util::Timer t;
   ulv_ = std::make_unique<hss::ULVFactorization>(hss_);
   stats_.factor_seconds = t.seconds();
@@ -72,7 +73,7 @@ void HSSSolver::factor() {
 }
 
 la::Vector HSSSolver::solve(const la::Vector& b) {
-  if (!ulv_) throw std::logic_error("HSSSolver::solve before factor");
+  KHSS_REQUIRE_STATE(ulv_ != nullptr, "HSSSolver::solve before factor");
   util::Timer t;
   la::Vector x = ulv_->solve(b);
   stats_.solve_seconds = t.seconds();
@@ -97,7 +98,8 @@ la::Vector HSSSolver::matvec(const la::Vector& x) const {
 }
 
 la::Vector IterativeHSSSolver::solve(const la::Vector& b) {
-  if (!ulv_) throw std::logic_error("IterativeHSSSolver::solve before factor");
+  KHSS_REQUIRE_STATE(ulv_ != nullptr,
+                     "IterativeHSSSolver::solve before factor");
   util::Timer t;
   la::MatVecFn op = [this](const la::Vector& v) { return hmat_->multiply(v); };
   la::MatVecFn precond = [this](const la::Vector& v) {

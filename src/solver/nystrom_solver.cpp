@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace khss::solver {
@@ -22,7 +23,8 @@ void NystromSolver::compress(const kernel::KernelMatrix& kernel,
 }
 
 void NystromSolver::factor() {
-  if (!nystrom_) throw std::logic_error("NystromSolver::factor before compress");
+  KHSS_REQUIRE_STATE(nystrom_ != nullptr,
+                     "NystromSolver::factor before compress");
   util::Timer t;
   nystrom_->factor();
   stats_.factor_seconds = t.seconds();
@@ -32,7 +34,8 @@ void NystromSolver::factor() {
 }
 
 la::Vector NystromSolver::solve(const la::Vector& b) {
-  if (!nystrom_) throw std::logic_error("NystromSolver::solve before compress");
+  KHSS_REQUIRE_STATE(nystrom_ != nullptr,
+                     "NystromSolver::solve before compress");
   util::Timer t;
   la::Vector alpha = nystrom_->solve(b);
   // Embed the landmark coefficients in a full-length weight vector (zero off

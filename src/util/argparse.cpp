@@ -1,8 +1,22 @@
 #include "util/argparse.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace khss::util {
+
+namespace {
+
+// strtol/strtod with a nullptr endptr silently accept trailing garbage
+// ("12abc" parses as 12) and map unparseable input to 0.  CLI typos must
+// fail loudly instead of running the benchmark at a silently-wrong size.
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* kind) {
+  throw std::invalid_argument("--" + name + "=" + value + ": not a valid " +
+                              kind);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -35,13 +49,21 @@ bool ArgParser::has(const std::string& name) const {
 long ArgParser::get_int(const std::string& name, long def) const {
   auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return def;
-  return std::strtol(it->second.c_str(), nullptr, 10);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') bad_value(name, it->second, "integer");
+  return v;
 }
 
 double ArgParser::get_double(const std::string& name, double def) const {
   auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') bad_value(name, it->second, "number");
+  return v;
 }
 
 std::string ArgParser::get_string(const std::string& name,

@@ -1,0 +1,116 @@
+#pragma once
+// Contract macros — release-active precondition/postcondition checks.
+//
+// The library's public entry points take shapes and indices from callers the
+// library cannot vouch for (serving requests, CLI-parsed sizes, user RHS
+// blocks).  A bare `assert` compiles out of Release builds, which is exactly
+// where those callers live — PR 5 fixed several release-build OOB reads that
+// asserts had been masking.  These macros are the replacement policy
+// (DESIGN.md "Correctness tooling"):
+//
+//   KHSS_REQUIRE(cond, msg)        argument precondition at a public entry
+//                                  point.  Always active.  Throws
+//                                  util::ContractViolation, which derives
+//                                  from std::invalid_argument so existing
+//                                  catch sites and tests keep working.
+//   KHSS_REQUIRE_STATE(cond, msg)  object-state precondition ("fitted",
+//                                  "factored", ...).  Always active.  Throws
+//                                  util::StateViolation, derived from
+//                                  std::logic_error.
+//   KHSS_ENSURE(cond, msg)         internal postcondition / invariant at the
+//                                  end of a computation.  Always active (the
+//                                  checks used are O(1); keep them so).
+//                                  Throws util::PostconditionViolation,
+//                                  derived from std::logic_error — a failure
+//                                  is a library bug, not caller error.
+//   KHSS_ASSERT_DBG(cond)          hot-path check (per-element indexing,
+//                                  inner loops) that would cost on the fast
+//                                  path: plain assert, Debug builds only.
+//
+// `msg` is a stream expression — anything << -insertable, chained:
+//
+//   KHSS_REQUIRE(b.rows() == n, "ULVFactorization::solve: right-hand side "
+//                "has " << b.rows() << " rows; the factored matrix has n = "
+//                << n);
+//
+// The thrown message is `msg` followed by the failed condition text and the
+// source location, e.g.
+//   "...has 7 rows; the factored matrix has n = 8 [b.rows() == n at
+//    src/hss/ulv.cpp:150]"
+// so a production stack trace pinpoints the check without a debugger.
+//
+// Rules of use (enforced by review, catalogued in DESIGN.md):
+//   - Every public API boundary of src/solver/, src/hss/, src/hodlr/,
+//     src/predict/, src/la/, src/kernel/ validates its inputs with
+//     KHSS_REQUIRE / KHSS_REQUIRE_STATE, never with bare assert.
+//   - Per-element accessors (Matrix::operator()) stay KHSS_ASSERT_DBG: they
+//     are O(1) work guarding O(1) access, called O(n^3) times.
+//   - Block-level helpers (Matrix::block, set_block, ...) use KHSS_REQUIRE:
+//     four integer compares guarding an O(r*c) copy are free, and they are
+//     the last line of defense for every OOB slice bug.
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace khss::util {
+
+/// Violated argument precondition at a public entry point (caller error).
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Operation invoked on an object in the wrong state (caller error).
+class StateViolation : public std::logic_error {
+ public:
+  explicit StateViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Violated postcondition — a bug in the library itself.
+class PostconditionViolation : public std::logic_error {
+ public:
+  explicit PostconditionViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline std::string contract_message(const std::string& msg, const char* cond,
+                                    const char* file, int line) {
+  std::ostringstream out;
+  out << msg << " [" << cond << " at " << file << ":" << line << "]";
+  return out.str();
+}
+
+}  // namespace detail
+}  // namespace khss::util
+
+// The macros funnel the stream expression through a local ostringstream so
+// `msg` may chain << freely; nothing is evaluated unless the check fails.
+#define KHSS_CONTRACT_THROW_(exc_type, cond, msg)                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream khss_contract_oss_;                                \
+      khss_contract_oss_ << msg; /* NOLINT */                               \
+      throw exc_type(::khss::util::detail::contract_message(                \
+          khss_contract_oss_.str(), #cond, __FILE__, __LINE__));            \
+    }                                                                       \
+  } while (0)
+
+/// Argument precondition; active in every build type.
+#define KHSS_REQUIRE(cond, msg) \
+  KHSS_CONTRACT_THROW_(::khss::util::ContractViolation, cond, msg)
+
+/// Object-state precondition; active in every build type.
+#define KHSS_REQUIRE_STATE(cond, msg) \
+  KHSS_CONTRACT_THROW_(::khss::util::StateViolation, cond, msg)
+
+/// Postcondition / internal invariant; active in every build type.
+#define KHSS_ENSURE(cond, msg) \
+  KHSS_CONTRACT_THROW_(::khss::util::PostconditionViolation, cond, msg)
+
+/// Debug-only hot-path assertion (per-element accessors, inner loops).
+#define KHSS_ASSERT_DBG(cond) assert(cond)
