@@ -1,7 +1,8 @@
 // Regression harness for the dense compute core (DESIGN.md "Compute core").
 //
-//   ./bench_micro_la [--sizes 128,256,512] [--nrhs 64] [--reps 3]
-//                    [--threads N] [--json BENCH_la.json]
+//   ./bench_micro_la [--sizes 128,256,512] [--mt-sizes 512,1024]
+//                    [--nrhs 64] [--reps 3] [--threads N]
+//                    [--json BENCH_la.json]
 //
 // Measures the packed/blocked kernels against the retained naive baselines
 // (la::gemm_naive and local copies of the pre-blocking Cholesky/TRSM loops)
@@ -141,15 +142,17 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "micro_la", "packed/blocked compute core vs naive baselines",
       "single-node " + std::to_string(util::max_threads()) + " threads, " +
-          std::string(la::detail::gemm_kernel_is_avx2() ? "avx2+fma"
-                                                        : "generic") +
-          " microkernel");
+          std::string(la::detail::gemm_kernel_name()) + " microkernel");
 
+  const la::detail::GemmBlocking blk = la::detail::gemm_blocking();
   util::Json doc = bench::json_header("bench_micro_la", c);
   doc.set("nrhs", static_cast<long>(nrhs));
   doc.set("reps", static_cast<long>(reps));
-  doc.set("microkernel",
-          la::detail::gemm_kernel_is_avx2() ? "avx2+fma" : "generic");
+  doc.set("microkernel", la::detail::gemm_kernel_name());
+  doc.set("blocking", util::Json::object()
+                          .set("kc", static_cast<long>(blk.kc))
+                          .set("mc", static_cast<long>(blk.mc))
+                          .set("nc", static_cast<long>(blk.nc)));
   util::Json jgemm = util::Json::array();
   util::Json jgemm_nt = util::Json::array();
   util::Json jchol = util::Json::array();
@@ -297,10 +300,52 @@ int main(int argc, char** argv) {
   tg.print(std::cout, "compute core vs naive (best of " +
                           std::to_string(reps) + ")");
 
+  // Threaded packed core vs its own serial driver (same kernel, same
+  // blocking, bit-identical output — this measures the MC/NR macro-tile
+  // fan-out alone).  Rows at 1/2/max threads; numbers from a 1-core CI host
+  // are honest ~1.0x and flagged by the "threads" column.
+  const int entry_threads = util::max_threads();
+  std::vector<int> thread_counts = {1, 2};
+  if (entry_threads > 2) thread_counts.push_back(entry_threads);
+  const std::vector<int> mt_sizes = bench::parse_sizes(
+      args.get_string("mt-sizes", "512,1024"), args.program());
+  util::Json jgemm_mt = util::Json::array();
+  util::Table tmt({"kernel", "n", "threads", "seconds", "GFLOP/s",
+                   "vs serial"});
+  for (const int n : mt_sizes) {
+    const double mm_flops = 2.0 * n * n * n;
+    la::Matrix a = random_matrix(n, n, 5);
+    la::Matrix b = random_matrix(n, n, 6);
+    la::Matrix cmat(n, n);
+    double t_serial = 0.0;
+    for (const int t : thread_counts) {
+      util::set_threads(t);
+      const double tt = best_seconds(reps, [&] {
+        la::gemm(1.0, a, la::Trans::kNo, b, la::Trans::kNo, 0.0, cmat);
+      });
+      if (t == 1) t_serial = tt;
+      tmt.add_row({"gemm_nn", std::to_string(n), std::to_string(t),
+                   util::Table::fmt(tt, 4),
+                   util::Table::fmt(gflops(mm_flops, tt), 2),
+                   util::Table::fmt(t_serial > 0.0 ? t_serial / tt : 1.0, 2)});
+      jgemm_mt.push(util::Json::object()
+                        .set("n", static_cast<long>(n))
+                        .set("threads", static_cast<long>(t))
+                        .set("seconds", tt)
+                        .set("gflops", gflops(mm_flops, tt))
+                        .set("speedup_vs_serial",
+                             t_serial > 0.0 ? t_serial / tt : 1.0));
+    }
+  }
+  util::set_threads(entry_threads);
+  tmt.print(std::cout, "threaded packed core vs serial driver (best of " +
+                           std::to_string(reps) + ")");
+
   doc.set("gemm_nn", std::move(jgemm));
   doc.set("gemm_nt", std::move(jgemm_nt));
   doc.set("cholesky", std::move(jchol));
   doc.set("trsm_lower", std::move(jtrsm));
+  doc.set("gemm_threads", std::move(jgemm_mt));
   doc.set("lu", std::move(jlu));
   doc.set("qr", std::move(jqr));
   bench::write_json_if_requested(c, doc);

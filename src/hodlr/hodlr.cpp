@@ -157,7 +157,12 @@ namespace {
 // overhead would swamp the work.  The cutoff keys on the node size only
 // (never on thread count or load), so the arithmetic done at every node is
 // fixed and results stay bit-identical however OpenMP schedules the tasks.
-constexpr int kSmwTaskPoints = 384;
+// Raised from 384 when the packed GEMM core learned to thread internally:
+// below ~512 points a node's matmuls sit under the core's flop gate anyway,
+// so spawning a task there only buys scheduling overhead, while above it
+// the task fan-out (which serializes the inner GEMMs via the in-parallel
+// gate) is worth more than one threaded GEMM at a time.
+constexpr int kSmwTaskPoints = 512;
 
 }  // namespace
 

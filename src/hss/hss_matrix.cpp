@@ -27,7 +27,8 @@ std::vector<HSSNode> skeleton_from_tree(const cluster::ClusterTree& tree) {
   return nodes;
 }
 
-la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
+la::Matrix HSSMatrix::matmat(const la::Matrix& x,
+                             SweepSchedule schedule) const {
   KHSS_REQUIRE(x.rows() == n_, "HSSMatrix::matmat: x has "
                                    << x.rows() << " rows; expected n = "
                                    << n_);
@@ -35,68 +36,55 @@ la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
   la::Matrix y(n_, s);
   if (nodes_.empty()) return y;
 
-  // Level-synchronous sweeps (see DESIGN.md "Parallel hierarchical solve"):
-  // nodes on one level only touch their own slot and their children's
-  // (up sweep) or their parent's slot written a level earlier (down sweep),
-  // so every level runs in parallel and the result is bit-identical for any
-  // thread count.  Blocks route through la::gemm_rhs_invariant so matvec()
+  // Per-node work, shared by both engines (see DESIGN.md "Parallel
+  // hierarchical solve"): a node touches only its own slot and its
+  // children's (up sweep), the slot its parent wrote (down sweep), or its
+  // own disjoint rows of y (leaf pass) — so independent nodes may run in
+  // any order and the result is bit-identical for every thread count and
+  // schedule.  Blocks route through la::gemm_rhs_invariant so matvec()
   // columns match matmat() columns bit-for-bit under any RHS split.
+  std::vector<la::Matrix> xt(nodes_.size());  // up: xt[i] = V_i^T x(I_i)
+  std::vector<la::Matrix> f(nodes_.size());   // down: U-side inflow at i
 
-  // Up sweep: xt[i] = V_i^T x(I_i), nested through translation operators.
-  std::vector<la::Matrix> xt(nodes_.size());
-  for (const auto& level : levels_) {
-#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
-    for (std::size_t t = 0; t < level.size(); ++t) {
-      const int id = level[t];
-      const HSSNode& nd = nodes_[id];
-      if (id == root()) continue;  // root has no V
-      if (nd.is_leaf()) {
-        la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
-        xt[id] =
-            la::matmul_rhs_invariant(nd.v, xloc, la::Trans::kYes,
-                                     la::Trans::kNo);
-      } else {
-        const int rl = nodes_[nd.left].vrank();
-        const int rr = nodes_[nd.right].vrank();
-        la::Matrix stacked(rl + rr, s);
-        stacked.set_block(0, 0, xt[nd.left]);
-        stacked.set_block(rl, 0, xt[nd.right]);
-        xt[id] = la::matmul_rhs_invariant(nd.v, stacked, la::Trans::kYes,
-                                          la::Trans::kNo);
-      }
+  auto up_node = [&](int id) {
+    const HSSNode& nd = nodes_[id];
+    if (id == root()) return;  // root has no V
+    if (nd.is_leaf()) {
+      la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
+      xt[id] = la::matmul_rhs_invariant(nd.v, xloc, la::Trans::kYes,
+                                        la::Trans::kNo);
+    } else {
+      const int rl = nodes_[nd.left].vrank();
+      const int rr = nodes_[nd.right].vrank();
+      la::Matrix stacked(rl + rr, s);
+      stacked.set_block(0, 0, xt[nd.left]);
+      stacked.set_block(rl, 0, xt[nd.right]);
+      xt[id] = la::matmul_rhs_invariant(nd.v, stacked, la::Trans::kYes,
+                                        la::Trans::kNo);
     }
-  }
+  };
 
-  // Down sweep: f[i] collects sum of U-side contributions entering node i.
-  std::vector<la::Matrix> f(nodes_.size());
-  for (auto lit = levels_.rbegin(); lit != levels_.rend(); ++lit) {
-    const auto& level = *lit;
-#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
-    for (std::size_t t = 0; t < level.size(); ++t) {
-      const int id = level[t];
-      const HSSNode& nd = nodes_[id];
-      if (nd.is_leaf()) continue;
-      const int l = nd.left, r = nd.right;
-      la::Matrix fl = la::matmul_rhs_invariant(nd.b01, xt[r]);
-      la::Matrix fr = la::matmul_rhs_invariant(nd.b10, xt[l]);
-      if (id != root() && !f[id].empty()) {
-        // Spread the parent's contribution through the translation operator.
-        la::Matrix g = la::matmul_rhs_invariant(nd.u, f[id]);
-        const int rl = nodes_[l].urank();
-        fl.add(g.block(0, 0, rl, s));
-        fr.add(g.block(rl, 0, nodes_[r].urank(), s));
-      }
-      f[l] = std::move(fl);
-      f[r] = std::move(fr);
+  auto down_node = [&](int id) {
+    const HSSNode& nd = nodes_[id];
+    if (nd.is_leaf()) return;
+    const int l = nd.left, r = nd.right;
+    la::Matrix fl = la::matmul_rhs_invariant(nd.b01, xt[r]);
+    la::Matrix fr = la::matmul_rhs_invariant(nd.b10, xt[l]);
+    if (id != root() && !f[id].empty()) {
+      // Spread the parent's contribution through the translation operator.
+      la::Matrix g = la::matmul_rhs_invariant(nd.u, f[id]);
+      const int rl = nodes_[l].urank();
+      fl.add(g.block(0, 0, rl, s));
+      fr.add(g.block(rl, 0, nodes_[r].urank(), s));
     }
-  }
+    f[l] = std::move(fl);
+    f[r] = std::move(fr);
+  };
 
   // Leaves: y(I) = D x(I) + U f.  Leaves own disjoint row ranges of y.
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t t = 0; t < postorder_.size(); ++t) {
-    const int id = postorder_[t];
+  auto leaf_node = [&](int id) {
     const HSSNode& nd = nodes_[id];
-    if (!nd.is_leaf()) continue;
+    if (!nd.is_leaf()) return;
     la::Matrix xloc = x.block(nd.lo, 0, nd.size(), s);
     la::Matrix yloc = la::matmul_rhs_invariant(nd.d, xloc);
     if (id != root() && !f[id].empty() && nd.urank() > 0) {
@@ -104,7 +92,76 @@ la::Matrix HSSMatrix::matmat(const la::Matrix& x) const {
       yloc.add(uf);
     }
     y.set_block(nd.lo, 0, yloc);
+  };
+
+  if (schedule == SweepSchedule::kTaskDag) {
+    // Task-DAG engine: up tasks chain child -> parent, down tasks chain
+    // parent -> child and read the children's up results, leaf tasks read
+    // their own down inflow.  Dependences are sentinel bytes per node;
+    // OpenMP only orders a task against dependences of previously created
+    // tasks, so creation order matters: up tasks in postorder (children
+    // first), down tasks in reverse postorder (parents first), leaf tasks
+    // last.  A subtree's leaf pass can finish while another subtree is
+    // still sweeping up — no per-depth barrier anywhere.
+    std::vector<char> up(nodes_.size(), 0);
+    std::vector<char> down(nodes_.size(), 0);
+    // [[maybe_unused]]: the only uses are inside depend clauses, which the
+    // compiler's use-tracking does not see.
+    char* updep [[maybe_unused]] = up.data();
+    char* downdep [[maybe_unused]] = down.data();
+#pragma omp parallel default(shared)
+#pragma omp single
+    {
+      for (const int id : postorder_) {
+        if (id == root()) continue;
+        const HSSNode& nd = nodes_[id];
+        if (nd.is_leaf()) {
+#pragma omp task default(shared) firstprivate(id) depend(out : updep[id])
+          up_node(id);
+        } else {
+          const int l = nd.left;
+          const int r = nd.right;
+#pragma omp task default(shared) firstprivate(id) \
+    depend(in : updep[l], updep[r]) depend(out : updep[id])
+          up_node(id);
+        }
+      }
+      for (auto it = postorder_.rbegin(); it != postorder_.rend(); ++it) {
+        const int id = *it;
+        const HSSNode& nd = nodes_[id];
+        if (nd.is_leaf()) continue;
+        const int l = nd.left;
+        const int r = nd.right;
+        // f[id] comes from the parent's down task, created earlier in this
+        // reverse-postorder walk; the root has no producer, so its
+        // in-dependence is vacuous.
+#pragma omp task default(shared) firstprivate(id)          \
+    depend(in : updep[l], updep[r], downdep[id])           \
+    depend(out : downdep[l], downdep[r])
+        down_node(id);
+      }
+      for (const int id : postorder_) {
+        if (!nodes_[id].is_leaf()) continue;
+#pragma omp task default(shared) firstprivate(id) depend(in : downdep[id])
+        leaf_node(id);
+      }
+    }
+    return y;
   }
+
+  // Level-synchronous engine: bottom-up levels, top-down levels, leaf pass,
+  // with a barrier per depth.
+  for (const auto& level : levels_) {
+#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
+    for (std::size_t t = 0; t < level.size(); ++t) up_node(level[t]);
+  }
+  for (auto lit = levels_.rbegin(); lit != levels_.rend(); ++lit) {
+    const auto& level = *lit;
+#pragma omp parallel for schedule(dynamic) if (level.size() > 1)
+    for (std::size_t t = 0; t < level.size(); ++t) down_node(level[t]);
+  }
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < postorder_.size(); ++t) leaf_node(postorder_[t]);
   return y;
 }
 

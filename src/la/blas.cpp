@@ -10,14 +10,12 @@ namespace khss::la {
 
 namespace {
 
-using detail::gemm_packed_serial;
-
-// C-tile edge for the parallel gemm partition: each (kGemmTileRows x
-// kGemmTileCols) tile of C is computed by one serial packed-gemm call over
-// the full k, so the partition — and therefore every accumulation order —
-// depends only on the shape, never on the thread count.
-constexpr int kGemmTileRows = 256;
-constexpr int kGemmTileCols = 256;
+// Blocked TRSM panel updates call detail::gemm_packed — NOT the serial
+// entry — so a solve that is not itself fanned out over RHS column blocks
+// (the if-clauses below) still gets the threaded GEMM core; inside an
+// active parallel region gemm_packed degrades to the serial driver with
+// identical bits, so the nesting gate never changes results.
+using detail::gemm_packed;
 
 // Diagonal-block edge for the blocked triangular solves and the RHS column
 // width of one parallel work item (threads own disjoint columns of B).
@@ -124,32 +122,17 @@ void gemm_impl(double alpha, const Matrix& a, Trans ta, const Matrix& b,
     gemm_small(alpha, a, ta, b, tb, c);
     return;
   }
-  const long flops = 2L * m * n * k;
 
   // Both transpose flags are handled inside the packing stage — no operand
   // is ever materialized.  lda/ldb are the row strides of the matrices as
-  // stored; the booleans tell the packers how to index them.
-  const double* ap = a.data();
-  const double* bp = b.data();
-  const int lda = a.cols(), ldb = b.cols(), ldc = c.cols();
-  const bool tta = ta == Trans::kYes, ttb = tb == Trans::kYes;
-  const int mt = (m + kGemmTileRows - 1) / kGemmTileRows;
-  const int nt = (n + kGemmTileCols - 1) / kGemmTileCols;
-
-#pragma omp parallel for collapse(2) schedule(dynamic) \
-    if (mt * nt > 1 && flops > 262144)
-  for (int it = 0; it < mt; ++it) {
-    for (int jt = 0; jt < nt; ++jt) {
-      const int i0 = it * kGemmTileRows;
-      const int j0 = jt * kGemmTileCols;
-      const int mi = std::min(kGemmTileRows, m - i0);
-      const int nj = std::min(kGemmTileCols, n - j0);
-      const double* atile = tta ? ap + i0 : ap + static_cast<std::size_t>(i0) * lda;
-      const double* btile = ttb ? bp + static_cast<std::size_t>(j0) * ldb : bp + j0;
-      gemm_packed_serial(mi, nj, k, alpha, atile, lda, tta, btile, ldb, ttb,
-                         c.data() + static_cast<std::size_t>(i0) * ldc + j0, ldc);
-    }
-  }
+  // stored; the booleans tell the packers how to index them.  One call into
+  // the packed core, which threads *internally* over its fixed macro-tile
+  // decomposition (bit-identical to the serial driver for every thread
+  // count) and auto-serializes when this gemm is already inside an active
+  // parallel region, so nested callers never oversubscribe.
+  detail::gemm_packed(m, n, k, alpha, a.data(), a.cols(), ta == Trans::kYes,
+                      b.data(), b.cols(), tb == Trans::kYes, c.data(),
+                      c.cols());
 }
 
 }  // namespace
@@ -394,7 +377,7 @@ void trsm_lower_left(const Matrix& l, Matrix& b, bool unit_diagonal) {
     for (int ib = 0; ib < n; ib += kTrsmBlock) {
       const int nr = std::min(kTrsmBlock, n - ib);
       if (ib > 0) {
-        gemm_packed_serial(nr, nc, ib, -1.0, l.row(ib), l.cols(), false,
+        gemm_packed(nr, nc, ib, -1.0, l.row(ib), l.cols(), false,
                            b.data() + cb, ldb, false,
                            b.row(ib) + cb, ldb);
       }
@@ -424,7 +407,7 @@ void trsm_lower_trans_left(const Matrix& l, Matrix& b) {
       const int rest = n - ib - nr;
       if (rest > 0) {
         // B_ib -= L(ib+nr.., ib..ib+nr)^T * B(ib+nr..)
-        gemm_packed_serial(nr, nc, rest, -1.0, l.row(ib + nr) + ib, l.cols(),
+        gemm_packed(nr, nc, rest, -1.0, l.row(ib + nr) + ib, l.cols(),
                            true, b.row(ib + nr) + cb, ldb, false,
                            b.row(ib) + cb, ldb);
       }
@@ -453,7 +436,7 @@ void trsm_upper_left(const Matrix& u, Matrix& b) {
       const int nr = std::min(kTrsmBlock, n - ib);
       const int rest = n - ib - nr;
       if (rest > 0) {
-        gemm_packed_serial(nr, nc, rest, -1.0, u.row(ib) + ib + nr, u.cols(),
+        gemm_packed(nr, nc, rest, -1.0, u.row(ib) + ib + nr, u.cols(),
                            false, b.row(ib + nr) + cb, ldb, false,
                            b.row(ib) + cb, ldb);
       }
@@ -480,7 +463,7 @@ void trsm_upper_right(const Matrix& u, Matrix& b) {
       const int nj = std::min(kTrsmBlock, n - jb);
       if (jb > 0) {
         // B(rb.., jb..) -= X(rb.., 0:jb) * U(0:jb, jb..)
-        gemm_packed_serial(nr, nj, jb, -1.0, b.row(rb), ldb, false,
+        gemm_packed(nr, nj, jb, -1.0, b.row(rb), ldb, false,
                            u.data() + jb, u.cols(), false,
                            b.row(rb) + jb, ldb);
       }

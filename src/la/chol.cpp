@@ -14,10 +14,14 @@ namespace {
 
 // Panel width of the right-looking blocked factorization.  The trailing
 // update is a syrk-shaped packed gemm — the O(n^3) bulk of the work — done
-// per column block so threads own disjoint output.  kCholInner is the
-// sub-block width of the panel solve: everything left of the current
-// sub-block folds in through gemm, only the kCholInner-wide substitution
-// itself runs scalar.
+// per column block so threads own disjoint output (a single rectangular
+// gemm would double the flops; only the lower trapezoid is needed).  The
+// gemms call detail::gemm_packed: inside the active column-block fan-out
+// they run serial, and when the fan-out's if-clause is off (small trailing
+// matrix) the packed core threads internally instead — identical bits
+// either way.  kCholInner is the sub-block width of the panel solve:
+// everything left of the current sub-block folds in through gemm, only the
+// kCholInner-wide substitution itself runs scalar.
 constexpr int kCholBlock = 64;
 constexpr int kCholInner = 32;
 
@@ -76,7 +80,7 @@ bool cholesky_inplace(Matrix& a) {
         const int nr = std::min(kCholBlock, m2 - rb);
         double* arows = A + static_cast<std::size_t>(i2 + rb) * lda + kb;
         if (jb > 0) {
-          detail::gemm_packed_serial(
+          detail::gemm_packed(
               nr, nj, jb, -1.0, arows, lda, false,
               A + static_cast<std::size_t>(kb + jb) * lda + kb, lda, true,
               arows + jb, lda);
@@ -101,7 +105,7 @@ bool cholesky_inplace(Matrix& a) {
     for (int jb = 0; jb < m2; jb += kCholBlock) {
       const int nbj = std::min(kCholBlock, m2 - jb);
       const double* l21 = A + static_cast<std::size_t>(i2 + jb) * lda + kb;
-      detail::gemm_packed_serial(
+      detail::gemm_packed(
           m2 - jb, nbj, nb, -1.0, l21, lda, false, l21, lda, true,
           A + static_cast<std::size_t>(i2 + jb) * lda + (i2 + jb), lda);
     }

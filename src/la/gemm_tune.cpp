@@ -1,0 +1,186 @@
+#include "la/gemm_tune.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace khss::la::detail {
+
+namespace {
+
+// Candidate grid of the one-shot sweep.  Small on purpose: the sweep runs
+// at most once per process (opt-in) or inside tools/khss_autotune, and a
+// coarse grid around the pinned defaults captures the L1/L2 cliffs that
+// actually matter.
+constexpr int kTuneKc[] = {192, 256, 320};
+constexpr int kTuneMc[] = {64, 128, 192};
+constexpr int kTuneNc[] = {256, 512};
+
+// Strict full-token int parse (the repo bans naked stoi-style parsing:
+// "2.5x" prefixes must not silently pass).
+bool parse_int_token(const std::string& tok, int* out) {
+  if (tok.empty()) return false;
+  int value = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec != std::errc() || res.ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> toks;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(',', start);
+    if (pos == std::string::npos) {
+      toks.push_back(line.substr(start));
+      break;
+    }
+    toks.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return toks;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool env_flag_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+}  // namespace
+
+GemmConfig resolve_gemm_config() {
+  GemmConfig cfg;
+  cfg.source = "default";
+
+  if (const char* env = std::getenv("KHSS_GEMM_BLOCKING")) {
+    GemmConfig parsed;
+    if (parse_gemm_config(env, &parsed)) {
+      parsed.source = "env";
+      return parsed;
+    }
+    // Malformed pin: fall through to the defaults rather than autotune —
+    // a typo must not silently flip the process into a timing-dependent
+    // configuration.
+    return cfg;
+  }
+
+  const char* path_env = std::getenv("KHSS_GEMM_CONFIG");
+  const bool autotune = env_flag_set("KHSS_GEMM_AUTOTUNE");
+  const std::string path =
+      path_env != nullptr ? path_env : (autotune ? "khss_gemm.cfg" : "");
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (in) {
+      std::string line;
+      std::getline(in, line);
+      GemmConfig parsed;
+      if (parse_gemm_config(line, &parsed)) {
+        parsed.source = "cache";
+        return parsed;
+      }
+      return cfg;  // corrupt cache: pinned defaults, never silent autotune
+    }
+    if (autotune) {
+      GemmConfig tuned = autotune_gemm();
+      write_gemm_config_file(path, tuned);  // best-effort; config still used
+      return tuned;
+    }
+  }
+  return cfg;
+}
+
+GemmConfig autotune_gemm(int size, int reps) {
+  if (size < 64) size = 64;
+  if (reps < 1) reps = 1;
+  const int n = size;
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  std::vector<double> b(static_cast<std::size_t>(n) * n);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  // Deterministic non-trivial fill (no RNG: the sweep must be reproducible
+  // up to timing noise).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.25 + static_cast<double>(i % 7) * 0.125;
+    b[i] = 0.5 - static_cast<double>(i % 5) * 0.0625;
+  }
+
+  GemmConfig best;
+  best.source = "autotune";
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (const std::string& kernel : supported_gemm_kernels()) {
+    for (int kc : kTuneKc) {
+      for (int mc : kTuneMc) {
+        for (int nc : kTuneNc) {
+          const GemmBlocking blk{kc, mc, nc};
+          // Warm the packing buffers and instruction cache off the clock.
+          gemm_packed_with(kernel, blk, n, n, n, 1.0, a.data(), n, false,
+                           b.data(), n, false, c.data(), n);
+          double secs = std::numeric_limits<double>::infinity();
+          for (int r = 0; r < reps; ++r) {
+            util::Timer t;
+            gemm_packed_with(kernel, blk, n, n, n, 1.0, a.data(), n, false,
+                             b.data(), n, false, c.data(), n);
+            secs = std::min(secs, t.seconds());
+          }
+          if (secs < best_seconds) {
+            best_seconds = secs;
+            best.blocking = blk;
+            best.kernel = kernel;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::string format_gemm_config(const GemmConfig& cfg) {
+  std::string out = std::to_string(cfg.blocking.kc) + "," +
+                    std::to_string(cfg.blocking.mc) + "," +
+                    std::to_string(cfg.blocking.nc);
+  if (!cfg.kernel.empty()) out += "," + cfg.kernel;
+  return out;
+}
+
+bool parse_gemm_config(const std::string& line, GemmConfig* out) {
+  const std::vector<std::string> toks = split_commas(strip(line));
+  if (toks.size() != 3 && toks.size() != 4) return false;
+  GemmConfig cfg;
+  if (!parse_int_token(strip(toks[0]), &cfg.blocking.kc)) return false;
+  if (!parse_int_token(strip(toks[1]), &cfg.blocking.mc)) return false;
+  if (!parse_int_token(strip(toks[2]), &cfg.blocking.nc)) return false;
+  if (cfg.blocking.kc <= 0 || cfg.blocking.mc <= 0 || cfg.blocking.nc <= 0) {
+    return false;
+  }
+  if (toks.size() == 4) {
+    cfg.kernel = strip(toks[3]);
+    if (cfg.kernel.empty()) return false;
+  }
+  *out = cfg;
+  return true;
+}
+
+bool write_gemm_config_file(const std::string& path, const GemmConfig& cfg) {
+  std::ofstream outf(path);
+  if (!outf) return false;
+  outf << format_gemm_config(cfg) << "\n";
+  return static_cast<bool>(outf);
+}
+
+}  // namespace khss::la::detail

@@ -85,16 +85,15 @@ LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
       }
     }
 
-    // Trailing update A22 -= L21 * U12, one packed gemm per column block.
-#pragma omp parallel for schedule(dynamic) \
-    if (static_cast<long>(rest) * rest * nb > 262144)
-    for (int cb = 0; cb < rest; cb += kLuBlock) {
-      const int nc = std::min(kLuBlock, rest - cb);
-      detail::gemm_packed_serial(
-          rest, nc, nb, -1.0, A + static_cast<std::size_t>(kend) * lda + kb,
-          lda, false, A + static_cast<std::size_t>(kb) * lda + kend + cb, lda,
-          false, A + static_cast<std::size_t>(kend) * lda + kend + cb, lda);
-    }
+    // Trailing update A22 -= L21 * U12: one full-rectangle call into the
+    // packed core, which threads internally over its macro-tile
+    // decomposition (bit-identical to serial for every thread count) —
+    // much better shaped work items than the kLuBlock-wide column strips
+    // an outer loop would produce.
+    detail::gemm_packed(
+        rest, rest, nb, -1.0, A + static_cast<std::size_t>(kend) * lda + kb,
+        lda, false, A + static_cast<std::size_t>(kb) * lda + kend, lda,
+        false, A + static_cast<std::size_t>(kend) * lda + kend, lda);
   }
 }
 

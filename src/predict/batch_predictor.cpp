@@ -75,6 +75,11 @@ void BatchPredictor::predict_batch(const la::Matrix& points,
 
   if (m > 0 && c > 0 && !tiles_.empty()) {
     const int panel = std::max(1, opts_.panel_rows);
+    // This fan-out owns the parallelism: the la::gemm calls below sit inside
+    // the active region, so the packed core's in-parallel gate runs them
+    // serial per panel — panels never oversubscribe with nested GEMM teams.
+    // (When OMP_NUM_THREADS=1 the region is inactive and the GEMMs may
+    // thread internally instead; either way the bits are identical.)
 #pragma omp parallel for schedule(dynamic)
     for (int ib = 0; ib < m; ib += panel) {
       const int pi = std::min(panel, m - ib);

@@ -14,6 +14,8 @@ void set_threads(int n) {
 
 int thread_id() { return omp_get_thread_num(); }
 
+bool in_parallel() { return omp_in_parallel() != 0; }
+
 int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);

@@ -14,6 +14,13 @@ void set_threads(int n);
 /// Calling thread's id inside a parallel region (0 outside).
 int thread_id();
 
+/// True when the caller is enclosed by an *active* parallel region (a team
+/// of more than one thread).  The threaded GEMM core and the task engines
+/// gate on this: work that is already fanned out must not spawn a nested
+/// team.  Inactive regions (if-clause false, team of one) report false, so
+/// e.g. a singleton tree level still gets internal GEMM parallelism.
+bool in_parallel();
+
 /// Number of hardware threads reported by the OS.
 int hardware_threads();
 

@@ -132,6 +132,37 @@ TEST(RaceHarness, ConcurrentULVSolves) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
 }
 
+// Concurrent task-DAG factorizations and solves over ONE shared HSS matrix:
+// each std::thread constructs its own ULVFactorization — the default
+// task-DAG engine opens an OpenMP parallel region with `task depend` chains
+// inside every caller — then solves.  The HSS matrix is shared read-only;
+// every thread's factor and solution must be bit-identical to the reference.
+// Sized below the other harness cases: kThreads nested task-DAG regions are
+// the most expensive shape here under TSan (every task spawn/completion is
+// a history event), and n=256 already covers a 4-level dependence chain.
+TEST(RaceHarness, ConcurrentTaskDagFactorSolve) {
+  Case c = make_case(256, 3, 1.0, 2.0, 43);
+  hs::HSSOptions opts;
+  opts.rtol = 1e-8;
+  hs::HSSMatrix hss = hs::build_hss_from_dense(c.kernel->dense(), c.tree, opts);
+
+  const la::Matrix bm = random_mat(256, 4, 44);
+  hs::ULVFactorization ref(hss, hs::ULVSchedule::kTaskDag);
+  const la::Matrix xm_ref = ref.solve(bm);
+
+  std::vector<int> mismatches(kThreads, 0);
+  hammer([&](int t) {
+    hs::ULVFactorization ulv(hss, hs::ULVSchedule::kTaskDag);
+    la::Matrix xm = ulv.solve(bm);
+    for (int i = 0; i < 256; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (xm(i, j) != xm_ref(i, j)) ++mismatches[t];
+      }
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
 // Concurrent matvec/matmat on one HSS matrix (pure reads; guards against a
 // future cache sneaking mutable state into the const path).
 TEST(RaceHarness, ConcurrentHSSApply) {
@@ -161,22 +192,23 @@ TEST(RaceHarness, ConcurrentHSSApply) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
 }
 
-// Concurrent SMW solves on one factorization.  n = 1024 > kSmwTaskPoints
-// (384), so the internal `omp task` spawns actually fire inside each
-// caller's region — the nesting TSan needs to see.
+// Concurrent SMW solves on one factorization.  n = 1536 puts the top-level
+// children (768 points) above kSmwTaskPoints (512), so the internal
+// `omp task` spawns actually fire inside each caller's region — the nesting
+// TSan needs to see.
 TEST(RaceHarness, ConcurrentSMWSolves) {
-  Case c = make_case(1024, 3, 1.0, 2.0, 17);
+  Case c = make_case(1536, 3, 1.0, 2.0, 17);
   hd::HODLRMatrix m(*c.kernel, c.tree, {});
   hd::SMWFactorization smw(m);
 
-  const la::Vector b = random_vec(1024, 41);
+  const la::Vector b = random_vec(1536, 41);
   const la::Vector x_ref = smw.solve(b);
 
   std::vector<int> mismatches(kThreads, 0);
   hammer([&](int t) {
     for (int rep = 0; rep < 2; ++rep) {
       la::Vector x = smw.solve(b);
-      for (int i = 0; i < 1024; ++i) {
+      for (int i = 0; i < 1536; ++i) {
         if (x[i] != x_ref[i]) ++mismatches[t];
       }
     }

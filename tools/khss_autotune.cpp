@@ -1,0 +1,62 @@
+// One-shot GEMM blocking/kernel autotuner driver (DESIGN.md "Compute core").
+//
+//   ./khss_autotune [--size 512] [--reps 3] [--threads N]
+//                   [--out khss_gemm.cfg]
+//
+// Runs la::detail::autotune_gemm — a timed sweep of every supported kernel
+// variant across the candidate KC/MC/NC grid — and writes the winner to
+// --out in the one-line cache format "kc,mc,nc,kernel".  Later runs pick it
+// up with KHSS_GEMM_CONFIG=<path>; nothing in-process is mutated here, and
+// the library never autotunes on its own unless KHSS_GEMM_AUTOTUNE=1 is set
+// (see gemm_tune.hpp for the full resolution order).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "la/gemm_kernel.hpp"
+#include "la/gemm_tune.hpp"
+#include "util/argparse.hpp"
+#include "util/threads.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const int size = static_cast<int>(args.get_int("size", 512));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::string out = args.get_string("out", "khss_gemm.cfg");
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) util::set_threads(threads);
+  if (size < 64 || reps < 1) {
+    std::cerr << args.program()
+              << ": --size must be >= 64 and --reps >= 1\n";
+    return 2;
+  }
+
+  std::cout << "khss_autotune: sweeping blocking grid at size " << size
+            << " (best of " << reps << " reps, " << util::max_threads()
+            << " threads)\n";
+  std::cout << "supported kernels:";
+  for (const std::string& k : la::detail::supported_gemm_kernels()) {
+    std::cout << " " << k;
+  }
+  std::cout << "\n";
+
+  const la::detail::GemmConfig cfg = la::detail::autotune_gemm(size, reps);
+  const la::detail::GemmBlocking def{};
+  std::cout << "winner: kernel=" << cfg.kernel << " kc=" << cfg.blocking.kc
+            << " mc=" << cfg.blocking.mc << " nc=" << cfg.blocking.nc
+            << "  (pinned default: " << la::detail::gemm_kernel_name()
+            << " kc=" << def.kc << " mc=" << def.mc << " nc=" << def.nc
+            << ")\n";
+
+  if (!la::detail::write_gemm_config_file(out, cfg)) {
+    std::cerr << args.program() << ": could not write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " ("
+            << la::detail::format_gemm_config(cfg) << ")\n"
+            << "use it with: KHSS_GEMM_CONFIG=" << out << " <binary>\n";
+  return 0;
+}
