@@ -155,15 +155,20 @@ inline util::Json json_header(const std::string& bench, const CommonArgs& c) {
 }
 
 /// Write the document when --json was passed; prints where it went so CI
-/// logs show the artifact path.
-inline void write_json_if_requested(const CommonArgs& c,
-                                    const util::Json& doc) {
-  if (c.json_path.empty()) return;
+/// logs show the artifact path.  Returns true when no write was requested or
+/// the write succeeded; FALSE on a failed write — benches must propagate
+/// that as a non-zero exit so a perf-trajectory run cannot "pass" while its
+/// BENCH_*.json artifact silently failed to land (the bug this fixes:
+/// Json::save's bool was dropped here and every caller saw success).
+[[nodiscard]] inline bool write_json_if_requested(const CommonArgs& c,
+                                                  const util::Json& doc) {
+  if (c.json_path.empty()) return true;
   if (doc.save(c.json_path)) {
     std::cout << "json written to " << c.json_path << "\n";
-  } else {
-    std::cerr << "warning: could not write json to " << c.json_path << "\n";
+    return true;
   }
+  std::cerr << "error: could not write json to " << c.json_path << "\n";
+  return false;
 }
 
 /// Train/test split of a paper-twin dataset, z-score normalized on train.

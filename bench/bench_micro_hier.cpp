@@ -320,12 +320,12 @@ int main(int argc, char** argv) {
   doc.set("hss_matmat_schedule", std::move(jmatmat_sched));
   doc.set("smw_factor", std::move(jsmw_factor));
   doc.set("smw_solve", std::move(jsmw_solve));
-  bench::write_json_if_requested(c, doc);
+  const bool json_ok = bench::write_json_if_requested(c, doc);
 
   std::cout << "shape to check: ulv_factor+solve speedup >= 2.5x at n ~ 8192\n"
                "on a multi-core box (every level of the tree fans out over\n"
                "threads; the per-phase split shows the root LU and forward\n"
                "sweep shares).  On a 1-core host both columns time the same\n"
                "serial sweep and the column is ~1.0x by construction.\n";
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -348,10 +348,10 @@ int main(int argc, char** argv) {
   doc.set("gemm_threads", std::move(jgemm_mt));
   doc.set("lu", std::move(jlu));
   doc.set("qr", std::move(jqr));
-  bench::write_json_if_requested(c, doc);
+  const bool json_ok = bench::write_json_if_requested(c, doc);
 
   std::cout << "shape to check: gemm_nn speedup >= 3x at n >= 512 (the\n"
                "acceptance bar for the packed core); cholesky and trsm ride\n"
                "the same microkernel through their blocked updates.\n";
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -4,6 +4,19 @@
 //   ./bench_serving [--n 2000] [--ntest 1000] [--batch B]
 //                   [--backends dense,nystrom] [--dataset PEN] [--threads T]
 //
+// Socket mode (daemon benchmark): with --serve SOCKET the bench skips
+// training entirely and drives a running khss_serve daemon over its AF_UNIX
+// socket with concurrent OPEN-LOOP clients:
+//
+//   ./bench_serving --serve /tmp/khss.sock [--model NAME] [--clients 4]
+//                   [--rate 50] [--duration 5] [--batch 16]
+//
+// Each client issues --batch-row score requests on a fixed schedule of
+// --rate requests/second; latency is measured from the SCHEDULED send time
+// to the response (so a backed-up daemon cannot hide queueing delay —
+// no coordinated omission).  Reports p50/p99 latency and achieved
+// throughput, plus the daemon's own per-model serving stats delta.
+//
 // Trains one-vs-all KRR on the PEN digits twin (10 classes) per backend,
 // then serves the test set two ways:
 //   per-point: one cross_times_vector sweep per test point per class — the
@@ -17,11 +30,15 @@
 // redundancy, so the expected win is ~num_classes x cache effects.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "predict/batch_predictor.hpp"
+#include "serve/client.hpp"
 #include "util/timer.hpp"
 
 using namespace khss;
@@ -93,10 +110,142 @@ BatchResult serve_batched(const predict::BatchPredictor& pred,
   return r;
 }
 
+// ------------------------------------------------------------- socket mode
+
+/// Drive a running khss_serve daemon with `clients` open-loop threads, each
+/// sending `batch`-row score requests at `rate` req/s for `duration` s.
+int run_socket_bench(const util::ArgParser& args, const std::string& sock) {
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const double rate = args.get_double("rate", 50.0);
+  const double duration = args.get_double("duration", 5.0);
+  const int batch = static_cast<int>(args.get_int("batch", 16));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (clients < 1 || rate <= 0.0 || duration <= 0.0 || batch < 1) {
+    std::cerr << "bench_serving: --clients/--rate/--duration/--batch must "
+                 "be positive\n";
+    return 2;
+  }
+
+  // Probe the daemon for the model to drive.
+  serve::ServeClient probe(sock);
+  const std::vector<serve::ModelDescription> models = probe.list_models();
+  if (models.empty()) {
+    std::cerr << "bench_serving: daemon at " << sock << " has no models\n";
+    return 1;
+  }
+  std::string model = args.get_string("model", models.front().name);
+  int dim = -1;
+  for (const serve::ModelDescription& d : models) {
+    if (d.name == model) dim = d.dim;
+  }
+  if (dim < 0) {
+    std::cerr << "bench_serving: daemon does not serve model '" << model
+              << "'\n";
+    return 1;
+  }
+  const auto stats_before = probe.stats();
+
+  bench::print_banner(
+      "serving daemon", "open-loop latency against khss_serve",
+      "latency measured from SCHEDULED send (no coordinated omission)");
+  std::cout << "socket " << sock << ", model '" << model << "' (dim " << dim
+            << "), " << clients << " clients x " << rate << " req/s x "
+            << batch << " rows, " << duration << " s\n";
+
+  using clock = std::chrono::steady_clock;
+  std::mutex merge_mutex;
+  std::vector<double> latencies;  // seconds, all clients
+  std::vector<long> sent_per_client(clients, 0);
+  std::vector<std::thread> threads;
+  const auto t_start = clock::now();
+  const auto t_end = t_start + std::chrono::duration_cast<clock::duration>(
+                                   std::chrono::duration<double>(duration));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ServeClient client(sock);
+      util::Rng rng(seed + static_cast<std::uint64_t>(c) + 1);
+      la::Matrix points(batch, dim);
+      rng.fill_normal(points.data(), points.size());
+      std::vector<double> mine;
+      long k = 0;
+      while (true) {
+        const auto scheduled =
+            t_start + std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(k / rate));
+        if (scheduled >= t_end) break;
+        std::this_thread::sleep_until(scheduled);  // no-op when behind
+        (void)client.score(model, points);
+        // Open-loop latency: completion minus the time the request was
+        // SUPPOSED to go out, so schedule slippage counts against p99.
+        mine.push_back(
+            std::chrono::duration<double>(clock::now() - scheduled).count());
+        ++k;
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+      sent_per_client[c] = k;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall = std::chrono::duration<double>(clock::now() - t_start)
+                          .count();
+
+  long total_requests = 0;
+  for (long s : sent_per_client) total_requests += s;
+  util::Table table({"clients", "req/s target", "req/s achieved", "points/s",
+                     "p50 ms", "p99 ms", "max ms"});
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  table.add_row(
+      {util::Table::fmt_int(clients), util::Table::fmt(rate * clients, 1),
+       util::Table::fmt(total_requests / wall, 1),
+       util::Table::fmt(total_requests * static_cast<double>(batch) / wall,
+                        0),
+       util::Table::fmt(1e3 * percentile(latencies, 0.50), 3),
+       util::Table::fmt(1e3 * percentile(latencies, 0.99), 3),
+       util::Table::fmt(sorted.empty() ? 0.0 : 1e3 * sorted.back(), 3)});
+  table.print(std::cout, "open-loop serving latency");
+
+  const auto stats_after = probe.stats();
+  for (const auto& [name, after] : stats_after) {
+    if (name != model) continue;
+    for (const auto& [before_name, before] : stats_before) {
+      if (before_name != name) continue;
+      const std::uint64_t reqs = after.requests - before.requests;
+      const std::uint64_t batches = after.batches - before.batches;
+      std::cout << "daemon stats delta: " << reqs << " requests coalesced "
+                << "into " << batches << " predict calls ("
+                << util::Table::fmt(
+                       batches > 0 ? static_cast<double>(reqs) /
+                                         static_cast<double>(batches)
+                                   : 0.0,
+                       2)
+                << " req/batch), "
+                << util::Table::fmt(after.busy_seconds - before.busy_seconds,
+                                    3)
+                << " s busy\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
+
+  // Socket mode drives an external khss_serve daemon; no training here.
+  const std::string serve_sock = args.get_string("serve", "");
+  if (!serve_sock.empty()) {
+    try {
+      return run_socket_bench(args, serve_sock);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_serving: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   bench::BenchDefaults def;
   def.dataset = "PEN";  // the 10-class digits twin
   def.backend = krr::SolverBackend::kDenseExact;

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout, "Table 4: timing (seconds)");
 
+  bool json_ok = true;
   if (!c.json_path.empty()) {
     util::Json doc = bench::json_header("bench_table4_breakdown", c);
     doc.set("threads_low", static_cast<long>(low));
@@ -84,11 +85,11 @@ int main(int argc, char** argv) {
       runs.push(std::move(run));
     }
     doc.set("phase_seconds", std::move(runs));
-    bench::write_json_if_requested(c, doc);
+    json_ok = bench::write_json_if_requested(c, doc);
   }
   std::cout << "shape to check vs the paper: HSS construction dominated by\n"
                "sampling; factorization and solve orders of magnitude\n"
                "cheaper; every phase speeds up with more parallelism, solve\n"
                "least (it is latency-bound at small per-core work).\n";
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -70,6 +70,20 @@ void densify_labels(std::vector<double> raw, Dataset& out) {
   out.num_classes = static_cast<int>(uniq.size());
 }
 
+// The silent-failure trap this guards against: ofstream::operator<< never
+// throws by default, so a full disk (ENOSPC) or a write error surfaces only
+// as a badbit that nobody checked — the old savers returned normally having
+// written a truncated file.  Flush, THEN check the final stream state, and
+// name the path in the error.
+void check_write(std::ofstream& out, const char* who, const std::string& path) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error(std::string(who) + ": write to " + path +
+                             " failed (disk full or I/O error); the file is "
+                             "incomplete");
+  }
+}
+
 }  // namespace
 
 Dataset load_csv(const std::string& path, char delimiter) {
@@ -194,6 +208,7 @@ void save_csv(const Dataset& d, const std::string& path) {
     for (int j = 0; j < d.dim(); ++j) out << ',' << row[j];
     out << '\n';
   }
+  check_write(out, "save_csv", path);
 }
 
 void save_libsvm(const Dataset& d, const std::string& path) {
@@ -208,6 +223,58 @@ void save_libsvm(const Dataset& d, const std::string& path) {
     }
     out << '\n';
   }
+  check_write(out, "save_libsvm", path);
+}
+
+void save_matrix_csv(const la::Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_matrix_csv: cannot open " + path);
+  out.precision(17);  // round-trips doubles exactly
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ',';
+      out << m(i, j);
+    }
+    out << '\n';
+  }
+  check_write(out, "save_matrix_csv", path);
+}
+
+la::Matrix load_matrix_csv(const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_matrix_csv: cannot open " + path);
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> vals;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, delimiter)) {
+      if (cell.empty()) continue;
+      vals.push_back(parse_double_token(cell, path, lineno, "bad CSV cell"));
+    }
+    if (vals.empty()) continue;
+    if (!rows.empty() && vals.size() != rows.front().size()) {
+      throw std::runtime_error(
+          "load_matrix_csv: " + path + ":" + std::to_string(lineno) +
+          ": ragged row (" + std::to_string(vals.size()) +
+          " columns, expected " + std::to_string(rows.front().size()) + ")");
+    }
+    rows.push_back(std::move(vals));
+  }
+  if (rows.empty()) {
+    throw std::runtime_error("load_matrix_csv: no data in " + path);
+  }
+  la::Matrix m(static_cast<int>(rows.size()),
+               static_cast<int>(rows.front().size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), m.row(static_cast<int>(i)));
+  }
+  return m;
 }
 
 }  // namespace khss::data

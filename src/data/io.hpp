@@ -22,10 +22,25 @@ Dataset load_csv(const std::string& path, char delimiter = ',');
 Dataset load_libsvm(const std::string& path, int dim = 0);
 
 /// Write a dataset as CSV (label first), for interchange with plotting tools.
+/// Throws std::runtime_error naming the path when the write fails — the
+/// stream's final state is checked after a flush, so a full disk or I/O
+/// error can no longer produce a silently truncated file.
 void save_csv(const Dataset& d, const std::string& path);
 
 /// Write a dataset in LIBSVM sparse format (1-based indices, zeros omitted).
 /// Reload with load_libsvm(path, d.dim()) to recover trailing zero columns.
+/// Same write-failure contract as save_csv.
 void save_libsvm(const Dataset& d, const std::string& path);
+
+/// Write a bare matrix as CSV (no labels, no header) at full double
+/// precision (17 significant digits), so load_matrix_csv round-trips every
+/// value bit-exactly — the khss_score --expect comparison depends on this.
+/// Same write-failure contract as save_csv.
+void save_matrix_csv(const la::Matrix& m, const std::string& path);
+
+/// Load a bare numeric CSV as a matrix.  Skips '#' comments and empty
+/// lines; throws std::runtime_error (with file:line context) on ragged rows
+/// or malformed cells.
+la::Matrix load_matrix_csv(const std::string& path, char delimiter = ',');
 
 }  // namespace khss::data

@@ -169,6 +169,41 @@ void HMatrix::build(const kernel::KernelMatrix& kernel,
   }
 }
 
+HMatrix::HMatrix(int n, double lambda, std::vector<HBlock> blocks)
+    : n_(n), lambda_(lambda), blocks_(std::move(blocks)) {
+  KHSS_REQUIRE(n_ >= 0, "HMatrix restore: negative n " << n_);
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    const HBlock& blk = blocks_[id];
+    KHSS_REQUIRE(blk.row_lo >= 0 && blk.row_hi >= blk.row_lo &&
+                     blk.row_hi <= n_ && blk.col_lo >= 0 &&
+                     blk.col_hi >= blk.col_lo && blk.col_hi <= n_,
+                 "HMatrix restore: block " << id << " spans rows ["
+                     << blk.row_lo << ", " << blk.row_hi << ") x cols ["
+                     << blk.col_lo << ", " << blk.col_hi << ") outside [0, "
+                     << n_ << ")");
+    if (!blk.low_rank) {
+      KHSS_REQUIRE(blk.dense.rows() == blk.row_hi - blk.row_lo &&
+                       blk.dense.cols() == blk.col_hi - blk.col_lo,
+                   "HMatrix restore: dense block " << id << " is "
+                       << blk.dense.rows() << " x " << blk.dense.cols()
+                       << " for a span of " << blk.row_hi - blk.row_lo
+                       << " x " << blk.col_hi - blk.col_lo);
+    }
+  }
+  stats_ = HStats{};
+  stats_.num_blocks = static_cast<int>(blocks_.size());
+  for (const auto& blk : blocks_) {
+    if (blk.low_rank) {
+      ++stats_.num_lowrank_blocks;
+      stats_.memory_bytes += blk.lr.bytes();
+      stats_.max_block_rank = std::max(stats_.max_block_rank, blk.lr.rank());
+    } else {
+      ++stats_.num_dense_blocks;
+      stats_.memory_bytes += blk.dense.bytes();
+    }
+  }
+}
+
 namespace {
 
 // out(rows of blk) += blk * x(cols of blk), restricted to columns [c0, c1).

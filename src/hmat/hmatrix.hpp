@@ -68,6 +68,12 @@ class HMatrix {
   HMatrix(const kernel::KernelMatrix& kernel, const cluster::ClusterTree& tree,
           const HOptions& opts = {});
 
+  /// Persistence (serialize::read_hmatrix): reassemble from stored blocks
+  /// WITHOUT recompressing.  Block extents are validated against n; stats
+  /// are recomputed from the blocks (build_seconds stays 0 — nothing was
+  /// built).
+  HMatrix(int n, double lambda, std::vector<HBlock> blocks);
+
   int n() const { return n_; }
 
   /// Y = (K_H + lambda I) X.  OpenMP-parallel.

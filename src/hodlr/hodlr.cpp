@@ -86,6 +86,46 @@ HODLRMatrix::HODLRMatrix(const kernel::KernelMatrix& kernel,
   stats_.construction_seconds = timer.seconds();
 }
 
+HODLRMatrix::HODLRMatrix(int n, std::vector<Node> nodes,
+                         std::vector<int> postorder)
+    : n_(n), nodes_(std::move(nodes)), postorder_(std::move(postorder)) {
+  KHSS_REQUIRE(n_ >= 0, "HODLRMatrix restore: negative n " << n_);
+  KHSS_REQUIRE(postorder_.size() == nodes_.size(),
+               "HODLRMatrix restore: postorder covers "
+                   << postorder_.size() << " nodes but " << nodes_.size()
+                   << " were stored");
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& nd = nodes_[id];
+    KHSS_REQUIRE(nd.lo >= 0 && nd.hi >= nd.lo && nd.hi <= n_,
+                 "HODLRMatrix restore: node " << id << " spans [" << nd.lo
+                     << ", " << nd.hi << ") outside [0, " << n_ << ")");
+    KHSS_REQUIRE(nd.is_leaf() ||
+                     (nd.left >= 0 && nd.right >= 0 &&
+                      nd.left < static_cast<int>(nodes_.size()) &&
+                      nd.right < static_cast<int>(nodes_.size())),
+                 "HODLRMatrix restore: node " << id
+                     << " has out-of-range children (" << nd.left << ", "
+                     << nd.right << ")");
+    if (nd.is_leaf()) {
+      KHSS_REQUIRE(nd.d.rows() == nd.size() && nd.d.cols() == nd.size(),
+                   "HODLRMatrix restore: leaf " << id << " block is "
+                       << nd.d.rows() << " x " << nd.d.cols()
+                       << " for a span of " << nd.size());
+    }
+  }
+  stats_ = HODLRStats{};
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf()) {
+      stats_.memory_bytes += nd.d.bytes();
+    } else {
+      stats_.memory_bytes += nd.upper.bytes() + nd.lower.bytes();
+      stats_.max_rank =
+          std::max({stats_.max_rank, nd.upper.rank(), nd.lower.rank()});
+      stats_.num_blocks += 2;
+    }
+  }
+}
+
 la::Matrix HODLRMatrix::matmat(const la::Matrix& x) const {
   KHSS_REQUIRE(x.rows() == n_, "HODLRMatrix::matmat: x has "
                                    << x.rows() << " rows; expected n = "
@@ -174,6 +214,23 @@ SMWFactorization::SMWFactorization(const HODLRMatrix& hodlr) : hodlr_(hodlr) {
 #pragma omp parallel
 #pragma omp single
   factor_node(0);
+}
+
+SMWFactorization::SMWFactorization(const HODLRMatrix& hodlr,
+                                   std::vector<NodeFactor> nf)
+    : hodlr_(hodlr), nf_(std::move(nf)) {
+  KHSS_REQUIRE(nf_.size() == hodlr_.nodes().size(),
+               "SMWFactorization restore: " << nf_.size()
+                   << " node factors for a HODLR matrix with "
+                   << hodlr_.nodes().size() << " nodes");
+  for (std::size_t id = 0; id < nf_.size(); ++id) {
+    const auto& nd = hodlr_.nodes()[id];
+    if (nd.is_leaf()) {
+      KHSS_REQUIRE(nf_[id].leaf_lu != nullptr,
+                   "SMWFactorization restore: leaf " << id
+                       << " is missing its LU factor");
+    }
+  }
 }
 
 void SMWFactorization::factor_node(int node_id) {

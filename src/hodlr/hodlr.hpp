@@ -78,6 +78,12 @@ class HODLRMatrix {
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<int>& postorder() const { return postorder_; }
 
+  /// Persistence (serialize::read_hodlr): reassemble from stored nodes
+  /// WITHOUT recompressing.  Structural shape is validated; stats are
+  /// recomputed from the blocks (construction_seconds stays 0 — nothing was
+  /// constructed).
+  HODLRMatrix(int n, std::vector<Node> nodes, std::vector<int> postorder);
+
  private:
   int n_ = 0;
   std::vector<Node> nodes_;
@@ -97,6 +103,24 @@ class SMWFactorization {
 
   std::size_t memory_bytes() const;
 
+  /// Per-node factor state (public for the persistence layer, which stores
+  /// and restores it verbatim — see src/serialize/artifacts.hpp).
+  struct NodeFactor {
+    std::unique_ptr<la::LUFactor> leaf_lu;   // leaves
+    la::Matrix dinv_w;                       // internal: D^{-1} W (m x r1+r2)
+    la::Matrix z;                            // internal: Z (m x r1+r2)
+    std::unique_ptr<la::LUFactor> cap_lu;    // internal: I + Z^T D^{-1} W
+  };
+
+  /// Reassemble a factorization from persisted per-node state WITHOUT
+  /// refactoring (serialize::read_smw).  `hodlr` must be the SAME matrix the
+  /// factors were computed from (also restored from the file); node counts
+  /// are validated, numeric consistency is the file's checksum's job.
+  SMWFactorization(const HODLRMatrix& hodlr, std::vector<NodeFactor> nf);
+
+  /// The persisted view of the factor state (serialize::write_smw).
+  const std::vector<NodeFactor>& node_factors() const { return nf_; }
+
  private:
   // Recursive bottom-up factorization of one subtree.  Sibling subtrees are
   // independent and run as OpenMP tasks (shape-only spawn cutoff), so the
@@ -108,13 +132,6 @@ class SMWFactorization {
   // OpenMP tasks; per-node blocks route through la::gemm_rhs_invariant, so
   // solves are bit-identical for any thread count and RHS column split.
   void apply_inverse(int node_id, la::Matrix* b) const;
-
-  struct NodeFactor {
-    std::unique_ptr<la::LUFactor> leaf_lu;   // leaves
-    la::Matrix dinv_w;                       // internal: D^{-1} W (m x r1+r2)
-    la::Matrix z;                            // internal: Z (m x r1+r2)
-    std::unique_ptr<la::LUFactor> cap_lu;    // internal: I + Z^T D^{-1} W
-  };
 
   const HODLRMatrix& hodlr_;
   std::vector<NodeFactor> nf_;

@@ -18,6 +18,23 @@ ULVFactorization::ULVFactorization(const HSSMatrix& hss, ULVSchedule schedule)
   factor();
 }
 
+ULVFactorization::ULVFactorization(const HSSMatrix& hss,
+                                   std::vector<NodeFactor> nf,
+                                   std::unique_ptr<la::LUFactor> root_lu)
+    : hss_(hss),
+      schedule_(ULVSchedule::kTaskDag),
+      nf_(std::move(nf)),
+      root_lu_(std::move(root_lu)) {
+  KHSS_REQUIRE(nf_.size() == hss_.nodes().size(),
+               "ULVFactorization restore: " << nf_.size()
+                   << " node factors for an HSS tree of "
+                   << hss_.nodes().size() << " nodes");
+  KHSS_REQUIRE(root_lu_ != nullptr || nf_.empty(),
+               "ULVFactorization restore: missing root LU factor");
+  levels_ = cluster::levels_bottom_up(hss_.nodes());
+  stats_.levels = static_cast<int>(levels_.size());
+}
+
 void ULVFactorization::assemble_node(int id, la::Matrix& d, la::Matrix& u,
                                      la::Matrix& v) const {
   const auto& nodes = hss_.nodes();

@@ -65,10 +65,35 @@ enum class ULVSchedule {
 
 class ULVFactorization {
  public:
+  /// Per-node factor state (public for the persistence layer, which stores
+  /// and restores it verbatim — see src/serialize/artifacts.hpp).
+  struct NodeFactor {
+    int m = 0;    // reduced system size at this node
+    int me = 0;   // unknowns eliminated here (m - urank)
+    la::Matrix omega;  // m x m orthogonal (empty when me == 0)
+    la::Matrix dhat;   // m x m: Omega * D * Qlq^T; top-left me x me is L
+    la::Matrix qlq;    // m x m orthogonal from the LQ step (empty if me == 0)
+    la::Matrix uhat;   // r x r transformed row basis (non-root)
+    la::Matrix vhat;   // kept rows of Qlq * V (r x rv)
+    la::Matrix v1;     // eliminated rows of Qlq * V (me x rv)
+  };
+
   /// Factor an HSS matrix.  The HSS matrix must stay alive and unmodified
   /// while this factorization is used (it is referenced during solve).
   explicit ULVFactorization(const HSSMatrix& hss,
                             ULVSchedule schedule = ULVSchedule::kTaskDag);
+
+  /// Reassemble a factorization from persisted per-node state and root LU
+  /// WITHOUT refactoring (serialize::read_ulv).  `hss` must be the SAME
+  /// matrix the factors were computed from (also restored from the file);
+  /// node counts are validated, numeric consistency is the file's checksum's
+  /// job.  A null `root_lu` is only valid for an empty factorization.
+  ULVFactorization(const HSSMatrix& hss, std::vector<NodeFactor> nf,
+                   std::unique_ptr<la::LUFactor> root_lu);
+
+  /// The persisted view of the factor state (serialize::write_ulv).
+  const std::vector<NodeFactor>& node_factors() const { return nf_; }
+  const la::LUFactor* root_lu() const { return root_lu_.get(); }
 
   /// Solve A x = b.  Throws std::invalid_argument when b.size() != n.
   la::Vector solve(const la::Vector& b) const;
@@ -95,17 +120,6 @@ class ULVFactorization {
   }
 
  private:
-  struct NodeFactor {
-    int m = 0;    // reduced system size at this node
-    int me = 0;   // unknowns eliminated here (m - urank)
-    la::Matrix omega;  // m x m orthogonal (empty when me == 0)
-    la::Matrix dhat;   // m x m: Omega * D * Qlq^T; top-left me x me is L
-    la::Matrix qlq;    // m x m orthogonal from the LQ step (empty if me == 0)
-    la::Matrix uhat;   // r x r transformed row basis (non-root)
-    la::Matrix vhat;   // kept rows of Qlq * V (r x rv)
-    la::Matrix v1;     // eliminated rows of Qlq * V (me x rv)
-  };
-
   void factor();
   /// Elimination sweep over all non-root nodes, one engine per schedule.
   void factor_tree_level_sweep();

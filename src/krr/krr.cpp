@@ -55,6 +55,31 @@ void KRRModel::fit(const la::Matrix& train_points) {
   fitted_ = true;
 }
 
+KRRModel KRRModel::restore(KRROptions opts, cluster::ClusterTree tree,
+                           la::Matrix permuted_points,
+                           const SolverRestorer& make_solver) {
+  KRRModel model(std::move(opts));
+  model.n_ = permuted_points.rows();
+  KHSS_REQUIRE(model.n_ > 0, "KRRModel::restore: empty training set");
+  KHSS_REQUIRE(tree.num_points() == model.n_,
+               "KRRModel::restore: cluster tree covers "
+                   << tree.num_points() << " points but " << model.n_
+                   << " training points were stored");
+  model.tree_ = std::move(tree);
+  model.kernel_ = std::make_unique<kernel::KernelMatrix>(
+      std::move(permuted_points), model.opts_.kernel, model.opts_.lambda);
+  model.solver_ = make_solver(*model.kernel_, model.tree_);
+  KHSS_REQUIRE(model.solver_ != nullptr,
+               "KRRModel::restore: the solver factory returned null");
+  KHSS_REQUIRE(model.solver_->backend() == model.opts_.backend,
+               "KRRModel::restore: options name backend '"
+                   << backend_name(model.opts_.backend)
+                   << "' but the factory built '"
+                   << backend_name(model.solver_->backend()) << "'");
+  model.fitted_ = true;
+  return model;
+}
+
 KRRStats KRRModel::stats() const {
   // Snapshot by value: the merged view used to be cached in a mutable
   // member, which made concurrent const stats() calls a data race.

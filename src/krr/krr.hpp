@@ -78,6 +78,22 @@ class KRRModel {
   /// Build compression/factorization for the training points (copied).
   void fit(const la::Matrix& train_points);
 
+  /// Factory used by restore(): given the restored model's bound kernel
+  /// operator and cluster tree, return a solver already in fitted state
+  /// (the persistence layer routes this through KernelSolver::load_state).
+  using SolverRestorer =
+      std::function<std::unique_ptr<solver::KernelSolver>(
+          const kernel::KernelMatrix&, const cluster::ClusterTree&)>;
+
+  /// Reassemble a fitted model from persisted artifacts WITHOUT refitting
+  /// (serialize::load_model): the stored cluster tree and the training
+  /// points ALREADY in permuted order.  `make_solver` runs after the model
+  /// owns its kernel/tree, so the references it binds stay valid for the
+  /// model's lifetime.
+  static KRRModel restore(KRROptions opts, cluster::ClusterTree tree,
+                          la::Matrix permuted_points,
+                          const SolverRestorer& make_solver);
+
   bool fitted() const { return fitted_; }
   int n() const { return n_; }
   const KRROptions& options() const { return opts_; }

@@ -102,4 +102,40 @@ double NystromKRR::classify_accuracy(const la::Matrix& train_points,
   return y_test.empty() ? 0.0 : static_cast<double>(correct) / y_test.size();
 }
 
+NystromKRR NystromKRR::restore(NystromOptions opts,
+                               std::vector<int> landmark_idx,
+                               la::Matrix landmarks, la::Matrix k_nm,
+                               la::Matrix gram, la::Matrix kmm,
+                               double lambda) {
+  const int m = static_cast<int>(landmark_idx.size());
+  KHSS_REQUIRE(landmarks.rows() == m,
+               "NystromKRR::restore: " << m << " landmark indices but "
+                   << landmarks.rows() << " landmark points");
+  KHSS_REQUIRE(k_nm.cols() == m, "NystromKRR::restore: K_nm is "
+                                     << k_nm.rows() << " x " << k_nm.cols()
+                                     << "; expected m = " << m << " columns");
+  KHSS_REQUIRE(gram.rows() == m && gram.cols() == m,
+               "NystromKRR::restore: Gram block is " << gram.rows() << " x "
+                   << gram.cols() << "; expected " << m << " x " << m);
+  KHSS_REQUIRE(kmm.rows() == m && kmm.cols() == m,
+               "NystromKRR::restore: K_mm is " << kmm.rows() << " x "
+                   << kmm.cols() << "; expected " << m << " x " << m);
+  for (int i = 0; i < m; ++i) {
+    KHSS_REQUIRE(landmark_idx[i] >= 0 && landmark_idx[i] < k_nm.rows(),
+                 "NystromKRR::restore: landmark index " << landmark_idx[i]
+                     << " outside the training set of " << k_nm.rows());
+  }
+  NystromKRR model(std::move(opts));
+  model.landmark_idx_ = std::move(landmark_idx);
+  model.landmarks_ = std::move(landmarks);
+  model.k_nm_ = std::move(k_nm);
+  model.gram_ = std::move(gram);
+  model.kmm_ = std::move(kmm);
+  model.lambda_ = lambda;
+  model.stats_.memory_bytes = model.k_nm_.bytes() + model.gram_.bytes() +
+                              model.kmm_.bytes() + model.landmarks_.bytes();
+  model.fitted_ = true;
+  return model;
+}
+
 }  // namespace khss::krr

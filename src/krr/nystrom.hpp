@@ -81,6 +81,20 @@ class NystromKRR {
 
   const NystromStats& stats() const { return stats_; }
 
+  /// Persisted view of the fitted state (serialize::write_nystrom).
+  const la::Matrix& landmark_points() const { return landmarks_; }
+  const la::Matrix& k_nm() const { return k_nm_; }
+  const la::Matrix& gram() const { return gram_; }
+  const la::Matrix& kmm() const { return kmm_; }
+
+  /// Reassemble a fitted model from persisted state WITHOUT refitting
+  /// (serialize::read_nystrom).  The normal-equation LU is left empty: it is
+  /// rebuilt lazily by factor(), which is deterministic, so solves on the
+  /// restored model are bit-identical to the original.
+  static NystromKRR restore(NystromOptions opts, std::vector<int> landmark_idx,
+                            la::Matrix landmarks, la::Matrix k_nm,
+                            la::Matrix gram, la::Matrix kmm, double lambda);
+
  private:
   NystromOptions opts_;
   double lambda_ = 1.0;

@@ -160,4 +160,18 @@ bool CholeskyFactor::is_spd(const Matrix& a) {
   return cholesky_inplace(copy);
 }
 
+CholeskyFactor CholeskyFactor::from_factor(Matrix l) {
+  KHSS_REQUIRE(l.rows() == l.cols(), "CholeskyFactor::from_factor: factor is "
+                                         << l.rows() << " x " << l.cols()
+                                         << ", not square");
+  for (int i = 0; i < l.rows(); ++i) {
+    KHSS_REQUIRE(l(i, i) > 0.0,
+                 "CholeskyFactor::from_factor: non-positive diagonal "
+                     << l(i, i) << " at row " << i);
+  }
+  CholeskyFactor f;
+  f.l_ = std::move(l);
+  return f;
+}
+
 }  // namespace khss::la

@@ -23,7 +23,14 @@ class CholeskyFactor {
   /// Attempt a factorization; returns false instead of throwing.
   static bool is_spd(const Matrix& a);
 
+  /// Persistence (src/serialize/): reassemble from a stored factor WITHOUT
+  /// refactoring.  `l` must be square with positive diagonal — it comes from
+  /// disk, so the invariants are re-validated here.
+  static CholeskyFactor from_factor(Matrix l);
+
  private:
+  CholeskyFactor() = default;  // from_factor staging only
+
   Matrix l_;
 };
 

@@ -1,6 +1,7 @@
 #include "la/gemm_tune.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -99,7 +100,15 @@ GemmConfig resolve_gemm_config() {
     }
     if (autotune) {
       GemmConfig tuned = autotune_gemm();
-      write_gemm_config_file(path, tuned);  // best-effort; config still used
+      // Best-effort cache: the tuned config is used either way, but a failed
+      // write means the NEXT run silently re-tunes, so say so.
+      if (!write_gemm_config_file(path, tuned)) {
+        std::fprintf(stderr,
+                     "khss: warning: could not write GEMM config cache to "
+                     "%s; this run uses the tuned config but the next run "
+                     "will re-tune\n",
+                     path.c_str());
+      }
       return tuned;
     }
   }

@@ -97,6 +97,25 @@ LUFactor::LUFactor(Matrix a) : a_(std::move(a)) {
   }
 }
 
+LUFactor LUFactor::from_parts(Matrix packed, std::vector<int> piv) {
+  KHSS_REQUIRE(packed.rows() == packed.cols(),
+               "LUFactor::from_parts: packed factor is "
+                   << packed.rows() << " x " << packed.cols()
+                   << ", not square");
+  KHSS_REQUIRE(static_cast<int>(piv.size()) == packed.rows(),
+               "LUFactor::from_parts: " << piv.size() << " pivots for a "
+                                        << packed.rows() << "-row factor");
+  for (std::size_t k = 0; k < piv.size(); ++k) {
+    KHSS_REQUIRE(piv[k] >= static_cast<int>(k) && piv[k] < packed.rows(),
+                 "LUFactor::from_parts: pivot " << piv[k] << " at step " << k
+                                                << " is out of range");
+  }
+  LUFactor f;
+  f.a_ = std::move(packed);
+  f.piv_ = std::move(piv);
+  return f;
+}
+
 Vector LUFactor::solve(const Vector& b) const {
   const int n = a_.rows();
   KHSS_REQUIRE(static_cast<int>(b.size()) == n,

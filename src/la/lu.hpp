@@ -25,7 +25,18 @@ class LUFactor {
   /// |det(A)| on a log scale (useful for conditioning diagnostics).
   double log_abs_det() const;
 
+  // --- persistence (src/serialize/) -----------------------------------
+  /// The packed factor and pivots, exactly as solve() consumes them.
+  const Matrix& packed() const { return a_; }
+  const std::vector<int>& pivots() const { return piv_; }
+  /// Reassemble a factorization from persisted parts WITHOUT refactoring.
+  /// `packed` must be square and `piv` of matching length; validated here
+  /// because the parts come from disk.
+  static LUFactor from_parts(Matrix packed, std::vector<int> piv);
+
  private:
+  LUFactor() = default;  // from_parts staging only
+
   Matrix a_;               // packed L (unit lower) and U
   std::vector<int> piv_;   // row swaps applied at each step
 };

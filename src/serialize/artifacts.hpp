@@ -1,0 +1,67 @@
+#pragma once
+// Byte encodings of the trained artifacts the model container stores:
+// kernel parameters, cluster tree, and the per-backend compressed formats
+// with their factorizations (HSS + ULV, HODLR + SMW, H blocks, dense
+// Cholesky, LU).  Writers walk the public accessors of each class; readers
+// rebuild through the classes' restore constructors, so every structural
+// invariant is re-validated on the way in — these functions never hand back
+// an object the rest of the library would reject.
+//
+// All encodings go through serialize::ByteWriter/ByteReader (codec.hpp):
+// fixed little-endian, doubles as raw IEEE-754 bits, bounds-checked reads.
+// Readers take the artifacts a restored object must reference (e.g. read_ulv
+// needs the restored HSSMatrix) — the reference structure on disk mirrors
+// the in-memory ownership.
+
+#include <memory>
+
+#include "hmat/aca.hpp"
+#include "hmat/hmatrix.hpp"
+#include "hodlr/hodlr.hpp"
+#include "hss/hss_matrix.hpp"
+#include "hss/ulv.hpp"
+#include "kernel/kernel.hpp"
+#include "cluster/tree.hpp"
+#include "la/chol.hpp"
+#include "la/lu.hpp"
+#include "serialize/codec.hpp"
+
+namespace khss::serialize {
+
+void write_kernel_params(ByteWriter& w, const kernel::KernelParams& p);
+kernel::KernelParams read_kernel_params(ByteReader& r);
+
+void write_cluster_tree(ByteWriter& w, const cluster::ClusterTree& tree);
+cluster::ClusterTree read_cluster_tree(ByteReader& r);
+
+void write_lowrank(ByteWriter& w, const hmat::LowRank& lr);
+hmat::LowRank read_lowrank(ByteReader& r);
+
+void write_lu(ByteWriter& w, const la::LUFactor& lu);
+la::LUFactor read_lu(ByteReader& r);
+
+void write_cholesky(ByteWriter& w, const la::CholeskyFactor& chol);
+la::CholeskyFactor read_cholesky(ByteReader& r);
+
+void write_hss(ByteWriter& w, const hss::HSSMatrix& hss);
+hss::HSSMatrix read_hss(ByteReader& r);
+
+/// `hss` must be the matrix read back from the same artifact (the
+/// factorization references it during solves).  Returned by pointer:
+/// ULVFactorization owns a mutex and is intentionally immovable.
+void write_ulv(ByteWriter& w, const hss::ULVFactorization& ulv);
+std::unique_ptr<hss::ULVFactorization> read_ulv(ByteReader& r,
+                                                const hss::HSSMatrix& hss);
+
+void write_hodlr(ByteWriter& w, const hodlr::HODLRMatrix& m);
+hodlr::HODLRMatrix read_hodlr(ByteReader& r);
+
+/// `hodlr` must be the matrix read back from the same artifact.
+void write_smw(ByteWriter& w, const hodlr::SMWFactorization& smw);
+hodlr::SMWFactorization read_smw(ByteReader& r,
+                                 const hodlr::HODLRMatrix& hodlr);
+
+void write_hmatrix(ByteWriter& w, const hmat::HMatrix& m);
+hmat::HMatrix read_hmatrix(ByteReader& r);
+
+}  // namespace khss::serialize

@@ -1,0 +1,109 @@
+#pragma once
+// Versioned, checksummed, section-table container — the on-disk envelope of
+// every persisted model (DESIGN.md "Model container format").
+//
+// Layout (all integers little-endian):
+//
+//   offset size
+//   0      8    magic "KHSSMDL1"
+//   8      4    u32 container format version (kFormatVersion)
+//   12     4    u32 section count
+//   16     8    u64 section table offset
+//   24     8    u64 total file size (self-describing truncation check)
+//   32     8    u64 CRC-64 of the section table bytes
+//   40     ...  section payloads, each 8-byte aligned (mmap-friendly: a
+//               reader may map the file and hand out aligned pointers)
+//   table  ...  per section: str name, u64 offset, u64 size,
+//               u64 CRC-64(payload)
+//
+// Writer semantics: sections accumulate in memory; finish() lays them out,
+// writes the whole file, flushes, and THROWS on any stream failure — a
+// disk-full or closed-fd write can never report success (the silent-write
+// bug class PR 8 removes from data/io is designed out here).
+//
+// Reader semantics: the constructor validates magic, version, declared file
+// size and the table checksum; section() additionally verifies the payload
+// CRC on first access.  Every failure throws SerializeError naming the path
+// and the offending structure.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serialize/codec.hpp"
+
+namespace khss::serialize {
+
+inline constexpr char kMagic[8] = {'K', 'H', 'S', 'S', 'M', 'D', 'L', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 40;
+
+/// CRC-64 (ECMA-182 polynomial, reflected) over a byte range.
+std::uint64_t crc64(std::string_view data);
+
+class ContainerWriter {
+ public:
+  /// Section names must be unique; adding a duplicate throws.
+  void add_section(const std::string& name, std::string payload);
+  void add_section(const std::string& name, ByteWriter&& w) {
+    add_section(name, w.take());
+  }
+
+  bool has_section(const std::string& name) const;
+
+  /// Write the container to `path`.  Throws SerializeError (with the path)
+  /// when the file cannot be opened or any write fails; no success without a
+  /// fully flushed, stream-clean file.
+  void finish(const std::string& path) const;
+
+  /// The serialized container bytes (tests and in-memory round trips).
+  std::string serialize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class ContainerReader {
+ public:
+  /// Read and validate the container envelope at `path`.
+  explicit ContainerReader(const std::string& path);
+
+  /// Validate an in-memory container (tests; `label` stands in for the path
+  /// in error messages).
+  ContainerReader(std::string bytes, std::string label);
+
+  const std::string& path() const { return path_; }
+  std::uint32_t version() const { return version_; }
+
+  bool has(const std::string& name) const;
+  std::vector<std::string> section_names() const;
+
+  /// Payload of a section; verifies its CRC on first access.  Throws
+  /// SerializeError when the section is missing or corrupt.
+  std::string_view section(const std::string& name) const;
+
+  /// ByteReader over a section, contextualized as "<path>: section '<name>'".
+  ByteReader reader(const std::string& name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint64_t crc = 0;
+    mutable bool verified = false;
+  };
+
+  void parse();
+  [[noreturn]] void fail(const std::string& what) const;
+  const Section* find(const std::string& name) const;
+
+  std::string path_;
+  std::string bytes_;
+  std::uint32_t version_ = 0;
+  std::vector<Section> sections_;
+};
+
+}  // namespace khss::serialize

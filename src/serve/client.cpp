@@ -1,0 +1,149 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+
+namespace khss::serve {
+
+ServeClient::ServeClient(const std::string& socket_path)
+    : socket_path_(socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path '" + socket_path +
+                             "' exceeds the AF_UNIX limit of " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: cannot connect to '" + socket_path +
+                             "': " + std::strerror(err));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), socket_path_(std::move(other.socket_path_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    socket_path_ = std::move(other.socket_path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string ServeClient::roundtrip(const std::string& request,
+                                   const char* what) {
+  write_frame(fd_, request);
+  std::string response;
+  if (!read_frame(fd_, &response)) {
+    throw std::runtime_error(std::string("serve: server at '") + socket_path_ +
+                             "' closed the connection instead of answering " +
+                             what);
+  }
+  serialize::ByteReader r(response, std::string("serve response to ") + what);
+  const auto status = static_cast<Status>(r.u8());
+  if (status == Status::kError) {
+    throw std::runtime_error(r.str());
+  }
+  if (status != Status::kOk) {
+    r.fail("unknown response status " +
+           std::to_string(static_cast<int>(status)));
+  }
+  // Return the payload after the status byte.
+  return response.substr(1);
+}
+
+void ServeClient::ping() {
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPing));
+  (void)roundtrip(w.take(), "ping");
+}
+
+la::Matrix ServeClient::score(const std::string& model,
+                              const la::Matrix& points) {
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kScore));
+  w.str(model);
+  w.matrix(points);
+  const std::string payload = roundtrip(w.take(), "score");
+  serialize::ByteReader r(payload, "serve score response");
+  la::Matrix scores = r.matrix();
+  r.expect_exhausted("the score response");
+  return scores;
+}
+
+std::vector<std::pair<std::string, ServeModelStats>> ServeClient::stats() {
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStats));
+  const std::string payload = roundtrip(w.take(), "stats");
+  serialize::ByteReader r(payload, "serve stats response");
+  const std::uint64_t count = r.u64();
+  std::vector<std::pair<std::string, ServeModelStats>> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ServeModelStats s;
+    std::string name = r.str();
+    s.requests = r.u64();
+    s.points = r.u64();
+    s.batches = r.u64();
+    s.busy_seconds = r.f64();
+    out.emplace_back(std::move(name), s);
+  }
+  r.expect_exhausted("the stats response");
+  return out;
+}
+
+std::vector<ModelDescription> ServeClient::list_models() {
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kListModels));
+  const std::string payload = roundtrip(w.take(), "list-models");
+  serialize::ByteReader r(payload, "serve list-models response");
+  const std::uint64_t count = r.u64();
+  std::vector<ModelDescription> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ModelDescription d;
+    d.name = r.str();
+    d.n = r.i32();
+    d.dim = r.i32();
+    d.num_outputs = r.i32();
+    d.backend = r.str();
+    out.push_back(std::move(d));
+  }
+  r.expect_exhausted("the list-models response");
+  return out;
+}
+
+void ServeClient::shutdown_server() {
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+  (void)roundtrip(w.take(), "shutdown");
+}
+
+}  // namespace khss::serve

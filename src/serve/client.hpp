@@ -1,0 +1,69 @@
+#pragma once
+// Client side of the khss_serve wire protocol (protocol.hpp): connect to the
+// daemon's AF_UNIX socket, frame requests, decode responses.  Used by the
+// khss_score CLI, bench_serving's --serve mode, and the serve tests.
+//
+// Every call sends one request frame and blocks for one response frame.  A
+// kError response becomes a thrown std::runtime_error carrying the server's
+// diagnostic, so callers see the server-side reason, not a generic failure.
+// One ServeClient is ONE connection: calls are serialized by the protocol
+// (no interleaved frames), so share a client across threads only under an
+// external lock — or give each thread its own (connections are cheap).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "serve/server.hpp"
+
+namespace khss::serve {
+
+/// One model's row in ServeClient::list_models().
+struct ModelDescription {
+  std::string name;
+  int n = 0;            // training points
+  int dim = 0;          // feature dimension
+  int num_outputs = 0;  // weight columns (classes / RHS)
+  std::string backend;  // solver backend canonical name
+};
+
+class ServeClient {
+ public:
+  /// Connect to the daemon at `socket_path`.  Throws std::runtime_error
+  /// when the socket does not exist or refuses the connection.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Liveness round trip.
+  void ping();
+
+  /// Score `points` (rows = batch) against the named model.  Returns the
+  /// points.rows() x num_outputs score matrix, bit-identical to scoring
+  /// in-process.  Throws std::runtime_error with the server's message on an
+  /// unknown model, dimension mismatch, or malformed exchange.
+  la::Matrix score(const std::string& model, const la::Matrix& points);
+
+  /// Per-model serving counters, sorted by model name.
+  std::vector<std::pair<std::string, ServeModelStats>> stats();
+
+  /// Names + shapes + backends of the models the daemon loaded.
+  std::vector<ModelDescription> list_models();
+
+  /// Ask the daemon to drain and exit gracefully (it still answers this
+  /// request and every in-flight one before going down).
+  void shutdown_server();
+
+ private:
+  std::string roundtrip(const std::string& request, const char* what);
+
+  int fd_ = -1;
+  std::string socket_path_;
+};
+
+}  // namespace khss::serve

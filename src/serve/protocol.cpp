@@ -1,0 +1,86 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace khss::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Read exactly `len` bytes.  Returns false on EOF before the first byte
+/// when `eof_ok`; throws on EOF mid-buffer or error.
+bool read_exact(int fd, char* buf, std::size_t len, bool eof_ok) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::read(fd, buf + done, len - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: socket read failed");
+    }
+    if (got == 0) {
+      if (done == 0 && eof_ok) return false;
+      throw std::runtime_error(
+          "serve: connection closed mid-frame (read " + std::to_string(done) +
+          " of " + std::to_string(len) + " bytes)");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void write_exact(int fd, const char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t put = ::write(fd, buf + done, len - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: socket write failed");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* out) {
+  char prefix[4];
+  if (!read_exact(fd, prefix, sizeof(prefix), /*eof_ok=*/true)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]))
+           << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("serve: frame length " + std::to_string(len) +
+                             " exceeds the " +
+                             std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  out->resize(len);
+  if (len > 0) read_exact(fd, out->data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("serve: refusing to send a " +
+                             std::to_string(payload.size()) +
+                             "-byte frame (cap " +
+                             std::to_string(kMaxFrameBytes) + ")");
+  }
+  char prefix[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  write_exact(fd, prefix, sizeof(prefix));
+  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+}
+
+}  // namespace khss::serve

@@ -1,0 +1,56 @@
+#pragma once
+// Wire protocol of the khss_serve daemon: length-prefixed frames over a
+// local (AF_UNIX) stream socket.
+//
+// Framing: every message is a u32 little-endian payload length followed by
+// the payload bytes.  Frame payloads are encoded with serialize::ByteWriter
+// (fixed little-endian, bounds-checked decode), so the scoring path reuses
+// the exact double-bit-pattern codec the model files use — a score travels
+// the socket bit-exactly.
+//
+// Requests open with a u8 message type:
+//   kPing        — liveness check; empty payload.
+//   kScore       — str model name + matrix of points (rows = batch).
+//   kStats       — per-model serving counters.
+//   kListModels  — names + shapes + backends of the loaded models.
+//   kShutdown    — ask the daemon to drain and exit gracefully.
+//
+// Responses open with a u8 status: kOk then the per-type payload, or kError
+// then a str diagnostic (the server never closes a connection in place of an
+// answer; malformed frames get an error frame back).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serialize/codec.hpp"
+
+namespace khss::serve {
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kScore = 1,
+  kStats = 2,
+  kListModels = 3,
+  kShutdown = 4,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+};
+
+/// Upper bound on a frame payload (64 MiB): a corrupted or hostile length
+/// prefix must not turn into a giant allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Read one length-prefixed frame from `fd` into `out`.  Returns false on a
+/// clean EOF at a frame boundary (peer closed); throws std::runtime_error on
+/// a short read mid-frame, an oversized length prefix, or a socket error.
+bool read_frame(int fd, std::string* out);
+
+/// Write one length-prefixed frame.  Throws std::runtime_error on any
+/// short write or socket error.
+void write_frame(int fd, std::string_view payload);
+
+}  // namespace khss::serve

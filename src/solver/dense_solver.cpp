@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "serialize/artifacts.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
 
@@ -47,6 +48,30 @@ void DenseExactSolver::set_lambda(double lambda) {
 la::Vector DenseExactSolver::matvec(const la::Vector& x) const {
   return apply_columnwise(
       [this](const la::Matrix& m) { return kernel_->multiply(m); }, x);
+}
+
+void DenseExactSolver::save_state(serialize::ByteWriter& w) const {
+  KHSS_REQUIRE_STATE(chol_.has_value(),
+                     "DenseExactSolver::save_state before factor");
+  write_state_tag(w);
+  serialize::write_cholesky(w, *chol_);
+}
+
+void DenseExactSolver::load_state(serialize::ByteReader& r,
+                                  const kernel::KernelMatrix& kernel,
+                                  const cluster::ClusterTree& tree) {
+  check_state_tag(r);
+  la::CholeskyFactor chol = serialize::read_cholesky(r);
+  if (chol.n() != kernel.n()) {
+    r.fail("Cholesky factor is of order " + std::to_string(chol.n()) +
+           " but the model's training set has n = " +
+           std::to_string(kernel.n()));
+  }
+  r.expect_exhausted("the dense backend state");
+  bind(kernel, tree);
+  chol_.emplace(std::move(chol));
+  stats_.compressed_memory_bytes = chol_->l().bytes();
+  stats_.factor_memory_bytes = stats_.compressed_memory_bytes;
 }
 
 }  // namespace khss::solver

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "serialize/artifacts.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
 
@@ -48,6 +49,36 @@ void HODLRSMWSolver::set_lambda(double lambda) {
 
 la::Vector HODLRSMWSolver::matvec(const la::Vector& x) const {
   return hodlr_->matvec(x);
+}
+
+void HODLRSMWSolver::save_state(serialize::ByteWriter& w) const {
+  KHSS_REQUIRE_STATE(smw_ != nullptr,
+                     "HODLRSMWSolver::save_state before factor");
+  write_state_tag(w);
+  serialize::write_hodlr(w, *hodlr_);
+  serialize::write_smw(w, *smw_);
+}
+
+void HODLRSMWSolver::load_state(serialize::ByteReader& r,
+                                const kernel::KernelMatrix& kernel,
+                                const cluster::ClusterTree& tree) {
+  check_state_tag(r);
+  auto hodlr =
+      std::make_unique<hodlr::HODLRMatrix>(serialize::read_hodlr(r));
+  if (hodlr->n() != kernel.n()) {
+    r.fail("HODLR matrix is of order " + std::to_string(hodlr->n()) +
+           " but the model's training set has n = " +
+           std::to_string(kernel.n()));
+  }
+  auto smw =
+      std::make_unique<hodlr::SMWFactorization>(serialize::read_smw(r, *hodlr));
+  r.expect_exhausted("the HODLR backend state");
+  bind(kernel, tree);
+  hodlr_ = std::move(hodlr);
+  smw_ = std::move(smw);
+  stats_.compressed_memory_bytes = hodlr_->stats().memory_bytes;
+  stats_.max_rank = hodlr_->stats().max_rank;
+  stats_.factor_memory_bytes = smw_->memory_bytes();
 }
 
 }  // namespace khss::solver

@@ -23,6 +23,10 @@ class HODLRSMWSolver : public SolverBase {
   la::Vector solve(const la::Vector& b) override;
   void set_lambda(double lambda) override;
   la::Vector matvec(const la::Vector& x) const override;
+  void save_state(serialize::ByteWriter& w) const override;
+  void load_state(serialize::ByteReader& r,
+                  const kernel::KernelMatrix& kernel,
+                  const cluster::ClusterTree& tree) override;
 
  private:
   std::unique_ptr<hodlr::HODLRMatrix> hodlr_;

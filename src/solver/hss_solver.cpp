@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "la/iterative.hpp"
+#include "serialize/artifacts.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
 
@@ -95,6 +96,57 @@ void HSSSolver::set_lambda(double lambda) {
 la::Vector HSSSolver::matvec(const la::Vector& x) const {
   return apply_columnwise(
       [this](const la::Matrix& m) { return hss_.matmat(m); }, x);
+}
+
+void HSSSolver::save_state(serialize::ByteWriter& w) const {
+  KHSS_REQUIRE_STATE(ulv_ != nullptr, "HSSSolver::save_state before factor");
+  write_state_tag(w);
+  serialize::write_hss(w, hss_);
+  serialize::write_ulv(w, *ulv_);
+  // The H operator is only worth storing when solves still need it: PCG
+  // iterates on it.  For kHSSRandomH it was purely a compress-time sampling
+  // accelerator — set_lambda()'s `if (hmat_)` keeps a null safe.
+  const bool store_hmat =
+      backend_ == SolverBackend::kIterativeHSSPrecond && hmat_ != nullptr;
+  w.u8(store_hmat ? 1 : 0);
+  if (store_hmat) serialize::write_hmatrix(w, *hmat_);
+}
+
+void HSSSolver::load_state(serialize::ByteReader& r,
+                           const kernel::KernelMatrix& kernel,
+                           const cluster::ClusterTree& tree) {
+  check_state_tag(r);
+  hss::HSSMatrix hss = serialize::read_hss(r);
+  if (hss.n() != kernel.n()) {
+    r.fail("HSS matrix is of order " + std::to_string(hss.n()) +
+           " but the model's training set has n = " +
+           std::to_string(kernel.n()));
+  }
+  hss_ = std::move(hss);
+  std::unique_ptr<hss::ULVFactorization> ulv = serialize::read_ulv(r, hss_);
+  const std::uint8_t has_hmat = r.u8();
+  if (has_hmat > 1) {
+    r.fail("invalid H-matrix presence flag " + std::to_string(has_hmat));
+  }
+  std::unique_ptr<hmat::HMatrix> hm;
+  if (has_hmat == 1) {
+    hm = std::make_unique<hmat::HMatrix>(serialize::read_hmatrix(r));
+    if (hm->n() != kernel.n()) {
+      r.fail("H operator is of order " + std::to_string(hm->n()) +
+             " but the model's training set has n = " +
+             std::to_string(kernel.n()));
+    }
+  } else if (backend_ == SolverBackend::kIterativeHSSPrecond) {
+    r.fail("the PCG backend's state is missing its H operator");
+  }
+  r.expect_exhausted("the HSS backend state");
+  bind(kernel, tree);
+  ulv_ = std::move(ulv);
+  hmat_ = std::move(hm);
+  stats_.compressed_memory_bytes = hss_.memory_bytes();
+  stats_.max_rank = hss_.max_rank();
+  stats_.factor_memory_bytes = ulv_->memory_bytes();
+  if (hmat_) stats_.h_memory_bytes = hmat_->stats().memory_bytes;
 }
 
 la::Vector IterativeHSSSolver::solve(const la::Vector& b) {

@@ -33,6 +33,10 @@ class HSSSolver : public SolverBase {
   void set_lambda(double lambda) override;
   la::Vector matvec(const la::Vector& x) const override;
   const hss::HSSMatrix* hss_matrix() const override { return &hss_; }
+  void save_state(serialize::ByteWriter& w) const override;
+  void load_state(serialize::ByteReader& r,
+                  const kernel::KernelMatrix& kernel,
+                  const cluster::ClusterTree& tree) override;
 
  protected:
   /// The preconditioner variant compresses coarsely; direct solves compress

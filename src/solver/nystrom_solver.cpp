@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "serialize/artifacts.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
 
@@ -55,6 +56,49 @@ void NystromSolver::set_lambda(double lambda) {
 la::Vector NystromSolver::matvec(const la::Vector& x) const {
   return apply_columnwise(
       [this](const la::Matrix& m) { return kernel_->multiply(m); }, x);
+}
+
+void NystromSolver::save_state(serialize::ByteWriter& w) const {
+  KHSS_REQUIRE_STATE(nystrom_ != nullptr,
+                     "NystromSolver::save_state before compress");
+  write_state_tag(w);
+  w.vec_i32(nystrom_->landmark_indices());
+  w.matrix(nystrom_->landmark_points());
+  w.matrix(nystrom_->k_nm());
+  w.matrix(nystrom_->gram());
+  w.matrix(nystrom_->kmm());
+  w.f64(nystrom_->lambda());
+}
+
+void NystromSolver::load_state(serialize::ByteReader& r,
+                               const kernel::KernelMatrix& kernel,
+                               const cluster::ClusterTree& tree) {
+  check_state_tag(r);
+  std::vector<int> idx = r.vec_i32();
+  la::Matrix landmarks = r.matrix();
+  la::Matrix k_nm = r.matrix();
+  la::Matrix gram = r.matrix();
+  la::Matrix kmm = r.matrix();
+  const double lambda = r.f64();
+  r.expect_exhausted("the Nystrom backend state");
+  if (k_nm.rows() != kernel.n()) {
+    r.fail("Nystrom K_nm has " + std::to_string(k_nm.rows()) +
+           " rows but the model's training set has n = " +
+           std::to_string(kernel.n()));
+  }
+  krr::NystromOptions nopts;
+  nopts.landmarks = opts_.nystrom_landmarks;
+  nopts.kernel = kernel.params();
+  nopts.lambda = lambda;
+  nopts.seed = opts_.seed;
+  // The normal-equation LU is rebuilt lazily by the (deterministic) factor(),
+  // so restored solves are bit-identical to the original's.
+  nystrom_ = std::make_unique<krr::NystromKRR>(krr::NystromKRR::restore(
+      std::move(nopts), std::move(idx), std::move(landmarks), std::move(k_nm),
+      std::move(gram), std::move(kmm), lambda));
+  bind(kernel, tree);
+  stats_.compressed_memory_bytes = nystrom_->stats().memory_bytes;
+  stats_.max_rank = nystrom_->num_landmarks();
 }
 
 }  // namespace khss::solver

@@ -31,6 +31,10 @@ class NystromSolver : public SolverBase {
   /// training residual reports the approximation error, not the (tiny)
   /// algebraic residual of the normal equations.
   la::Vector matvec(const la::Vector& x) const override;
+  void save_state(serialize::ByteWriter& w) const override;
+  void load_state(serialize::ByteReader& r,
+                  const kernel::KernelMatrix& kernel,
+                  const cluster::ClusterTree& tree) override;
 
  private:
   std::unique_ptr<krr::NystromKRR> nystrom_;

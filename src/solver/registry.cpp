@@ -148,6 +148,32 @@ std::unique_ptr<KernelSolver> make(const std::string& name,
   return entry_from_name(name).factory(opts);
 }
 
+void KernelSolver::save_state(serialize::ByteWriter&) const {
+  throw std::logic_error("solver backend '" + backend_name(backend()) +
+                         "' does not implement save_state");
+}
+
+void KernelSolver::load_state(serialize::ByteReader&,
+                              const kernel::KernelMatrix&,
+                              const cluster::ClusterTree&) {
+  throw std::logic_error("solver backend '" + backend_name(backend()) +
+                         "' does not implement load_state");
+}
+
+void SolverBase::write_state_tag(serialize::ByteWriter& w) const {
+  w.str(backend_name(backend_));
+}
+
+void SolverBase::check_state_tag(serialize::ByteReader& r) const {
+  const std::string tag = r.str();
+  const std::string expected = backend_name(backend_);
+  if (tag != expected) {
+    r.fail("solver state was saved by backend '" + tag +
+           "' but is being loaded by backend '" + expected +
+           "' — wrong-backend artifact");
+  }
+}
+
 la::Vector SolverBase::apply_columnwise(
     const std::function<la::Matrix(const la::Matrix&)>& matmat,
     const la::Vector& x) {

@@ -30,6 +30,7 @@
 #include "hmat/hmatrix.hpp"
 #include "kernel/kernel.hpp"
 #include "la/matrix.hpp"
+#include "serialize/codec.hpp"
 
 namespace khss::hss {
 class HSSMatrix;
@@ -179,6 +180,24 @@ class KernelSolver {
   /// The HSS form of the operator when this backend builds one (the scaling
   /// benches re-factor it at several thread counts); null otherwise.
   virtual const hss::HSSMatrix* hss_matrix() const { return nullptr; }
+
+  /// Persist the fitted (compressed + factored) state into `w` so
+  /// load_state() can reconstruct it without refitting.  The encoding begins
+  /// with the backend's canonical name, which load_state() verifies — an
+  /// artifact fed to the wrong backend fails loudly instead of
+  /// misinterpreting bytes.  Called after compress()+factor().  Backends
+  /// that do not support persistence throw std::logic_error (the default).
+  virtual void save_state(serialize::ByteWriter& w) const;
+
+  /// Reconstruct the fitted state saved by save_state() of the SAME backend.
+  /// `kernel` and `tree` play the role compress() gives them (they must
+  /// outlive the solver and hold the permuted training points the state was
+  /// saved against).  Throws serialize::SerializeError on any mismatch; the
+  /// solver is left unusable on failure, never half-loaded into a valid-
+  /// looking state.
+  virtual void load_state(serialize::ByteReader& r,
+                          const kernel::KernelMatrix& kernel,
+                          const cluster::ClusterTree& tree);
 };
 
 using SolverFactory =
@@ -222,6 +241,12 @@ class SolverBase : public KernelSolver {
   static la::Vector apply_columnwise(
       const std::function<la::Matrix(const la::Matrix&)>& matmat,
       const la::Vector& x);
+
+  /// save_state()/load_state() framing shared by the built-in backends: the
+  /// state payload opens with the backend's canonical name so a wrong-backend
+  /// artifact is detected before any bytes are misread.
+  void write_state_tag(serialize::ByteWriter& w) const;
+  void check_state_tag(serialize::ByteReader& r) const;
 
   SolverBackend backend_;
   SolverOptions opts_;

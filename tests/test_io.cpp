@@ -206,3 +206,96 @@ TEST(IoCross, CsvAndLibsvmAgree) {
   data::Dataset from_svm = data::load_libsvm(svm.path(), from_csv.dim());
   expect_datasets_equal(from_csv, from_svm);
 }
+
+// ------------------------------------------------------- write-failure paths
+
+namespace {
+
+data::Dataset tiny_dataset() {
+  data::Dataset d;
+  d.name = "tiny";
+  d.points = khss::la::Matrix(2, 2);
+  d.points(0, 0) = 1.5;
+  d.points(1, 1) = -2.25;
+  d.labels = {0, 1};
+  d.num_classes = 2;
+  return d;
+}
+
+}  // namespace
+
+TEST(IoWriteFailure, SaveCsvThrowsWithPathOnUnwritableTarget) {
+  // Regression: the savers never checked the stream after writing, so a
+  // failed write (here: the target directory does not exist; in production:
+  // disk full) returned as success with a missing/truncated file.
+  const std::string path =
+      testing::TempDir() + "khss_io_no_such_dir/deep/out.csv";
+  try {
+    data::save_csv(tiny_dataset(), path);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoWriteFailure, SaveLibsvmThrowsWithPathOnUnwritableTarget) {
+  const std::string path =
+      testing::TempDir() + "khss_io_no_such_dir/deep/out.svm";
+  try {
+    data::save_libsvm(tiny_dataset(), path);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoWriteFailure, SaveCsvThrowsWhenTheDeviceRejectsData) {
+  // /dev/full opens fine and fails on flush — exactly the deferred-error
+  // shape the flush-then-check fix exists for.  Skip quietly on systems
+  // without it.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(data::save_csv(tiny_dataset(), "/dev/full"),
+               std::runtime_error);
+  EXPECT_THROW(data::save_libsvm(tiny_dataset(), "/dev/full"),
+               std::runtime_error);
+  EXPECT_THROW(data::save_matrix_csv(tiny_dataset().points, "/dev/full"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------ matrix CSV
+
+TEST(IoMatrixCsv, RoundTripsBitExactly) {
+  ScratchFile file("matrix.csv");
+  khss::la::Matrix m(3, 2);
+  m(0, 0) = 0.1;
+  m(0, 1) = -2.5e-07;
+  m(1, 0) = 0.3333333333333333;
+  m(1, 1) = 2.2250738585072014e-308;
+  m(2, 0) = -1000000.25;
+  m(2, 1) = 42.0;
+  data::save_matrix_csv(m, file.path());
+  khss::la::Matrix back = data::load_matrix_csv(file.path());
+  ASSERT_EQ(back.rows(), 3);
+  ASSERT_EQ(back.cols(), 2);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(m(i, j), back(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(IoMatrixCsv, RejectsRaggedAndEmptyInput) {
+  ScratchFile ragged("ragged.csv");
+  ragged.write("1,2,3\n4,5\n");
+  EXPECT_THROW(data::load_matrix_csv(ragged.path()), std::runtime_error);
+
+  ScratchFile empty("empty.csv");
+  empty.write("# only a comment\n");
+  EXPECT_THROW(data::load_matrix_csv(empty.path()), std::runtime_error);
+
+  EXPECT_THROW(data::load_matrix_csv(testing::TempDir() + "khss_io_missing"),
+               std::runtime_error);
+}

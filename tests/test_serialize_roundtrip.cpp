@@ -1,0 +1,229 @@
+// Cross-backend round-trip conformance for the model persistence layer
+// (serialize::save_model / load_model): for EVERY backend in the solver
+// registry, a fitted model saved to disk and loaded back must produce
+// BIT-IDENTICAL decision scores — not close, identical.  That is the
+// contract the serving daemon rests on: a model file scores the same no
+// matter which process, thread count, or batch split serves it.  The test
+// also pins that the loaded model can keep working as a model (solve with a
+// fresh RHS, retune lambda + refactor) with results matching the original.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "krr/krr.hpp"
+#include "la/matrix.hpp"
+#include "serialize/model_io.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+#include "util/threads.hpp"
+
+namespace data = khss::data;
+namespace krr = khss::krr;
+namespace la = khss::la;
+namespace serialize = khss::serialize;
+namespace solver = khss::solver;
+namespace util = khss::util;
+
+namespace {
+
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(testing::TempDir() + "khss_roundtrip_" + name) {}
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+la::Matrix blob_points(int n, int d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = 3;
+  return data::make_blobs(spec, rng).points;
+}
+
+la::Matrix random_points(int m, int d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix pts(m, d);
+  rng.fill_normal(pts.data(), pts.size());
+  return pts;
+}
+
+/// Options every backend can fit at small n (mirrors test_predict).
+krr::KRROptions small_options(krr::SolverBackend backend, int n) {
+  krr::KRROptions opts;
+  opts.backend = backend;
+  opts.kernel.h = 1.2;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-6;
+  opts.iterative_rtol = 1e-10;
+  opts.precond_rtol = 1e-2;
+  opts.nystrom_landmarks = n / 2;
+  opts.seed = 7;
+  return opts;
+}
+
+la::Matrix solve_weights(krr::KRRModel& model, int n, int num_rhs,
+                         std::uint64_t seed) {
+  la::Matrix w(n, num_rhs);
+  util::Rng rng(seed);
+  for (int c = 0; c < num_rhs; ++c) {
+    la::Vector y(n);
+    for (auto& v : y) v = rng.normal();
+    la::Vector col = model.solve(y);
+    for (int i = 0; i < n; ++i) w(i, c) = col[i];
+  }
+  return w;
+}
+
+void expect_bitwise_equal(const la::Matrix& a, const la::Matrix& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------- bit-identical scoring
+
+TEST(SerializeRoundTrip, BitIdenticalScoresForEveryBackend) {
+  const int n = 80, d = 4, num_rhs = 3;
+  la::Matrix train = blob_points(n, d, 31);
+  la::Matrix test = random_points(33, d, 77);
+
+  for (solver::SolverBackend backend : solver::all_backends()) {
+    const std::string name = solver::backend_name(backend);
+    SCOPED_TRACE("backend " + name);
+
+    krr::KRRModel model(small_options(backend, n));
+    model.fit(train);
+    la::Matrix weights = solve_weights(model, n, num_rhs, 5);
+    la::Matrix original_scores = model.make_predictor(weights).predict(test);
+
+    ScratchFile file(name + ".khss");
+    serialize::save_model(file.path(), model, weights);
+    serialize::LoadedModel loaded = serialize::load_model(file.path());
+
+    EXPECT_EQ(loaded.model.options().backend, backend);
+    EXPECT_EQ(loaded.model.n(), n);
+    expect_bitwise_equal(loaded.weights, weights, "stored weights");
+
+    // The headline contract: scores from the loaded predictor are
+    // bit-identical to the model that was saved.
+    la::Matrix loaded_scores = loaded.predictor.predict(test);
+    expect_bitwise_equal(loaded_scores, original_scores, "decision scores");
+
+    // And via the model's own predictor path (fresh BatchPredictor).
+    la::Matrix remade_scores =
+        loaded.model.make_predictor(loaded.weights).predict(test);
+    expect_bitwise_equal(remade_scores, original_scores, "remade predictor");
+  }
+}
+
+// ------------------------------------------------- loaded model still works
+
+TEST(SerializeRoundTrip, LoadedModelSolvesAndRetunesLikeTheOriginal) {
+  const int n = 64, d = 3;
+  la::Matrix train = blob_points(n, d, 13);
+
+  util::Rng rng(99);
+  la::Vector y(n);
+  for (auto& v : y) v = rng.normal();
+
+  for (solver::SolverBackend backend : solver::all_backends()) {
+    const std::string name = solver::backend_name(backend);
+    SCOPED_TRACE("backend " + name);
+
+    krr::KRRModel model(small_options(backend, n));
+    model.fit(train);
+    la::Matrix weights = solve_weights(model, n, 1, 3);
+
+    ScratchFile file(name + "_solve.khss");
+    serialize::save_model(file.path(), model, weights);
+    serialize::LoadedModel loaded = serialize::load_model(file.path());
+
+    // A fresh solve on the restored factorization matches one on the
+    // original bit for bit.
+    la::Vector w_orig = model.solve(y);
+    la::Vector w_loaded = loaded.model.solve(y);
+    ASSERT_EQ(w_orig.size(), w_loaded.size());
+    for (std::size_t i = 0; i < w_orig.size(); ++i) {
+      ASSERT_EQ(w_orig[i], w_loaded[i]) << "solve differs at " << i;
+    }
+
+    // Lambda retune + refactor on the restored state matches too.
+    model.set_lambda(2.5);
+    loaded.model.set_lambda(2.5);
+    la::Vector r_orig = model.solve(y);
+    la::Vector r_loaded = loaded.model.solve(y);
+    for (std::size_t i = 0; i < r_orig.size(); ++i) {
+      ASSERT_EQ(r_orig[i], r_loaded[i]) << "retuned solve differs at " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- thread invariance
+
+TEST(SerializeRoundTrip, LoadedScoresInvariantAcrossThreadCounts) {
+  const int n = 72, d = 4;
+  la::Matrix train = blob_points(n, d, 21);
+  la::Matrix test = random_points(19, d, 55);
+
+  krr::KRRModel model(
+      small_options(solver::SolverBackend::kHSSRandomDense, n));
+  model.fit(train);
+  la::Matrix weights = solve_weights(model, n, 2, 11);
+  la::Matrix reference = model.make_predictor(weights).predict(test);
+
+  ScratchFile file("threads.khss");
+  serialize::save_model(file.path(), model, weights);
+
+  const int max_threads = util::max_threads();
+  for (int t : {1, 2, 4}) {
+    if (t > max_threads) continue;
+    SCOPED_TRACE("threads " + std::to_string(t));
+    util::set_threads(t);
+    serialize::LoadedModel loaded = serialize::load_model(file.path());
+    la::Matrix scores = loaded.predictor.predict(test);
+    expect_bitwise_equal(scores, reference, "scores");
+  }
+  util::set_threads(max_threads);
+}
+
+// ------------------------------------------------------- one-vs-all models
+
+TEST(SerializeRoundTrip, OneVsAllClassifierRoundTrips) {
+  const int n = 90, d = 4, classes = 3;
+  util::Rng rng(17);
+  data::BlobSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.num_classes = classes;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  la::Matrix test = random_points(25, d, 3);
+
+  krr::OneVsAllKRR ova(small_options(solver::SolverBackend::kHSSDirect, n));
+  ova.fit(ds.points, ds.labels, classes);
+  la::Matrix original = ova.decision_scores(test);
+
+  ScratchFile file("ova.khss");
+  serialize::save_model(file.path(), ova);
+  serialize::LoadedModel loaded = serialize::load_model(file.path());
+
+  ASSERT_EQ(loaded.weights.cols(), classes);
+  la::Matrix scores = loaded.predictor.predict(test);
+  expect_bitwise_equal(scores, original, "one-vs-all scores");
+}

@@ -1,0 +1,341 @@
+// In-process tests of the khss_serve stack: ModelServer + ServeClient over
+// a real AF_UNIX socket.  The headline contract: scores served over the
+// socket — including requests coalesced into dynamic batches across
+// CONCURRENT clients — are bit-identical to in-process
+// BatchPredictor::predict on the same points.  Also covered: the error
+// path (unknown model, wrong dimension, malformed frames get kError
+// responses, never a hangup), per-model stats, and client-initiated
+// graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "data/synthetic.hpp"
+#include "krr/krr.hpp"
+#include "serialize/model_io.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+
+namespace data = khss::data;
+namespace krr = khss::krr;
+namespace la = khss::la;
+namespace serialize = khss::serialize;
+namespace serve = khss::serve;
+namespace solver = khss::solver;
+namespace util = khss::util;
+
+namespace {
+
+void expect_bitwise_equal(const la::Matrix& a, const la::Matrix& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// One fitted + saved model shared by the whole suite; every test loads a
+/// fresh copy (exactly what the daemon does) and serves it on its own
+/// socket path.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng(19);
+    data::BlobSpec spec;
+    spec.n = 60;
+    spec.dim = 4;
+    spec.num_classes = 3;
+    data::Dataset ds = data::make_blobs(spec, rng);
+
+    krr::KRROptions opts;
+    opts.backend = solver::SolverBackend::kHSSDirect;
+    opts.kernel.h = 1.2;
+    opts.lambda = 1.0;
+    opts.seed = 7;
+    krr::OneVsAllKRR clf(opts);
+    clf.fit(ds.points, ds.labels, ds.num_classes);
+    serialize::save_model(model_path(), clf);
+
+    test_points_ = new la::Matrix(40, spec.dim);
+    util::Rng prng(23);
+    prng.fill_normal(test_points_->data(), test_points_->size());
+    reference_ = new la::Matrix(clf.decision_scores(*test_points_));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(model_path().c_str());
+    delete test_points_;
+    delete reference_;
+    test_points_ = nullptr;
+    reference_ = nullptr;
+  }
+
+  static std::string model_path() {
+    return testing::TempDir() + "khss_serve_model.khss";
+  }
+
+  static std::string socket_path(const std::string& tag) {
+    return testing::TempDir() + "khss_serve_" + tag + ".sock";
+  }
+
+  /// Server over a fresh load of the pristine model, small coalescing cap
+  /// so multi-request batches actually split.
+  static std::unique_ptr<serve::ModelServer> make_server(
+      const std::string& tag, int max_batch_points = 64) {
+    serve::ServerOptions so;
+    so.socket_path = socket_path(tag);
+    so.max_batch_points = max_batch_points;
+    auto server = std::make_unique<serve::ModelServer>(so);
+    server->add_model("m", serialize::load_model(model_path()));
+    server->start();
+    return server;
+  }
+
+  static const la::Matrix& test_points() { return *test_points_; }
+  static const la::Matrix& reference() { return *reference_; }
+
+ private:
+  static la::Matrix* test_points_;
+  static la::Matrix* reference_;
+};
+
+la::Matrix* ServeTest::test_points_ = nullptr;
+la::Matrix* ServeTest::reference_ = nullptr;
+
+int connect_raw(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- basic protocol
+
+TEST_F(ServeTest, PingListAndStatsAnswer) {
+  auto server = make_server("basic");
+  serve::ServeClient client(server->socket_path());
+
+  EXPECT_NO_THROW(client.ping());
+
+  const std::vector<serve::ModelDescription> models = client.list_models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].name, "m");
+  EXPECT_EQ(models[0].n, 60);
+  EXPECT_EQ(models[0].dim, 4);
+  EXPECT_EQ(models[0].num_outputs, 3);
+  EXPECT_EQ(models[0].backend, "hss-direct");
+
+  const auto stats = client.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].first, "m");
+  EXPECT_EQ(stats[0].second.requests, 0u);
+  server->stop();
+}
+
+// -------------------------------------------------------- bit-exact scoring
+
+TEST_F(ServeTest, SocketScoresMatchInProcessBitForBit) {
+  auto server = make_server("exact");
+  serve::ServeClient client(server->socket_path());
+
+  la::Matrix scores = client.score("m", test_points());
+  expect_bitwise_equal(scores, reference(), "full-batch socket scores");
+
+  // Split into uneven chunks: batch-invariance says the glued result is
+  // the same bytes.
+  for (int batch : {1, 7, 16}) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    for (int i = 0; i < test_points().rows(); i += batch) {
+      const int rows = std::min(batch, test_points().rows() - i);
+      la::Matrix part = client.score(
+          "m", test_points().block(i, 0, rows, test_points().cols()));
+      expect_bitwise_equal(part,
+                           reference().block(i, 0, rows, reference().cols()),
+                           "chunk scores");
+    }
+  }
+  server->stop();
+}
+
+TEST_F(ServeTest, ConcurrentClientsCoalesceWithoutChangingAnswers) {
+  // Tiny coalescing cap forces the batcher to both merge and split under
+  // concurrency; every thread must still read back exactly its own rows.
+  auto server = make_server("concurrent", /*max_batch_points=*/16);
+  const int kThreads = 4, kIters = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::ServeClient client(server->socket_path());
+      // Each thread scores its own shifted slice so coalesced batches mix
+      // different row sets.
+      const int rows = 10;
+      const int start = (t * 7) % (test_points().rows() - rows);
+      la::Matrix mine =
+          test_points().block(start, 0, rows, test_points().cols());
+      la::Matrix expect =
+          reference().block(start, 0, rows, reference().cols());
+      for (int it = 0; it < kIters; ++it) {
+        la::Matrix scores = client.score("m", mine);
+        expect_bitwise_equal(scores, expect,
+                             "thread " + std::to_string(t) + " iter " +
+                                 std::to_string(it));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  serve::ServeClient client(server->socket_path());
+  const auto stats = client.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  const serve::ServeModelStats& s = stats[0].second;
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(s.points, static_cast<std::uint64_t>(kThreads * kIters * 10));
+  EXPECT_GE(s.batches, 1u);
+  // Coalescing can only MERGE requests: never more predict calls than
+  // requests.
+  EXPECT_LE(s.batches, s.requests);
+  server->stop();
+}
+
+TEST_F(ServeTest, EmptyBatchIsServed) {
+  auto server = make_server("empty");
+  serve::ServeClient client(server->socket_path());
+  la::Matrix scores = client.score("m", la::Matrix(0, 4));
+  EXPECT_EQ(scores.rows(), 0);
+  EXPECT_EQ(scores.cols(), 3);
+  server->stop();
+}
+
+// ---------------------------------------------------------------- error path
+
+TEST_F(ServeTest, UnknownModelGetsAnErrorNamingTheLoadedOnes) {
+  auto server = make_server("unknown");
+  serve::ServeClient client(server->socket_path());
+  try {
+    client.score("nope", test_points());
+    FAIL() << "unknown model was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown model 'nope'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("m"), std::string::npos) << e.what();
+  }
+  // The connection survives a rejected request.
+  EXPECT_NO_THROW(client.ping());
+  server->stop();
+}
+
+TEST_F(ServeTest, WrongDimensionIsRejected) {
+  auto server = make_server("dim");
+  serve::ServeClient client(server->socket_path());
+  try {
+    client.score("m", la::Matrix(3, 9));
+    FAIL() << "wrong-dimension request was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("expects dim 4"), std::string::npos)
+        << e.what();
+  }
+  server->stop();
+}
+
+TEST_F(ServeTest, MalformedFramesGetErrorRepliesNotAHangup) {
+  auto server = make_server("malformed");
+  const int fd = connect_raw(server->socket_path());
+
+  // Garbage message type.
+  serve::write_frame(fd, std::string("\x7f""junkjunkjunk", 13));
+  std::string response;
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "malformed-type response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kError));
+    EXPECT_FALSE(r.str().empty());
+  }
+
+  // Empty payload (no message type at all).
+  serve::write_frame(fd, "");
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "empty-frame response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kError));
+  }
+
+  // A score request with a truncated matrix payload.
+  {
+    serialize::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(serve::MsgType::kScore));
+    w.str("m");
+    w.i32(1000);  // declares a matrix far bigger than the bytes that follow
+    w.i32(1000);
+    serve::write_frame(fd, w.take());
+  }
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "truncated-score response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kError));
+  }
+
+  // After all that abuse the connection still answers a well-formed ping.
+  {
+    serialize::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(serve::MsgType::kPing));
+    serve::write_frame(fd, w.take());
+  }
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "ping response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kOk));
+  }
+  ::close(fd);
+  server->stop();
+}
+
+// ------------------------------------------------------------------ shutdown
+
+TEST_F(ServeTest, ClientInitiatedShutdownDrainsGracefully) {
+  auto server = make_server("shutdown");
+  EXPECT_FALSE(server->shutdown_requested());
+  {
+    serve::ServeClient client(server->socket_path());
+    la::Matrix scores = client.score("m", test_points());
+    expect_bitwise_equal(scores, reference(), "pre-shutdown scores");
+    client.shutdown_server();  // answered with kOk before the drain
+  }
+  EXPECT_TRUE(server->wait_for_shutdown(/*poll_ms=*/2000));
+  server->stop();
+  EXPECT_FALSE(server->running());
+
+  // Socket is unlinked: a fresh client cannot connect.
+  EXPECT_THROW(serve::ServeClient client(server->socket_path()),
+               std::runtime_error);
+
+  // Stats survive stop() for the daemon's exit report.
+  const auto stats = server->stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].second.requests, 1u);
+  EXPECT_EQ(stats[0].second.points,
+            static_cast<std::uint64_t>(test_points().rows()));
+}

@@ -1,0 +1,116 @@
+// Train a KRR model and persist it as a .khss container for khss_serve.
+//
+//   ./khss_save --out model.khss [--backend hss-direct] [--n 800] [--dim 8]
+//               [--classes 3] [--seed 1] [--h 1.2] [--lambda 1.0]
+//               [--rtol 1e-6] [--data file.csv]
+//               [--ntest 100] [--dump-test test.csv]
+//               [--dump-scores scores.csv]
+//
+// Data: --data loads a labeled CSV (label first column, data/io.hpp);
+// otherwise a synthetic Gaussian-blob dataset is generated from the seed.
+// The model is fit one-vs-all and saved with serialize::save_model, so any
+// backend's compressed + factored state round-trips and the loaded model
+// scores bit-identically (tests/test_serialize_roundtrip.cpp).
+//
+// --dump-test / --dump-scores write a deterministic test-point matrix and
+// its IN-PROCESS decision scores as full-precision CSV (17 digits: doubles
+// round-trip exactly).  CI feeds the pair to khss_score --expect to prove
+// the daemon's socket answers match in-process scoring bit for bit.
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "krr/krr.hpp"
+#include "serialize/model_io.hpp"
+#include "solver/solver.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/threads.hpp"
+#include "util/timer.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << args.program()
+              << ": --out <model.khss> is required\n"
+                 "usage: khss_save --out model.khss [--backend NAME] "
+                 "[--n N] [--dim D] [--classes C] [--seed S] [--data csv]\n"
+                 "                 [--ntest M --dump-test t.csv "
+                 "--dump-scores s.csv]\n";
+    return 2;
+  }
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) util::set_threads(threads);
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  try {
+    // ----------------------------------------------------------- dataset
+    data::Dataset ds;
+    const std::string data_path = args.get_string("data", "");
+    if (!data_path.empty()) {
+      ds = data::load_csv(data_path);
+    } else {
+      util::Rng rng(seed);
+      data::BlobSpec spec;
+      spec.n = static_cast<int>(args.get_int("n", 800));
+      spec.dim = static_cast<int>(args.get_int("dim", 8));
+      spec.num_classes = static_cast<int>(args.get_int("classes", 3));
+      ds = data::make_blobs(spec, rng);
+    }
+
+    krr::KRROptions opts;
+    opts.backend = solver::backend_from_name_cli(
+        args.get_string("backend", "hss-direct"));
+    opts.kernel.h = args.get_double("h", 1.2);
+    opts.lambda = args.get_double("lambda", 1.0);
+    opts.hss_rtol = args.get_double("rtol", 1e-6);
+    opts.nystrom_landmarks =
+        static_cast<int>(args.get_int("landmarks", ds.n() / 2));
+    opts.seed = seed;
+
+    // ---------------------------------------------------------- fit + save
+    std::cout << "khss_save: fitting " << solver::backend_name(opts.backend)
+              << " on " << ds.n() << " points (dim " << ds.dim() << ", "
+              << ds.num_classes << " classes, " << util::max_threads()
+              << " threads)\n";
+    util::Timer fit_timer;
+    krr::OneVsAllKRR clf(opts);
+    clf.fit(ds.points, ds.labels, ds.num_classes);
+    std::cout << "fit in " << fit_timer.seconds() << " s, train accuracy "
+              << 100.0 * clf.accuracy(ds.points, ds.labels) << "%\n";
+
+    serialize::save_model(out, clf);
+    std::cout << "wrote " << out << "\n";
+
+    // ------------------------------------------- optional test-point dump
+    const std::string dump_test = args.get_string("dump-test", "");
+    const std::string dump_scores = args.get_string("dump-scores", "");
+    if (!dump_test.empty() || !dump_scores.empty()) {
+      const int ntest = static_cast<int>(args.get_int("ntest", 100));
+      util::Rng rng(seed + 1);
+      la::Matrix test(ntest, ds.dim());
+      rng.fill_normal(test.data(), test.size());
+      if (!dump_test.empty()) {
+        data::save_matrix_csv(test, dump_test);
+        std::cout << "wrote " << ntest << " test points to " << dump_test
+                  << "\n";
+      }
+      if (!dump_scores.empty()) {
+        data::save_matrix_csv(clf.decision_scores(test), dump_scores);
+        std::cout << "wrote in-process scores to " << dump_scores << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << args.program() << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

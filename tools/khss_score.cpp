@@ -1,0 +1,95 @@
+// Score points against a khss_serve daemon and (optionally) verify the
+// answers bit-for-bit against a reference score file.
+//
+//   ./khss_score --socket /tmp/khss.sock --model NAME --points test.csv
+//                [--expect scores.csv] [--out scores.csv] [--batch B]
+//
+// --points is a bare numeric CSV (one test point per row).  --batch splits
+// the request into B-row frames — the answers must not change, that is the
+// serving tier's batch-invariance contract.  --expect compares every score
+// against the reference CSV with EXACT double equality (both sides are
+// written at 17 significant digits, which round-trips doubles): any
+// difference means the daemon is not serving the model that produced the
+// reference, and the tool exits 1 naming the first mismatching entry.
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "data/io.hpp"
+#include "la/matrix.hpp"
+#include "serve/client.hpp"
+#include "util/argparse.hpp"
+
+using namespace khss;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string socket_path = args.get_string("socket", "");
+  const std::string model = args.get_string("model", "");
+  const std::string points_path = args.get_string("points", "");
+  if (socket_path.empty() || model.empty() || points_path.empty()) {
+    std::cerr << args.program()
+              << ": usage: khss_score --socket PATH --model NAME "
+                 "--points test.csv [--expect scores.csv] [--out out.csv] "
+                 "[--batch B]\n";
+    return 2;
+  }
+
+  try {
+    const la::Matrix points = data::load_matrix_csv(points_path);
+    const int batch = static_cast<int>(args.get_int("batch", 0));
+
+    serve::ServeClient client(socket_path);
+    la::Matrix scores;
+    if (batch <= 0 || batch >= points.rows()) {
+      scores = client.score(model, points);
+    } else {
+      for (int i = 0; i < points.rows(); i += batch) {
+        const int rows = std::min(batch, points.rows() - i);
+        la::Matrix part =
+            client.score(model, points.block(i, 0, rows, points.cols()));
+        if (i == 0) scores.resize(points.rows(), part.cols());
+        scores.set_block(i, 0, part);
+      }
+    }
+    std::cout << "scored " << scores.rows() << " points x " << scores.cols()
+              << " outputs via " << socket_path << "\n";
+
+    const std::string out = args.get_string("out", "");
+    if (!out.empty()) {
+      data::save_matrix_csv(scores, out);
+      std::cout << "wrote " << out << "\n";
+    }
+
+    const std::string expect_path = args.get_string("expect", "");
+    if (!expect_path.empty()) {
+      const la::Matrix expect = data::load_matrix_csv(expect_path);
+      if (expect.rows() != scores.rows() || expect.cols() != scores.cols()) {
+        std::cerr << args.program() << ": " << expect_path << " is "
+                  << expect.rows() << " x " << expect.cols()
+                  << " but the daemon returned " << scores.rows() << " x "
+                  << scores.cols() << "\n";
+        return 1;
+      }
+      for (int i = 0; i < scores.rows(); ++i) {
+        for (int j = 0; j < scores.cols(); ++j) {
+          if (scores(i, j) != expect(i, j)) {
+            std::cerr.precision(17);
+            std::cerr << args.program() << ": score mismatch at (" << i
+                      << ", " << j << "): served " << scores(i, j)
+                      << " vs expected " << expect(i, j) << "\n";
+            return 1;
+          }
+        }
+      }
+      std::cout << "all " << scores.rows() * scores.cols()
+                << " scores match " << expect_path << " bit for bit\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << args.program() << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Model-serving daemon: load .khss model files, answer scoring requests
+// over a local socket.
+//
+//   ./khss_serve --socket /tmp/khss.sock model.khss [name=other.khss ...]
+//                [--max-batch 4096] [--threads N]
+//
+// Each positional argument is a model file; `name=path` picks the serving
+// name explicitly, otherwise the file's basename (minus extension) is used.
+// Clients speak the length-prefixed protocol in src/serve/protocol.hpp
+// (khss_score, bench_serving --serve, or serve::ServeClient directly).
+// Concurrent requests for the same model are coalesced into dynamic batches
+// by the server's batcher thread — safe because scores are bit-identical
+// under any batch split.
+//
+// Shutdown is graceful on SIGINT/SIGTERM or a client kShutdown frame:
+// in-flight and queued requests are answered, then the socket is unlinked
+// and per-model serving stats are printed.
+
+#include <csignal>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serialize/model_io.hpp"
+#include "serve/server.hpp"
+#include "solver/solver.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+
+using namespace khss;
+
+namespace {
+
+// Written by the signal handler, polled by the main wait loop.
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+// "name=path" -> {name, path}; bare path -> basename minus extension.
+std::pair<std::string, std::string> parse_model_arg(const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  if (eq != std::string::npos && eq > 0) {
+    return {arg.substr(0, eq), arg.substr(eq + 1)};
+  }
+  const std::size_t slash = arg.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? arg : arg.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return {base, arg};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty() || args.positional().empty()) {
+    std::cerr << args.program()
+              << ": usage: khss_serve --socket PATH model.khss "
+                 "[name=other.khss ...] [--max-batch 4096] [--threads N]\n";
+    return 2;
+  }
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) util::set_threads(threads);
+
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.max_batch_points = static_cast<int>(args.get_int("max-batch", 4096));
+
+  serve::ModelServer server(opts);
+  try {
+    for (const std::string& arg : args.positional()) {
+      const auto [name, path] = parse_model_arg(arg);
+      serialize::LoadedModel loaded = serialize::load_model(path);
+      std::cout << "loaded '" << name << "' from " << path << ": n = "
+                << loaded.model.n() << ", dim = " << loaded.predictor.dim()
+                << ", outputs = " << loaded.predictor.num_outputs()
+                << ", backend = "
+                << solver::backend_name(loaded.model.options().backend)
+                << "\n";
+      server.add_model(name, std::move(loaded));
+    }
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << args.program() << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::cout << "serving " << args.positional().size() << " model(s) on "
+            << socket_path << " (" << util::max_threads()
+            << " threads); SIGINT/SIGTERM or a shutdown frame stops\n"
+            << std::flush;
+
+  // Poll so the loop notices both a client kShutdown and a signal.
+  while (!server.wait_for_shutdown(/*poll_ms=*/200) && g_signal == 0) {
+  }
+  std::cout << (g_signal != 0 ? "signal received" : "shutdown requested")
+            << ", draining\n";
+  server.stop();
+
+  util::Table table({"model", "requests", "points", "batches", "busy s"});
+  for (const auto& [name, s] : server.stats()) {
+    table.add_row({name, util::Table::fmt_int(static_cast<long>(s.requests)),
+                   util::Table::fmt_int(static_cast<long>(s.points)),
+                   util::Table::fmt_int(static_cast<long>(s.batches)),
+                   util::Table::fmt(s.busy_seconds, 3)});
+  }
+  table.print(std::cout, "serving stats");
+  return 0;
+}
