@@ -1,0 +1,121 @@
+#pragma once
+// Shared harness of the scale tier (bench_scale, bench_table3_large_scale):
+// one end-to-end fit+score run with per-phase timings, kernel-evaluation
+// accounting and peak-RSS capture, plus the JSON row the BENCH_scale.json
+// trajectory is built from.
+
+#include "bench_common.hpp"
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+namespace khss::bench {
+
+/// Knobs of one scale run on top of CommonArgs (which carries n, dataset,
+/// seed, rtol, backend).
+struct ScaleRunConfig {
+  cluster::OrderingMethod ordering = cluster::OrderingMethod::kTwoMeans;
+  int sieve = 0;          // OrderingOptions::sieve; 0 = full ordering
+  int leaf_size = 16;     // paper default; the scale bench raises it
+  long eval_budget = 0;   // KernelMatrix budget; 0 = unlimited
+  double h = 1.0;
+  double lambda = 1.0;
+  double rtol = 1e-1;
+  krr::SolverBackend backend = krr::SolverBackend::kHSSRandomH;
+  std::uint64_t seed = 42;
+};
+
+/// Phase times + footprint of one fit+score run.
+struct ScaleRunResult {
+  double accuracy = 0.0;
+  double order_seconds = 0.0;
+  double h_construction_seconds = 0.0;
+  double compress_seconds = 0.0;  // includes sampling; H build broken out
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double score_seconds = 0.0;
+  long element_evals = 0;
+  std::size_t peak_rss_bytes = 0;
+  std::size_t compressed_memory_bytes = 0;
+  int max_rank = 0;
+
+  double fit_seconds() const {
+    return order_seconds + compress_seconds + factor_seconds + solve_seconds;
+  }
+};
+
+/// One binary-classification fit+score through the standard KRR path.  With
+/// cfg.eval_budget > 0 the run THROWS kernel::EvalBudgetExceeded if any
+/// stage falls back to a dense n×n path — the matrix-free audit is part of
+/// the measurement, not a separate mode.
+inline ScaleRunResult run_scale(const PreparedData& d,
+                                const ScaleRunConfig& cfg) {
+  krr::KRROptions opts;
+  opts.ordering = cfg.ordering;
+  opts.backend = cfg.backend;
+  opts.kernel.h = cfg.h;
+  opts.lambda = cfg.lambda;
+  opts.hss_rtol = cfg.rtol;
+  opts.leaf_size = cfg.leaf_size;
+  opts.sieve = cfg.sieve;
+  opts.eval_budget = cfg.eval_budget;
+  opts.seed = cfg.seed;
+
+  krr::KRRClassifier clf(opts);
+  clf.fit(d.train.points, d.train.one_vs_all(d.info.target_class));
+
+  ScaleRunResult r;
+  {
+    util::Timer score_timer;
+    r.accuracy = clf.accuracy(d.test.points,
+                              d.test.one_vs_all(d.info.target_class));
+    r.score_seconds = score_timer.seconds();
+  }
+  const krr::KRRStats st = clf.model().stats();
+  r.order_seconds = st.cluster_seconds;
+  r.h_construction_seconds = st.h_construction_seconds;
+  r.compress_seconds = st.compress_seconds;
+  r.factor_seconds = st.factor_seconds;
+  r.solve_seconds = st.solve_seconds;
+  r.compressed_memory_bytes = st.compressed_memory_bytes;
+  r.max_rank = st.max_rank;
+  r.element_evals = clf.model().kernel().element_evals();
+  r.peak_rss_bytes = util::peak_rss_bytes();
+  return r;
+}
+
+/// One row of the BENCH_scale.json "rows" array.
+inline util::Json scale_json_row(int n, const ScaleRunConfig& cfg,
+                                 const ScaleRunResult& r) {
+  util::Json row = util::Json::object();
+  row.set("n", static_cast<long>(n));
+  row.set("ordering", cluster::ordering_name(cfg.ordering));
+  row.set("sieve", static_cast<long>(cfg.sieve));
+  row.set("leaf_size", static_cast<long>(cfg.leaf_size));
+  row.set("order_seconds", r.order_seconds);
+  row.set("h_construction_seconds", r.h_construction_seconds);
+  row.set("compress_seconds", r.compress_seconds);
+  row.set("factor_seconds", r.factor_seconds);
+  row.set("solve_seconds", r.solve_seconds);
+  row.set("score_seconds", r.score_seconds);
+  row.set("fit_seconds", r.fit_seconds());
+  row.set("accuracy", r.accuracy);
+  row.set("element_evals", r.element_evals);
+  row.set("eval_budget", cfg.eval_budget);
+  row.set("max_rank", static_cast<long>(r.max_rank));
+  row.set("compressed_memory_mb",
+          static_cast<double>(r.compressed_memory_bytes) / (1024.0 * 1024.0));
+  row.set("peak_rss_mb",
+          static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0));
+  return row;
+}
+
+/// The scale tier's default matrix-free budget for a given n: far above what
+/// an H-sampled HSS fit plus scoring actually spends, strictly below the n²
+/// a dense fallback would need.  Tiny n (where n²/4 could undercut honest
+/// leaf-block work) gets no budget.
+inline long default_eval_budget(int n) {
+  if (n < 4096) return 0;
+  return static_cast<long>(n) * n / 4;
+}
+
+}  // namespace khss::bench

@@ -36,6 +36,15 @@ struct Builder {
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
   }
 
+  // Start from an existing permutation (sieved build: the counting-sorted
+  // leaf layout) instead of the identity.
+  Builder(const la::Matrix& points, const OrderingOptions& options,
+          std::vector<int> preset_idx)
+      : pts(points),
+        opts(options),
+        idx(std::move(preset_idx)),
+        rng(options.seed) {}
+
   int dim() const { return pts.cols(); }
 
   int split_middle(int lo, int hi) const { return lo + (hi - lo + 1) / 2; }
@@ -66,17 +75,19 @@ struct Builder {
   }
 
   // Partition idx[lo, hi) by predicate value <= threshold on `scores`
-  // (scores indexed by position in [lo, hi)).  Stable not required.
-  int partition_by_score(int lo, int hi, const std::vector<double>& scores,
+  // (scores indexed by position in [lo, hi)).  Stable not required.  `scores`
+  // is permuted in place alongside idx, so after the call scores[i - lo]
+  // still belongs to idx[i] — callers reuse it for the median fallback
+  // instead of re-deriving every value.
+  int partition_by_score(int lo, int hi, std::vector<double>& scores,
                          double threshold) {
     int i = lo, j = hi - 1;
-    std::vector<double> s = scores;  // moves along with idx
     while (i <= j) {
-      while (i <= j && s[i - lo] <= threshold) ++i;
-      while (i <= j && s[j - lo] > threshold) --j;
+      while (i <= j && scores[i - lo] <= threshold) ++i;
+      while (i <= j && scores[j - lo] > threshold) --j;
       if (i < j) {
         std::swap(idx[i], idx[j]);
-        std::swap(s[i - lo], s[j - lo]);
+        std::swap(scores[i - lo], scores[j - lo]);
         ++i;
         --j;
       }
@@ -123,8 +134,7 @@ struct Builder {
 
     int mid = partition_by_score(lo, hi, scores, mean);
     if (too_unbalanced(lo, mid, hi)) {
-      // Re-extract scores: partition_by_score reordered idx.
-      for (int i = 0; i < m; ++i) scores[i] = pts(idx[lo + i], coord);
+      // scores moved along with idx, so no re-extraction is needed.
       mid = partition_by_median(lo, hi, scores);
     }
     return mid;
@@ -172,12 +182,7 @@ struct Builder {
 
     int mid = partition_by_score(lo, hi, scores, mean);
     if (too_unbalanced(lo, mid, hi)) {
-      for (int i = 0; i < m; ++i) {
-        const double* row = pts.row(idx[lo + i]);
-        double proj = 0.0;
-        for (int j = 0; j < d; ++j) proj += (row[j] - mu[j]) * v[j];
-        scores[i] = proj;
-      }
+      // scores moved along with idx, so no re-projection is needed.
       mid = partition_by_median(lo, hi, scores);
     }
     return mid;
@@ -213,6 +218,7 @@ struct Builder {
     std::vector<double> c0(pts.row(first), pts.row(first) + d);
     std::vector<double> c1(pts.row(second), pts.row(second) + d);
     std::vector<char> assign(m, 0);
+    std::vector<double> n0(d), n1(d);  // update-step sums, reused per iter
 
     for (int it = 0; it < opts.max_lloyd_iters; ++it) {
       bool changed = false;
@@ -232,7 +238,8 @@ struct Builder {
       if (!changed && it > 0) break;
 
       // Update step.
-      std::vector<double> n0(d, 0.0), n1(d, 0.0);
+      std::fill(n0.begin(), n0.end(), 0.0);
+      std::fill(n1.begin(), n1.end(), 0.0);
       int cnt0 = 0, cnt1 = 0;
       for (int i = 0; i < m; ++i) {
         const double* row = pts.row(idx[lo + i]);
@@ -276,6 +283,153 @@ struct Builder {
   }
 };
 
+// Pop node ids off `stack` and keep bipartitioning until every leaf obeys
+// leaf_size.  Children are appended in creation order, so a parent's id is
+// always smaller than its children's (levels_bottom_up relies on this).
+void refine(Builder& b, OrderingMethod method, std::vector<ClusterNode>& nodes,
+            std::vector<int>& stack) {
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const int lo = nodes[id].lo, hi = nodes[id].hi;
+    if (hi - lo <= b.opts.leaf_size) continue;
+
+    const int mid = b.split(method, lo, hi);
+    assert(mid > lo && mid < hi);
+
+    ClusterNode left, right;
+    left.lo = lo;
+    left.hi = mid;
+    left.parent = id;
+    right.lo = mid;
+    right.hi = hi;
+    right.parent = id;
+    nodes[id].left = static_cast<int>(nodes.size());
+    nodes.push_back(left);
+    nodes[id].right = static_cast<int>(nodes.size());
+    nodes.push_back(right);
+    stack.push_back(nodes[id].left);
+    stack.push_back(nodes[id].right);
+  }
+}
+
+// Sieved build: full-quality tree on a deterministic sample of m points, one
+// linear assignment pass for the other n - m, then local re-splits of any
+// leaf the assignment overfilled.
+ClusterTree build_sieved_tree(const la::Matrix& points, OrderingMethod method,
+                              const OrderingOptions& opts, int m) {
+  const int n = points.rows();
+  const int d = points.cols();
+
+  // (1) Deterministic sample of m original indices, ascending.  The sample
+  // draw uses its own stream so it never interleaves with the Builder's.
+  util::Rng srng(opts.seed ^ 0x73696576656421ull);
+  std::vector<int> sample;
+  {
+    auto raw = srng.sample_without_replacement(static_cast<std::size_t>(n),
+                                               static_cast<std::size_t>(m));
+    sample.assign(raw.begin(), raw.end());
+    std::sort(sample.begin(), sample.end());
+  }
+
+  // (2) Full-quality tree on the sample (annotates sample geometry, which
+  // the descent below reads).
+  OrderingOptions sopts = opts;
+  sopts.sieve = 0;
+  const ClusterTree stree =
+      build_cluster_tree(points.rows_subset(sample), method, sopts);
+  const std::vector<ClusterNode>& snodes = stree.nodes();
+
+  // Sample leaves in lo-order; map node id -> leaf ordinal and sample
+  // position -> leaf ordinal.
+  const std::vector<int> sleaves = stree.leaves();
+  const int num_leaves = static_cast<int>(sleaves.size());
+  std::vector<int> leaf_ord_of_node(snodes.size(), -1);
+  std::vector<int> leaf_ord_of_pos(m, -1);
+  for (int l = 0; l < num_leaves; ++l) {
+    leaf_ord_of_node[sleaves[l]] = l;
+    for (int p = snodes[sleaves[l]].lo; p < snodes[sleaves[l]].hi; ++p) {
+      leaf_ord_of_pos[p] = l;
+    }
+  }
+
+  // pos_of_orig[i] = permuted sample position of original index i, or -1.
+  std::vector<int> pos_of_orig(n, -1);
+  for (int p = 0; p < m; ++p) pos_of_orig[sample[stree.perm()[p]]] = p;
+
+  // (3) Assign every point to a sample leaf.  Sample points keep their own
+  // leaf; the rest descend root-to-leaf toward the nearer child centroid
+  // (ties go left).  Pure per-point reads + one write each: parallel and
+  // bit-deterministic under any schedule or thread count.
+  std::vector<int> leaf_ord(n);
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    if (pos_of_orig[i] >= 0) {
+      leaf_ord[i] = leaf_ord_of_pos[pos_of_orig[i]];
+      continue;
+    }
+    const double* row = points.row(i);
+    int id = 0;
+    while (!snodes[id].is_leaf()) {
+      const double dl =
+          sqdist(row, snodes[snodes[id].left].centroid.data(), d);
+      const double dr =
+          sqdist(row, snodes[snodes[id].right].centroid.data(), d);
+      id = dr < dl ? snodes[id].right : snodes[id].left;
+    }
+    leaf_ord[i] = leaf_ord_of_node[id];
+  }
+
+  // (4) Counting sort into the final permutation: leaves left to right;
+  // inside a leaf, sample points first (in sample-tree order), then assigned
+  // points by ascending original index.
+  std::vector<int> offset(num_leaves + 1, 0);
+  for (int i = 0; i < n; ++i) ++offset[leaf_ord[i] + 1];
+  for (int l = 0; l < num_leaves; ++l) offset[l + 1] += offset[l];
+  std::vector<int> idx(n);
+  std::vector<int> cursor(offset.begin(), offset.end() - 1);
+  for (int p = 0; p < m; ++p) {
+    idx[cursor[leaf_ord_of_pos[p]]++] = sample[stree.perm()[p]];
+  }
+  for (int i = 0; i < n; ++i) {
+    if (pos_of_orig[i] < 0) idx[cursor[leaf_ord[i]]++] = i;
+  }
+
+  // (5) Copy the sample-tree structure and remap its [lo, hi) ranges from
+  // sample positions to full positions.  Children carry larger ids than
+  // their parents, so a descending pass sees leaves before the internal
+  // nodes that cover them.
+  std::vector<ClusterNode> nodes(snodes.begin(), snodes.end());
+  for (int id = static_cast<int>(nodes.size()) - 1; id >= 0; --id) {
+    if (nodes[id].is_leaf()) {
+      const int l = leaf_ord_of_node[id];
+      nodes[id].lo = offset[l];
+      nodes[id].hi = offset[l + 1];
+    } else {
+      nodes[id].lo = nodes[nodes[id].left].lo;
+      nodes[id].hi = nodes[nodes[id].right].hi;
+    }
+  }
+
+  // (6) Re-split leaves the assignment overfilled, with the same rules on
+  // the full point set.  AGG sample trees refine with 2MN: a bottom-up merge
+  // has no top-down split rule to replay.
+  Builder b(points, opts, std::move(idx));
+  std::vector<int> stack;
+  for (int id = 0; id < static_cast<int>(nodes.size()); ++id) {
+    if (nodes[id].is_leaf() && nodes[id].size() > opts.leaf_size) {
+      stack.push_back(id);
+    }
+  }
+  const OrderingMethod refine_method = method == OrderingMethod::kAgglomerative
+                                           ? OrderingMethod::kTwoMeans
+                                           : method;
+  refine(b, refine_method, nodes, stack);
+
+  annotate_geometry(nodes, points, b.idx);
+  return ClusterTree(std::move(nodes), std::move(b.idx), opts.leaf_size);
+}
+
 }  // namespace
 
 std::string ordering_name(OrderingMethod m) {
@@ -312,6 +466,11 @@ ClusterTree build_cluster_tree(const la::Matrix& points, OrderingMethod method,
   if (opts.leaf_size < 1) {
     throw std::invalid_argument("build_cluster_tree: leaf_size < 1");
   }
+  if (opts.sieve > 0 && method != OrderingMethod::kNatural) {
+    // Keep the sample large enough that its tree has some shape to replay.
+    const int m = std::max(opts.sieve, 4 * opts.leaf_size);
+    if (n > m) return build_sieved_tree(points, method, opts, m);
+  }
   if (method == OrderingMethod::kAgglomerative) {
     return build_agglomerative_tree(points, opts);
   }
@@ -327,39 +486,12 @@ ClusterTree build_cluster_tree(const la::Matrix& points, OrderingMethod method,
   root.hi = n;
   nodes.push_back(root);
   std::vector<int> stack{0};
-  while (!stack.empty()) {
-    const int id = stack.back();
-    stack.pop_back();
-    const int lo = nodes[id].lo, hi = nodes[id].hi;
-    if (hi - lo <= opts.leaf_size) continue;
+  refine(b, method, nodes, stack);
 
-    const int mid = b.split(method, lo, hi);
-    assert(mid > lo && mid < hi);
-
-    ClusterNode left, right;
-    left.lo = lo;
-    left.hi = mid;
-    left.parent = id;
-    right.lo = mid;
-    right.hi = hi;
-    right.parent = id;
-    nodes[id].left = static_cast<int>(nodes.size());
-    nodes.push_back(left);
-    nodes[id].right = static_cast<int>(nodes.size());
-    nodes.push_back(right);
-    stack.push_back(nodes[id].left);
-    stack.push_back(nodes[id].right);
-  }
-
-  ClusterTree tree(std::move(nodes), std::move(b.idx), opts.leaf_size);
-  {
-    // Geometry on the permuted points (what downstream layers see).
-    la::Matrix permuted = apply_row_permutation(points, tree.perm());
-    std::vector<ClusterNode> annotated = tree.nodes();
-    annotate_geometry(annotated, permuted);
-    tree = ClusterTree(std::move(annotated), tree.perm(), opts.leaf_size);
-  }
-  return tree;
+  // Geometry on the permuted points (what downstream layers see), read
+  // through the permutation so no n×d copy is materialized.
+  annotate_geometry(nodes, points, b.idx);
+  return ClusterTree(std::move(nodes), std::move(b.idx), opts.leaf_size);
 }
 
 }  // namespace khss::cluster

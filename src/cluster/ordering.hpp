@@ -45,6 +45,16 @@ struct OrderingOptions {
   int pca_power_iters = 30;   // PCA: power iteration count
   double imbalance_ratio = 100.0;  // mean-split fallback threshold
   std::uint64_t seed = 0x2a;
+  // Sieved ordering (cpptraj's AddSievedFrames idea): when > 0 and n exceeds
+  // the sample size, run the chosen method on a deterministic sample of
+  // ~`sieve` points, assign every remaining point to a sample leaf by
+  // root-to-leaf descent on child centroids, then re-split any leaf that
+  // ends up over leaf_size.  Turns the O(n·iters) adaptive orderings into
+  // an O(n log n) pass over the full set.  0 = off (bit-identical to the
+  // unsieved build).  kNatural ignores the knob (already linear and
+  // data-oblivious); kAgglomerative becomes legal above its usual n <= 8192
+  // cutoff because only the sample is merged bottom-up.
+  int sieve = 0;
 };
 
 /// Build tree + permutation with the chosen method.  The permuted points and

@@ -117,13 +117,22 @@ std::vector<std::vector<int>> levels_bottom_up(const std::vector<int>& parent) {
   return by_level;
 }
 
-void annotate_geometry(std::vector<ClusterNode>& nodes,
-                       const la::Matrix& permuted_points) {
-  const int d = permuted_points.cols();
-  for (auto& nd : nodes) {
+namespace {
+
+// Shared body of the two annotate_geometry overloads.  `perm` may be null
+// (rows already permuted).  Nodes are independent, and the within-node
+// summation order never depends on the schedule, so the parallel loop is
+// bit-deterministic.
+void annotate_impl(std::vector<ClusterNode>& nodes, const la::Matrix& points,
+                   const int* perm) {
+  const int d = points.cols();
+  const int num_nodes = static_cast<int>(nodes.size());
+#pragma omp parallel for schedule(dynamic)
+  for (int id = 0; id < num_nodes; ++id) {
+    ClusterNode& nd = nodes[id];
     nd.centroid.assign(d, 0.0);
     for (int i = nd.lo; i < nd.hi; ++i) {
-      const double* row = permuted_points.row(i);
+      const double* row = points.row(perm ? perm[i] : i);
       for (int j = 0; j < d; ++j) nd.centroid[j] += row[j];
     }
     const double inv = 1.0 / nd.size();
@@ -131,7 +140,7 @@ void annotate_geometry(std::vector<ClusterNode>& nodes,
 
     double r2max = 0.0;
     for (int i = nd.lo; i < nd.hi; ++i) {
-      const double* row = permuted_points.row(i);
+      const double* row = points.row(perm ? perm[i] : i);
       double r2 = 0.0;
       for (int j = 0; j < d; ++j) {
         const double diff = row[j] - nd.centroid[j];
@@ -141,6 +150,18 @@ void annotate_geometry(std::vector<ClusterNode>& nodes,
     }
     nd.radius = std::sqrt(r2max);
   }
+}
+
+}  // namespace
+
+void annotate_geometry(std::vector<ClusterNode>& nodes,
+                       const la::Matrix& permuted_points) {
+  annotate_impl(nodes, permuted_points, nullptr);
+}
+
+void annotate_geometry(std::vector<ClusterNode>& nodes,
+                       const la::Matrix& points, const std::vector<int>& perm) {
+  annotate_impl(nodes, points, perm.data());
 }
 
 la::Matrix apply_row_permutation(const la::Matrix& points,

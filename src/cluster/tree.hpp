@@ -90,6 +90,12 @@ std::vector<std::vector<int>> levels_bottom_up(const std::vector<Node>& nodes) {
 void annotate_geometry(std::vector<ClusterNode>& nodes,
                        const la::Matrix& permuted_points);
 
+/// Same, reading rows through `perm` (row i of the permuted set is
+/// points.row(perm[i])) so callers never materialize a permuted copy of the
+/// full n×d dataset.  Per-node arithmetic is identical to the overload above.
+void annotate_geometry(std::vector<ClusterNode>& nodes,
+                       const la::Matrix& points, const std::vector<int>& perm);
+
 /// Apply a permutation to dataset rows: out.row(i) = in.row(perm[i]).
 la::Matrix apply_row_permutation(const la::Matrix& points,
                                  const std::vector<int>& perm);

@@ -1,0 +1,145 @@
+#include "data/cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "data/io.hpp"
+#include "serialize/container.hpp"
+
+namespace khss::data {
+
+namespace {
+
+constexpr std::uint32_t kDatasetSchemaVersion = 1;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw serialize::SerializeError(path + ": " + what);
+}
+
+// Cache-freshness test: sidecar exists and is at least as new as the text
+// file it caches.
+bool sidecar_fresh(const std::string& side, const std::string& text) {
+  std::error_code ec;
+  const auto st = std::filesystem::last_write_time(side, ec);
+  if (ec) return false;
+  const auto tt = std::filesystem::last_write_time(text, ec);
+  if (ec) return false;
+  return st >= tt;
+}
+
+template <typename LoadText>
+Dataset load_cached(const std::string& path, const LoadText& load_text) {
+  const std::string side = path + kDatasetCacheExt;
+  if (sidecar_fresh(side, path)) return load_dataset(side);
+  Dataset d = load_text();
+  try {
+    save_dataset(d, side);
+  } catch (const serialize::SerializeError&) {
+    // The cache is an optimization: an unwritable sidecar (read-only dir,
+    // full disk) must not fail a load that already succeeded.  Nothing
+    // half-written survives — ContainerWriter::finish throws before
+    // reporting success, and a stale/absent sidecar just re-parses.
+  }
+  return d;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& d, const std::string& path) {
+  serialize::ContainerWriter w;
+  {
+    serialize::ByteWriter meta;
+    meta.u32(kDatasetSchemaVersion);
+    meta.str(d.name);
+    meta.i32(d.num_classes);
+    meta.i32(d.n());
+    meta.i32(d.dim());
+    w.add_section("dsmeta", std::move(meta));
+  }
+  {
+    serialize::ByteWriter labels;
+    labels.vec_i32(d.labels);
+    w.add_section("labels", std::move(labels));
+  }
+  {
+    serialize::ByteWriter points;
+    points.matrix(d.points);
+    w.add_section("points", std::move(points));
+  }
+  w.finish(path);
+}
+
+Dataset load_dataset(const std::string& path, long max_rows) {
+  const serialize::ContainerReader c(path);
+
+  Dataset out;
+  int rows = 0, cols = 0;
+  {
+    serialize::ByteReader r = c.reader("dsmeta");
+    const std::uint32_t schema = r.u32();
+    if (schema != kDatasetSchemaVersion) {
+      r.fail("dataset schema version " + std::to_string(schema) +
+             " not supported (expected " +
+             std::to_string(kDatasetSchemaVersion) + ")");
+    }
+    out.name = r.str();
+    out.num_classes = r.i32();
+    rows = r.i32();
+    cols = r.i32();
+    r.expect_exhausted("dataset metadata");
+    if (rows <= 0 || cols < 0 || out.num_classes <= 0) {
+      fail(path, "dataset metadata is not a valid shape (rows=" +
+                     std::to_string(rows) + ", cols=" + std::to_string(cols) +
+                     ", classes=" + std::to_string(out.num_classes) + ")");
+    }
+  }
+  {
+    serialize::ByteReader r = c.reader("labels");
+    out.labels = r.vec_i32();
+    r.expect_exhausted("dataset labels");
+  }
+  {
+    serialize::ByteReader r = c.reader("points");
+    out.points = r.matrix();
+    r.expect_exhausted("dataset points");
+  }
+
+  if (out.points.rows() != rows || out.points.cols() != cols) {
+    fail(path, "points section is " + std::to_string(out.points.rows()) + "x" +
+                   std::to_string(out.points.cols()) +
+                   " but the metadata declares " + std::to_string(rows) + "x" +
+                   std::to_string(cols));
+  }
+  if (static_cast<int>(out.labels.size()) != rows) {
+    fail(path, "labels section has " + std::to_string(out.labels.size()) +
+                   " entries for " + std::to_string(rows) + " rows");
+  }
+  for (std::size_t i = 0; i < out.labels.size(); ++i) {
+    if (out.labels[i] < 0 || out.labels[i] >= out.num_classes) {
+      fail(path, "label " + std::to_string(out.labels[i]) + " at row " +
+                     std::to_string(i) + " outside [0, " +
+                     std::to_string(out.num_classes) + ")");
+    }
+  }
+
+  if (max_rows > 0 && max_rows < rows) {
+    const int keep = static_cast<int>(max_rows);
+    la::Matrix head(keep, cols);
+    std::copy(out.points.data(),
+              out.points.data() + static_cast<std::size_t>(keep) * cols,
+              head.data());
+    out.points = std::move(head);
+    out.labels.resize(keep);
+  }
+  return out;
+}
+
+Dataset load_csv_cached(const std::string& path, char delimiter) {
+  return load_cached(path, [&] { return load_csv(path, delimiter); });
+}
+
+Dataset load_libsvm_cached(const std::string& path, int dim) {
+  return load_cached(path, [&] { return load_libsvm(path, dim); });
+}
+
+}  // namespace khss::data

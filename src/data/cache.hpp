@@ -1,0 +1,42 @@
+#pragma once
+// Binary dataset cache (.khds): the serialize:: container envelope (magic,
+// version, CRC-64 section table) wrapped around a dataset, so a 10^6-point
+// CSV/LIBSVM file parses once and every later run loads raw IEEE-754 bytes.
+// Payloads sit 8-byte aligned in the file (the container guarantees it), so
+// the points matrix is mmap-friendly.  Round trips are bit-exact: doubles
+// are stored as raw bit patterns, never re-printed.
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace khss::data {
+
+/// File extension of the binary dataset cache ("khds").
+inline constexpr const char* kDatasetCacheExt = ".khds";
+
+/// Write `d` as a .khds file.  Throws serialize::SerializeError naming the
+/// path when the file cannot be written (same no-silent-truncation contract
+/// as the model container).
+void save_dataset(const Dataset& d, const std::string& path);
+
+/// Load a .khds file.  Validates the container envelope, every section CRC,
+/// and the dataset-level invariants (one label per row, labels inside
+/// [0, num_classes)); any truncation, bit flip or schema mismatch throws
+/// serialize::SerializeError naming the path and the offending structure.
+/// `max_rows` > 0 keeps only the first max_rows rows (num_classes is kept
+/// as declared, matching the text loaders' cap semantics for smoke reads).
+Dataset load_dataset(const std::string& path, long max_rows = 0);
+
+/// load_csv with a transparent `<path>.khds` sidecar: when the sidecar
+/// exists and is at least as new as the text file it is loaded instead
+/// (near-zero parse cost); otherwise the text file is parsed and the
+/// sidecar is (re)written.  A sidecar that cannot be written — read-only
+/// directory, full disk — is skipped without failing the load; a sidecar
+/// that exists but is corrupt throws rather than silently re-parsing.
+Dataset load_csv_cached(const std::string& path, char delimiter = ',');
+
+/// Same for load_libsvm.
+Dataset load_libsvm_cached(const std::string& path, int dim = 0);
+
+}  // namespace khss::data

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -43,18 +46,66 @@ double parse_double_token(const std::string& tok, const std::string& path,
   }
 }
 
-int parse_int_token(const std::string& tok, const std::string& path, int line,
-                    const std::string& what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(tok, &pos);
-    if (pos != tok.size()) parse_error(path, line, what, tok);
-    return v;
-  } catch (const std::invalid_argument&) {
-    parse_error(path, line, what, tok);
-  } catch (const std::out_of_range&) {
-    parse_error(path, line, what + " (out of range)", tok);
+// Allocation-free variants of the two token parsers, used by the bulk
+// loaders: they parse a [begin, end) slice of the line buffer directly and
+// only materialize the token string on the error path.  Semantics match the
+// std::sto* versions above exactly — leading whitespace accepted, trailing
+// whitespace accepted for doubles (CSV cells like " 2.5 ") but not ints,
+// trailing junk and out-of-range magnitudes rejected with the same messages.
+// `end` must point at a parse-stopping character (delimiter, colon,
+// whitespace or the line's NUL terminator), so strtod/strtol cannot run past
+// the slice.
+double parse_double_range(const char* begin, const char* end,
+                          const std::string& path, int line,
+                          const std::string& what) {
+  errno = 0;
+  char* stop = nullptr;
+  const double v = std::strtod(begin, &stop);
+  const bool out_of_range = errno == ERANGE;
+  if (stop == begin) parse_error(path, line, what, std::string(begin, end));
+  while (stop < end && std::isspace(static_cast<unsigned char>(*stop))) {
+    ++stop;
   }
+  if (stop != end) parse_error(path, line, what, std::string(begin, end));
+  if (out_of_range) {
+    parse_error(path, line, what + " (out of range)", std::string(begin, end));
+  }
+  return v;
+}
+
+int parse_int_range(const char* begin, const char* end,
+                    const std::string& path, int line,
+                    const std::string& what) {
+  errno = 0;
+  char* stop = nullptr;
+  const long v = std::strtol(begin, &stop, 10);
+  if (stop == begin || stop != end) {
+    parse_error(path, line, what, std::string(begin, end));
+  }
+  if (errno == ERANGE || v > INT_MAX || v < INT_MIN) {
+    parse_error(path, line, what + " (out of range)", std::string(begin, end));
+  }
+  return static_cast<int>(v);
+}
+
+// Chunked newline count for an exact up-front reserve(), then rewind.  One
+// sequential pass over the raw bytes is far cheaper than the reallocation
+// churn of growing a million-row vector by push_back.
+std::size_t count_data_lines(std::ifstream& in) {
+  std::vector<char> buf(1 << 16);
+  std::size_t newlines = 0;
+  bool ends_with_newline = true;
+  while (in.read(buf.data(), static_cast<std::streamsize>(buf.size())) ||
+         in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    newlines += static_cast<std::size_t>(
+        std::count(buf.data(), buf.data() + got, '\n'));
+    ends_with_newline = buf[got - 1] == '\n';
+    if (in.eof()) break;
+  }
+  in.clear();
+  in.seekg(0);
+  return newlines + (ends_with_newline ? 0 : 1);
 }
 
 // Map arbitrary label values (e.g. {-1, +1} or {1..26}) to dense ids 0..c-1,
@@ -86,29 +137,48 @@ void check_write(std::ofstream& out, const char* who, const std::string& path) {
 
 }  // namespace
 
-Dataset load_csv(const std::string& path, char delimiter) {
+Dataset load_csv(const std::string& path, char delimiter, long max_rows) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_csv: cannot open " + path);
 
-  std::vector<std::vector<double>> rows;
+  // One chunked pre-scan sizes every container exactly; a capped read
+  // already knows its bound and skips the extra pass.
+  const std::size_t expected = max_rows > 0 ? static_cast<std::size_t>(max_rows)
+                                            : count_data_lines(in);
+  std::vector<double> flat;  // features, row-major
   std::vector<double> raw_labels;
+  raw_labels.reserve(expected);
+
   std::string line;
+  std::vector<double> vals;  // reused per row
   int dim = -1;
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::vector<double> vals;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, delimiter)) {
-      if (cell.empty()) continue;
-      vals.push_back(parse_double_token(cell, path, lineno, "bad CSV cell"));
+    vals.clear();
+    // Cells parsed straight out of the line buffer.  The cell terminator is
+    // temporarily NUL-ed so strtod can never run past a cell even with an
+    // exotic delimiter; empty cells are skipped like the old
+    // getline-on-delimiter loop did.
+    char* cb = line.data();
+    char* const lend = line.data() + line.size();
+    while (cb <= lend) {
+      char* ce = std::find(cb, lend, delimiter);
+      if (ce != cb) {
+        const char saved = *ce;
+        *ce = '\0';
+        vals.push_back(parse_double_range(cb, ce, path, lineno, "bad CSV cell"));
+        *ce = saved;
+      }
+      if (ce == lend) break;
+      cb = ce + 1;
     }
     if (vals.empty()) continue;
     if (dim < 0) {
       dim = static_cast<int>(vals.size()) - 1;
       if (dim <= 0) throw std::runtime_error("load_csv: need >= 2 columns");
+      flat.reserve(expected * static_cast<std::size_t>(dim));
     } else if (static_cast<int>(vals.size()) != dim + 1) {
       throw std::runtime_error("load_csv: " + path + ":" +
                                std::to_string(lineno) + ": ragged row (" +
@@ -116,65 +186,84 @@ Dataset load_csv(const std::string& path, char delimiter) {
                                std::to_string(dim + 1) + ")");
     }
     raw_labels.push_back(vals[0]);
-    vals.erase(vals.begin());
-    rows.push_back(std::move(vals));
+    flat.insert(flat.end(), vals.begin() + 1, vals.end());
+    if (max_rows > 0 && static_cast<long>(raw_labels.size()) >= max_rows) break;
   }
-  if (rows.empty()) throw std::runtime_error("load_csv: no data in " + path);
+  if (raw_labels.empty()) {
+    throw std::runtime_error("load_csv: no data in " + path);
+  }
 
   Dataset out;
   out.name = path;
-  out.points = la::Matrix(static_cast<int>(rows.size()), dim);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::copy(rows[i].begin(), rows[i].end(),
-              out.points.row(static_cast<int>(i)));
-  }
+  out.points = la::Matrix(static_cast<int>(raw_labels.size()), dim);
+  std::copy(flat.begin(), flat.end(), out.points.data());
   densify_labels(std::move(raw_labels), out);
   return out;
 }
 
-Dataset load_libsvm(const std::string& path, int dim) {
+Dataset load_libsvm(const std::string& path, int dim, long max_rows) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_libsvm: cannot open " + path);
 
-  std::vector<std::vector<std::pair<int, double>>> rows;
+  const std::size_t expected = max_rows > 0 ? static_cast<std::size_t>(max_rows)
+                                            : count_data_lines(in);
+  // Flat (index, value) pairs with per-row offsets instead of a
+  // vector-of-vectors: one growable buffer, no per-row allocations.
+  std::vector<std::pair<int, double>> feats;
+  std::vector<std::size_t> row_start{0};
+  row_start.reserve(expected + 1);
   std::vector<double> raw_labels;
+  raw_labels.reserve(expected);
+
+  const auto is_ws = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
   std::string line;
+  std::vector<int> idxs;  // reused per-row duplicate check
   int max_index = dim;
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::stringstream ss(line);
-    std::string label_tok;
-    if (!(ss >> label_tok)) continue;  // whitespace-only line
+    const char* p = line.c_str();
+    const char* const lend = p + line.size();
+    while (p < lend && is_ws(*p)) ++p;
+    if (p == lend) continue;  // whitespace-only line
+
     // A label that fails to parse is an error, never a silent skip — the
     // old `if (!(ss >> label)) continue;` dropped whole data rows.
-    raw_labels.push_back(
-        parse_double_token(label_tok, path, lineno, "bad label"));
-    std::vector<std::pair<int, double>> feats;
-    std::string tok;
-    while (ss >> tok) {
-      const auto colon = tok.find(':');
-      if (colon == std::string::npos) {
-        parse_error(path, lineno, "malformed feature token", tok);
+    const char* te = p;
+    while (te < lend && !is_ws(*te)) ++te;
+    raw_labels.push_back(parse_double_range(p, te, path, lineno, "bad label"));
+    p = te;
+
+    while (true) {
+      while (p < lend && is_ws(*p)) ++p;
+      if (p == lend) break;
+      te = p;
+      while (te < lend && !is_ws(*te)) ++te;
+      const char* colon = std::find(p, te, ':');
+      if (colon == te) {
+        parse_error(path, lineno, "malformed feature token",
+                    std::string(p, te));
       }
-      const int idx =
-          parse_int_token(tok.substr(0, colon), path, lineno, "bad index");
-      const double val = parse_double_token(tok.substr(colon + 1), path,
-                                            lineno, "bad value");
+      const int idx = parse_int_range(p, colon, path, lineno, "bad index");
+      const double val =
+          parse_double_range(colon + 1, te, path, lineno, "bad value");
       if (idx <= 0) {
-        parse_error(path, lineno, "indices are 1-based; bad index", tok);
+        parse_error(path, lineno, "indices are 1-based; bad index",
+                    std::string(p, te));
       }
       max_index = std::max(max_index, idx);
       feats.emplace_back(idx - 1, val);
+      p = te;
     }
+
     // Duplicate indices within a row would silently overwrite a value;
     // one O(k log k) pass per row keeps dense rows linear-ish to load.
-    std::vector<int> idxs;
-    idxs.reserve(feats.size());
-    for (const auto& [j, v] : feats) {
-      (void)v;
-      idxs.push_back(j);
+    idxs.clear();
+    for (std::size_t k = row_start.back(); k < feats.size(); ++k) {
+      idxs.push_back(feats[k].first);
     }
     std::sort(idxs.begin(), idxs.end());
     for (std::size_t i = 1; i < idxs.size(); ++i) {
@@ -183,16 +272,22 @@ Dataset load_libsvm(const std::string& path, int dim) {
                     std::to_string(idxs[i] + 1));
       }
     }
-    rows.push_back(std::move(feats));
+    row_start.push_back(feats.size());
+    if (max_rows > 0 && static_cast<long>(raw_labels.size()) >= max_rows) break;
   }
-  if (rows.empty()) throw std::runtime_error("load_libsvm: no data in " + path);
+  if (raw_labels.empty()) {
+    throw std::runtime_error("load_libsvm: no data in " + path);
+  }
 
   Dataset out;
   out.name = path;
-  out.points = la::Matrix(static_cast<int>(rows.size()), max_index);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    double* row = out.points.row(static_cast<int>(i));
-    for (const auto& [j, v] : rows[i]) row[j] = v;
+  const int nrows = static_cast<int>(raw_labels.size());
+  out.points = la::Matrix(nrows, max_index);
+  for (int i = 0; i < nrows; ++i) {
+    double* row = out.points.row(i);
+    for (std::size_t k = row_start[i]; k < row_start[i + 1]; ++k) {
+      row[feats[k].first] = feats[k].second;
+    }
   }
   densify_labels(std::move(raw_labels), out);
   return out;

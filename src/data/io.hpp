@@ -12,14 +12,18 @@ namespace khss::data {
 /// Lines starting with '#' and empty lines are skipped.
 /// Throws std::runtime_error on malformed input or missing file; parse
 /// errors (bad numeric cell, ragged row) name the file and line.
-Dataset load_csv(const std::string& path, char delimiter = ',');
+/// `max_rows` > 0 stops after that many data rows (smoke-sized reads of
+/// huge files); 0 loads everything, with a chunked pre-scan sizing the
+/// row storage up front so large loads avoid realloc+move churn.
+Dataset load_csv(const std::string& path, char delimiter = ',',
+                 long max_rows = 0);
 
 /// LIBSVM sparse text format: "<label> idx:val idx:val ...", 1-based indices.
 /// The feature dimension is the largest index seen unless `dim` is given.
 /// Throws std::runtime_error (with file:line context) on malformed labels,
 /// indices or values, and on duplicate feature indices within a row —
-/// nothing is silently skipped.
-Dataset load_libsvm(const std::string& path, int dim = 0);
+/// nothing is silently skipped.  `max_rows` as in load_csv.
+Dataset load_libsvm(const std::string& path, int dim = 0, long max_rows = 0);
 
 /// Write a dataset as CSV (label first), for interchange with plotting tools.
 /// Throws std::runtime_error naming the path when the write fails — the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <sstream>
 
 #include "util/contracts.hpp"
+#include "util/threads.hpp"
 
 #include "la/blas.hpp"
 #include "la/gemm_kernel.hpp"
@@ -79,6 +81,24 @@ double KernelMatrix::from_products(double dot_xy, double nx, double ny) const {
   return kernel_from_products(params_, dot_xy, nx, ny);
 }
 
+void KernelMatrix::check_eval_budget() const {
+  enforce_budget(0);
+}
+
+void KernelMatrix::enforce_budget(long incoming) const {
+  if (eval_budget_ <= 0 || util::in_parallel()) return;
+  const long spent = element_evals();
+  if (spent + incoming <= eval_budget_) return;
+  std::ostringstream msg;
+  msg << "KernelMatrix: eval budget exceeded: " << spent
+      << " element evals spent";
+  if (incoming > 0) msg << " + " << incoming << " requested";
+  msg << " > budget " << eval_budget_ << " (n = " << n()
+      << "; a matrix-free pipeline should stay well below n^2 = "
+      << static_cast<long>(n()) * n() << ")";
+  throw EvalBudgetExceeded(msg.str());
+}
+
 double KernelMatrix::entry(int i, int j) const {
   KHSS_ASSERT_DBG(i >= 0 && i < n() && j >= 0 && j < n());
   const double* xi = points_.row(i);
@@ -105,6 +125,7 @@ la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
                                         << ")");
   }
   la::Matrix out(nr, nc);
+  enforce_budget(static_cast<long>(nr) * nc);
   count_evals(static_cast<long>(nr) * nc);
   if (nr == 0 || nc == 0) return out;
 
@@ -136,6 +157,7 @@ la::Matrix KernelMatrix::extract(const std::vector<int>& rows,
 
 la::Matrix KernelMatrix::dense() const {
   const int nn = n();
+  enforce_budget(static_cast<long>(nn) * nn);
   la::Matrix out(nn, nn);
   count_evals(static_cast<long>(nn) * nn);
 
@@ -179,6 +201,7 @@ la::Matrix KernelMatrix::multiply(const la::Matrix& x) const {
                                     << x.rows() << " rows; expected n = "
                                     << n());
   const int nn = n(), s = x.cols();
+  enforce_budget(static_cast<long>(nn) * nn);
   la::Matrix out(nn, s);
 
   // Tiles of K are materialized once, transformed, and immediately folded
@@ -241,6 +264,7 @@ la::Vector KernelMatrix::cross_times_vector(const la::Matrix& other_points,
   for (int j = 0; j < nn; ++j) {
     if (w[j] != 0.0) support.push_back(j);
   }
+  enforce_budget(static_cast<long>(m) * static_cast<long>(support.size()));
 
 #pragma omp parallel for schedule(dynamic, 8)
   for (int i = 0; i < m; ++i) {
@@ -265,6 +289,7 @@ la::Matrix KernelMatrix::cross(const la::Matrix& other_points) const {
                "KernelMatrix::cross: points have " << other_points.cols()
                    << " features; trained dim is " << dim());
   const int m = other_points.rows(), nn = n(), d = dim();
+  enforce_budget(static_cast<long>(m) * nn);
   la::Matrix out(m, nn);
   count_evals(static_cast<long>(m) * nn);
   if (m == 0 || nn == 0) return out;

@@ -14,12 +14,20 @@
 // to a GEMM plus an elementwise transform.
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "la/matrix.hpp"
 
 namespace khss::kernel {
+
+/// Thrown when a KernelMatrix operation would push the element-evaluation
+/// count past the configured budget (see KernelMatrix::set_eval_budget).
+class EvalBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 enum class KernelType { kGaussian, kLaplacian, kPolynomial };
 
@@ -89,6 +97,24 @@ class KernelMatrix {
     return element_evals_.load(std::memory_order_relaxed);
   }
 
+  /// Matrix-free guard: cap the total number of counted kernel element
+  /// evaluations.  0 (the default) = unlimited.  With a budget below n², any
+  /// path that would materialize or sweep a dense n×n object — dense(), the
+  /// O(n²·s) sampling multiply(), a full-size extract() — throws
+  /// EvalBudgetExceeded before doing the work, which is how bench_scale and
+  /// the tests prove the hss-rand-h pipeline stays matrix-free at large n.
+  /// Enforcement happens at serial call sites only (bulk operations invoked
+  /// inside an OpenMP region still count but defer the throw to the next
+  /// serial operation or an explicit check_eval_budget()); budgets are a
+  /// debugging/verification device, not a hard security boundary.
+  void set_eval_budget(long budget) { eval_budget_ = budget; }
+  long eval_budget() const { return eval_budget_; }
+
+  /// Throw EvalBudgetExceeded if the running count has passed the budget.
+  /// Call from serial code after parallel phases (e.g. once per solver
+  /// stage) to pick up overruns accumulated inside OpenMP regions.
+  void check_eval_budget() const;
+
  private:
   double from_products(double dot_xy, double nx, double ny) const;
 
@@ -96,9 +122,14 @@ class KernelMatrix {
     element_evals_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  // Budget check before a bulk operation adds `incoming` evaluations.
+  // No-op inside OpenMP parallel regions (throwing there would terminate).
+  void enforce_budget(long incoming) const;
+
   la::Matrix points_;
   KernelParams params_;
   double lambda_ = 0.0;
+  long eval_budget_ = 0;
   std::vector<double> sqnorm_;  // ||x_i||^2 precomputed
   mutable std::atomic<long> element_evals_{0};
 };

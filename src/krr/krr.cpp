@@ -37,6 +37,7 @@ void KRRModel::fit(const la::Matrix& train_points) {
     cluster::OrderingOptions copts;
     copts.leaf_size = opts_.leaf_size;
     copts.seed = opts_.seed;
+    copts.sieve = opts_.sieve;
     tree_ = cluster::build_cluster_tree(train_points, opts_.ordering, copts);
     cluster_seconds_ = t.seconds();
   }
@@ -46,12 +47,16 @@ void KRRModel::fit(const la::Matrix& train_points) {
                                                        tree_.perm());
   kernel_ = std::make_unique<kernel::KernelMatrix>(std::move(permuted),
                                                    opts_.kernel, opts_.lambda);
+  kernel_->set_eval_budget(opts_.eval_budget);
 
   // Step 2: compression + factorization through the registered backend —
   // every format dispatches here, no per-backend branching.
   solver_ = solver::make(opts_.backend, opts_.solver_options());
   solver_->compress(*kernel_, tree_);
   solver_->factor();
+  // Bulk evaluations made inside the backends' parallel regions defer their
+  // budget enforcement to this serial checkpoint.
+  kernel_->check_eval_budget();
   fitted_ = true;
 }
 

@@ -46,6 +46,14 @@ struct KRROptions {
   kernel::KernelParams kernel;  // h lives here
   double lambda = 1.0;
   int leaf_size = 16;  // the paper's HSS leaf size
+  /// cluster::OrderingOptions::sieve — 0 = full ordering (exact current
+  /// behavior); > 0 clusters a deterministic sample of ~sieve points and
+  /// assigns the rest in one linear pass.  The million-point knob.
+  int sieve = 0;
+  /// kernel::KernelMatrix::set_eval_budget — 0 = unlimited.  Set below n² to
+  /// make the fit throw EvalBudgetExceeded if any stage falls back to a
+  /// dense n×n path (matrix-free audit).
+  long eval_budget = 0;
   double hss_rtol = 1e-2;  // compression tolerance (HSS/HODLR/H)
   int hss_init_samples = 64;
   int hss_max_rank = 0;

@@ -7,6 +7,7 @@
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
 #include "util/rng.hpp"
+#include "util/threads.hpp"
 
 namespace cl = khss::cluster;
 namespace la = khss::la;
@@ -244,4 +245,120 @@ TEST(ClusterTree, SingleLeafWhenSmall) {
   cl::ClusterTree tree = cl::build_cluster_tree(pts, Method::kTwoMeans, opts);
   EXPECT_EQ(tree.num_nodes(), 1);
   EXPECT_TRUE(tree.node(0).is_leaf());
+}
+
+// ---------------------------------------------------------------------------
+// Sieved ordering (OrderingOptions::sieve): cluster a sample, assign the
+// rest by nearest-centroid descent, refine overfull leaves.
+// ---------------------------------------------------------------------------
+
+class SievedOrderings : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SievedOrderings, TreeIsValidAndRespectsLeafSize) {
+  const Method m = GetParam();
+  la::Matrix pts = clustered_points(3000, 5, 4, 23);
+  cl::OrderingOptions opts;
+  opts.leaf_size = 32;
+  opts.sieve = 256;
+  cl::ClusterTree tree = cl::build_cluster_tree(pts, m, opts);
+
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.num_points(), 3000);
+  EXPECT_LE(tree.max_leaf_points(), 32);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(tree.iperm()[tree.perm()[i]], i);
+  }
+}
+
+TEST_P(SievedOrderings, BitDeterministicAcrossRunsAndThreadCounts) {
+  const Method m = GetParam();
+  la::Matrix pts = clustered_points(2000, 4, 3, 29);
+  cl::OrderingOptions opts;
+  opts.leaf_size = 32;
+  opts.sieve = 256;
+  opts.seed = 7;
+
+  khss::util::set_threads(1);
+  cl::ClusterTree a = cl::build_cluster_tree(pts, m, opts);
+  cl::ClusterTree b = cl::build_cluster_tree(pts, m, opts);
+  khss::util::set_threads(2);
+  cl::ClusterTree c = cl::build_cluster_tree(pts, m, opts);
+  khss::util::set_threads(0);
+
+  EXPECT_EQ(a.perm(), b.perm());
+  EXPECT_EQ(a.perm(), c.perm());
+  ASSERT_EQ(a.num_nodes(), c.num_nodes());
+  for (int id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_EQ(a.node(id).lo, c.node(id).lo);
+    EXPECT_EQ(a.node(id).hi, c.node(id).hi);
+    EXPECT_EQ(a.node(id).left, c.node(id).left);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SievedOrderings,
+                         ::testing::Values(Method::kKD, Method::kPCA,
+                                           Method::kTwoMeans));
+
+TEST(SievedOrdering, OffIsTheDefaultAndSmallNIsUnaffected) {
+  // sieve only engages above max(sieve, 4 * leaf_size) points: a small input
+  // must produce the bit-identical unsieved tree even with the knob set.
+  la::Matrix pts = clustered_points(500, 4, 3, 31);
+  cl::OrderingOptions off;
+  off.leaf_size = 16;
+  cl::OrderingOptions on = off;
+  on.sieve = 600;  // > n => full method runs
+  cl::ClusterTree a = cl::build_cluster_tree(pts, Method::kTwoMeans, off);
+  cl::ClusterTree b = cl::build_cluster_tree(pts, Method::kTwoMeans, on);
+  EXPECT_EQ(a.perm(), b.perm());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+}
+
+TEST(SievedOrdering, NaturalIgnoresTheKnob) {
+  la::Matrix pts = clustered_points(2048, 3, 2, 37);
+  cl::OrderingOptions opts;
+  opts.leaf_size = 16;
+  opts.sieve = 128;
+  cl::ClusterTree tree = cl::build_cluster_tree(pts, Method::kNatural, opts);
+  for (int i = 0; i < 2048; ++i) EXPECT_EQ(tree.perm()[i], i);
+}
+
+TEST(SievedOrdering, AgglomerativeBecomesLegalAboveItsCutoff) {
+  // Unsieved AGG refuses n > 8192; the sieve runs AGG on the sample only,
+  // so the same call succeeds with the knob set.
+  la::Matrix pts = clustered_points(8300, 3, 4, 41);
+  cl::OrderingOptions opts;
+  opts.leaf_size = 64;
+  opts.sieve = 512;
+  cl::ClusterTree tree =
+      cl::build_cluster_tree(pts, Method::kAgglomerative, opts);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_LE(tree.max_leaf_points(), 64);
+  // The unsieved path still refuses.
+  cl::OrderingOptions off;
+  off.leaf_size = 64;
+  EXPECT_THROW(cl::build_cluster_tree(pts, Method::kAgglomerative, off),
+               std::invalid_argument);
+}
+
+TEST(SievedOrdering, SampleLeavesKeepGeometryAnnotations) {
+  la::Matrix pts = clustered_points(4000, 4, 4, 43);
+  cl::OrderingOptions opts;
+  opts.leaf_size = 32;
+  opts.sieve = 400;
+  cl::ClusterTree tree = cl::build_cluster_tree(pts, Method::kTwoMeans, opts);
+  // Every node's centroid/radius must describe the FULL point set it owns
+  // (the H-matrix admissibility test relies on this): verify against a
+  // direct recomputation on a few nodes.
+  const auto& perm = tree.perm();
+  for (int id : {0, tree.num_nodes() / 2, tree.num_nodes() - 1}) {
+    const auto& nd = tree.node(id);
+    std::vector<double> c(pts.cols(), 0.0);
+    for (int p = nd.lo; p < nd.hi; ++p) {
+      for (int j = 0; j < pts.cols(); ++j) c[j] += pts(perm[p], j);
+    }
+    const double inv = 1.0 / nd.size();
+    for (int j = 0; j < pts.cols(); ++j) {
+      EXPECT_NEAR(nd.centroid[j], c[j] * inv, 1e-9);
+    }
+  }
 }

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <string>
 
+#include "data/cache.hpp"
 #include "data/io.hpp"
+#include "serialize/codec.hpp"
 
 namespace data = khss::data;
 
@@ -298,4 +300,109 @@ TEST(IoMatrixCsv, RejectsRaggedAndEmptyInput) {
 
   EXPECT_THROW(data::load_matrix_csv(testing::TempDir() + "khss_io_missing"),
                std::runtime_error);
+}
+
+// ------------------------------------------------------------- max_rows cap
+
+TEST(IoCsv, MaxRowsCapsTheLoad) {
+  ScratchFile f("cap.csv");
+  f.write(
+      "0,1.5,2.5\n"
+      "1,3.5,4.5\n"
+      "2,5.5,6.5\n"
+      "1,7.5,8.5\n");
+  data::Dataset all = data::load_csv(f.path());
+  ASSERT_EQ(all.n(), 4);
+  EXPECT_EQ(all.num_classes, 3);
+
+  data::Dataset head = data::load_csv(f.path(), ',', 2);
+  ASSERT_EQ(head.n(), 2);
+  ASSERT_EQ(head.dim(), 2);
+  // The cap keeps the FIRST max_rows data rows, values bit-identical.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(head.labels[i], all.labels[i]);
+    for (int j = 0; j < 2; ++j) EXPECT_EQ(head.points(i, j), all.points(i, j));
+  }
+  // A cap above the row count is a no-op.
+  expect_datasets_equal(data::load_csv(f.path(), ',', 100), all);
+}
+
+TEST(IoLibsvm, MaxRowsCapsTheLoad) {
+  ScratchFile f("cap.libsvm");
+  f.write(
+      "0 1:0.5 3:1.25\n"
+      "1 2:-2.0\n"
+      "0 1:4.0 2:8.0 3:16.0\n");
+  data::Dataset all = data::load_libsvm(f.path());
+  ASSERT_EQ(all.n(), 3);
+  ASSERT_EQ(all.dim(), 3);
+
+  data::Dataset head = data::load_libsvm(f.path(), /*dim=*/3, /*max_rows=*/1);
+  ASSERT_EQ(head.n(), 1);
+  ASSERT_EQ(head.dim(), 3);
+  EXPECT_EQ(head.points(0, 0), 0.5);
+  EXPECT_EQ(head.points(0, 2), 1.25);
+  // Without an explicit dim, a cap that cuts off the widest row legitimately
+  // narrows the inferred dimension — the cap reads only what it keeps.
+  data::Dataset narrow = data::load_libsvm(f.path(), 0, 2);
+  ASSERT_EQ(narrow.n(), 2);
+  EXPECT_EQ(narrow.dim(), 3);  // row 0 already reaches index 3
+}
+
+// --------------------------------------------------- .khds cached loaders
+
+TEST(IoCached, CsvSidecarIsWrittenReusedAndBitExact) {
+  ScratchFile f("cached.csv");
+  ScratchFile side("cached.csv.khds");  // cleanup via the same scratch dir
+  f.write(
+      "0,0.1,-2.5e-07\n"
+      "1,0.3333333333333333,2.2250738585072014e-308\n"
+      "0,-3,1000000.25\n");
+  data::Dataset text = data::load_csv(f.path());
+
+  // First load parses the text and writes the sidecar...
+  data::Dataset first = data::load_csv_cached(f.path());
+  expect_datasets_equal(first, text);
+  std::ifstream probe(f.path() + data::kDatasetCacheExt, std::ios::binary);
+  EXPECT_TRUE(probe.good()) << "sidecar was not written";
+
+  // ...the second load comes from the binary sidecar, still bit-exact.
+  data::Dataset second = data::load_csv_cached(f.path());
+  expect_datasets_equal(second, text);
+}
+
+TEST(IoCached, CorruptSidecarThrowsInsteadOfSilentlyReparsing) {
+  ScratchFile f("corrupt.csv");
+  ScratchFile side("corrupt.csv.khds");
+  f.write("0,1.5\n1,2.5\n");
+  (void)data::load_csv_cached(f.path());  // writes the sidecar
+
+  // Flip a payload byte; the sidecar is still "fresh", so the cached load
+  // must surface the corruption loudly rather than fall back.
+  const std::string spath = f.path() + data::kDatasetCacheExt;
+  std::string bytes;
+  {
+    std::ifstream in(spath, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() - 9] ^= 0x20;
+  {
+    std::ofstream out(spath, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)data::load_csv_cached(f.path()),
+               khss::serialize::SerializeError);
+}
+
+TEST(IoCached, LibsvmSidecarRoundTrips) {
+  ScratchFile f("cached.libsvm");
+  ScratchFile side("cached.libsvm.khds");
+  f.write(
+      "0 1:0.5 3:1.25\n"
+      "1 2:-2.0\n");
+  data::Dataset text = data::load_libsvm(f.path());
+  expect_datasets_equal(data::load_libsvm_cached(f.path()), text);  // writes
+  expect_datasets_equal(data::load_libsvm_cached(f.path()), text);  // reads
 }

@@ -208,3 +208,64 @@ TEST(Kernel, NameStrings) {
   EXPECT_EQ(k::kernel_name(k::KernelType::kLaplacian), "laplacian");
   EXPECT_EQ(k::kernel_name(k::KernelType::kPolynomial), "polynomial");
 }
+
+// --- Eval budget: the matrix-free audit guard ------------------------------
+
+TEST(EvalBudget, UnlimitedByDefault) {
+  la::Matrix pts = random_points(40, 3, 21);
+  k::KernelMatrix km(pts, {}, 0.1);
+  EXPECT_EQ(km.eval_budget(), 0);
+  (void)km.dense();  // 1600 evals, no budget, no throw
+  EXPECT_EQ(km.element_evals(), 40 * 40);
+}
+
+TEST(EvalBudget, DenseSweepPastBudgetThrows) {
+  la::Matrix pts = random_points(64, 3, 22);
+  k::KernelMatrix km(pts, {}, 0.1);
+  km.set_eval_budget(1000);  // well below 64^2 = 4096
+  EXPECT_THROW((void)km.dense(), k::EvalBudgetExceeded);
+}
+
+TEST(EvalBudget, ExtractUnderBudgetSucceedsThenCumulativeThrows) {
+  la::Matrix pts = random_points(64, 3, 24);
+  k::KernelMatrix km(pts, {}, 0.1);
+  km.set_eval_budget(1000);
+  std::vector<int> rows(20), cols(20);
+  for (int i = 0; i < 20; ++i) rows[i] = cols[i] = i;
+  EXPECT_NO_THROW((void)km.extract(rows, cols));  // 400 spent
+  EXPECT_NO_THROW((void)km.extract(rows, cols));  // 800 spent
+  EXPECT_THROW((void)km.extract(rows, cols), k::EvalBudgetExceeded);  // 1200
+  EXPECT_EQ(km.element_evals(), 800);  // the rejected request never ran
+}
+
+TEST(EvalBudget, MessageNamesTheNumbers) {
+  la::Matrix pts = random_points(32, 2, 25);
+  k::KernelMatrix km(pts, {}, 0.0);
+  km.set_eval_budget(100);
+  try {
+    (void)km.dense();
+    FAIL() << "dense() should have exceeded the budget";
+  } catch (const k::EvalBudgetExceeded& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("budget 100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n = 32"), std::string::npos) << msg;
+  }
+}
+
+TEST(EvalBudget, DeferredCheckpointCatchesParallelSpend) {
+  // Inside a parallel region the guard must not throw (an exception
+  // escaping an OpenMP region terminates); check_eval_budget() at the next
+  // serial checkpoint reports the overdraft instead.
+  la::Matrix pts = random_points(48, 3, 26);
+  k::KernelMatrix km(pts, {}, 0.1);
+  km.set_eval_budget(500);
+  std::vector<int> rows(48), cols(48);
+  for (int i = 0; i < 48; ++i) rows[i] = cols[i] = i;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    { (void)km.extract(rows, cols); }  // 2304 > 500, silently allowed here
+  }
+  EXPECT_GT(km.element_evals(), 500);
+  EXPECT_THROW(km.check_eval_budget(), k::EvalBudgetExceeded);
+}

@@ -454,3 +454,80 @@ TEST(RandomizedAgreement, ULVMatchesDenseStressSweep) {
     check_three_way_agreement(seed, 300, 800, 1e-6);
   }
 }
+
+// --- sieved ordering: predictions are ordering-invariant under exact solve --
+
+TEST(SievedOrdering, ExactSolvePredictionsMatchUnsieved) {
+  // A cluster permutation only reorders rows of (K + lambda I) x = y; with
+  // the exact dense backend the recovered weights — and therefore every
+  // prediction — must be identical whichever valid tree produced the
+  // ordering.  This is the end-to-end witness that the sieved tree is a
+  // valid permutation, not just that validate() passes.
+  khss::util::Rng rng(913);
+  khss::data::BlobSpec spec;
+  spec.n = 1200;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.center_spread = 4.0;
+  auto ds = khss::data::make_blobs(spec, rng);
+  auto split = khss::data::split_and_normalize(ds, 0.8, 0.0, 0.2, rng);
+
+  khss::krr::KRROptions opts;
+  opts.backend = khss::krr::SolverBackend::kDenseExact;
+  opts.lambda = 1.0;
+  opts.leaf_size = 32;
+  std::vector<std::vector<int>> preds;
+  for (int sieve : {0, 128}) {
+    khss::krr::KRROptions o = opts;
+    o.sieve = sieve;
+    khss::krr::KRRClassifier clf(o);
+    clf.fit(split.train.points, split.train.one_vs_all(1));
+    preds.push_back(clf.predict(split.test.points));
+  }
+  ASSERT_EQ(preds[0].size(), preds[1].size());
+  int diff = 0;
+  for (std::size_t i = 0; i < preds[0].size(); ++i) {
+    diff += preds[0][i] != preds[1][i];
+  }
+  // Cholesky under different row orders agrees to roundoff; only a test
+  // point sitting within ~1e-13 of the decision boundary could flip.
+  EXPECT_LE(diff, 2);
+}
+
+// --- eval budget: the H-sampled pipeline is matrix-free, dense is not ------
+
+TEST(EvalBudget, HSampledFitStaysUnderBudgetDenseThrows) {
+  khss::util::Rng rng(917);
+  khss::data::BlobSpec spec;
+  spec.n = 1024;
+  spec.dim = 3;
+  spec.num_classes = 2;
+  spec.center_spread = 4.0;
+  auto ds = khss::data::make_blobs(spec, rng);
+  auto split = khss::data::split_and_normalize(ds, 0.9, 0.0, 0.1, rng);
+  const long n = split.train.n();
+  const long budget = n * n / 2;
+
+  khss::krr::KRROptions opts;
+  opts.lambda = 1.0;
+  opts.hss_rtol = 1e-1;
+  opts.leaf_size = 64;
+  opts.eval_budget = budget;
+
+  // The paper's pipeline (H-matrix sampling) fits inside a sub-n^2 budget...
+  {
+    khss::krr::KRROptions o = opts;
+    o.backend = khss::krr::SolverBackend::kHSSRandomH;
+    khss::krr::KRRClassifier clf(o);
+    EXPECT_NO_THROW(clf.fit(split.train.points, split.train.one_vs_all(1)));
+    EXPECT_LT(clf.model().kernel().element_evals(), budget);
+  }
+  // ...and the dense baseline, which sweeps all n^2 entries, cannot.
+  {
+    khss::krr::KRROptions o = opts;
+    o.backend = khss::krr::SolverBackend::kDenseExact;
+    khss::krr::KRRClassifier clf(o);
+    EXPECT_THROW(clf.fit(split.train.points, split.train.one_vs_all(1)),
+                 khss::kernel::EvalBudgetExceeded);
+  }
+}

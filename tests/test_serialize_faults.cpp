@@ -10,9 +10,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "data/cache.hpp"
 #include "data/synthetic.hpp"
 #include "krr/krr.hpp"
 #include "serialize/container.hpp"
@@ -316,4 +318,185 @@ TEST_F(SerializeFaults, GarbageSolverPayloadNeverEscapesTheReader) {
                                              : good.section(name)));
   }
   expect_load_error(writer.serialize(), "section 'solver'");
+}
+
+// ===========================================================================
+// Dataset cache (.khds): same container envelope, same fault discipline.
+// ===========================================================================
+
+namespace {
+
+data::Dataset cache_dataset() {
+  util::Rng rng(29);
+  data::BlobSpec spec;
+  spec.n = 37;  // odd: exercises alignment padding in the points section
+  spec.dim = 5;
+  spec.num_classes = 3;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  ds.name = "cache-faults";
+  return ds;
+}
+
+/// Save the pristine dataset, apply `mutate` to the raw bytes, and expect
+/// load_dataset to throw a SerializeError naming the file and `needle`.
+void expect_dataset_fault(const std::string& tag,
+                          const std::function<void(std::string&)>& mutate,
+                          const std::string& needle) {
+  const std::string path = testing::TempDir() + "khss_fault_ds_" + tag;
+  data::save_dataset(cache_dataset(), path);
+  std::string bytes = read_file(path);
+  mutate(bytes);
+  write_file(path, bytes);
+  try {
+    (void)data::load_dataset(path);
+    ADD_FAILURE() << "load_dataset accepted damaged bytes (wanted '" << needle
+                  << "')";
+  } catch (const serialize::SerializeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "error does not mention '" << needle << "': " << what;
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "error does not name the file: " << what;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+TEST(DatasetCacheFaults, RoundTripIsBitExact) {
+  const data::Dataset ds = cache_dataset();
+  const std::string path = testing::TempDir() + "khss_fault_ds_rt";
+  data::save_dataset(ds, path);
+  const data::Dataset back = data::load_dataset(path);
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.num_classes, ds.num_classes);
+  EXPECT_EQ(back.labels, ds.labels);
+  ASSERT_EQ(back.n(), ds.n());
+  ASSERT_EQ(back.dim(), ds.dim());
+  for (int i = 0; i < ds.n(); ++i) {
+    for (int j = 0; j < ds.dim(); ++j) {
+      // Raw IEEE-754 bytes: equality must be exact, not approximate.
+      EXPECT_EQ(back.points(i, j), ds.points(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCacheFaults, MaxRowsKeepsALeadingSlice) {
+  const data::Dataset ds = cache_dataset();
+  const std::string path = testing::TempDir() + "khss_fault_ds_cap";
+  data::save_dataset(ds, path);
+  const data::Dataset head = data::load_dataset(path, 10);
+  ASSERT_EQ(head.n(), 10);
+  ASSERT_EQ(head.dim(), ds.dim());
+  EXPECT_EQ(head.num_classes, ds.num_classes);  // declared, not re-densified
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(head.labels[i], ds.labels[i]);
+    for (int j = 0; j < ds.dim(); ++j) {
+      EXPECT_EQ(head.points(i, j), ds.points(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCacheFaults, TruncationFailsLoudly) {
+  for (double frac : {0.25, 0.5, 0.9}) {
+    expect_dataset_fault(
+        "trunc",
+        [frac](std::string& b) {
+          b.resize(static_cast<std::size_t>(b.size() * frac));
+        },
+        "");  // layer-dependent message; file name + throw are the contract
+  }
+}
+
+TEST(DatasetCacheFaults, FlippedPointsByteFailsTheChecksum) {
+  expect_dataset_fault(
+      "flip", [](std::string& b) { b[b.size() - 9] ^= 0x10; }, "checksum");
+}
+
+TEST(DatasetCacheFaults, BadMagicIsNotAContainer) {
+  expect_dataset_fault(
+      "magic", [](std::string& b) { b[0] = 'X'; }, "magic");
+}
+
+TEST(DatasetCacheFaults, SchemaVersionSkewIsRefusedByName) {
+  // The dsmeta payload starts right after the 40-byte container header with
+  // the u32 schema version; bump it and the loader must refuse with the
+  // version it saw.  (A u32 edit also breaks the section CRC, so rebuild
+  // the file through a writer instead of patching bytes.)
+  const std::string path = testing::TempDir() + "khss_fault_ds_schema";
+  {
+    serialize::ContainerWriter w;
+    serialize::ByteWriter meta;
+    meta.u32(99);  // unknown schema
+    meta.str("skew");
+    meta.i32(2);
+    meta.i32(1);
+    meta.i32(1);
+    w.add_section("dsmeta", std::move(meta));
+    serialize::ByteWriter labels;
+    labels.vec_i32({0});
+    w.add_section("labels", std::move(labels));
+    serialize::ByteWriter points;
+    points.matrix(la::Matrix(1, 1));
+    w.add_section("points", std::move(points));
+    w.finish(path);
+  }
+  try {
+    (void)data::load_dataset(path);
+    ADD_FAILURE() << "schema 99 was accepted";
+  } catch (const serialize::SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("schema version 99"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCacheFaults, ShapeContradictionsAreRefused) {
+  // Metadata says 37 rows; a labels section with fewer entries must be
+  // caught by the cross-check even though every CRC is intact.
+  const std::string path = testing::TempDir() + "khss_fault_ds_shape";
+  const data::Dataset ds = cache_dataset();
+  {
+    serialize::ContainerWriter w;
+    serialize::ByteWriter meta;
+    meta.u32(1);
+    meta.str(ds.name);
+    meta.i32(ds.num_classes);
+    meta.i32(ds.n());
+    meta.i32(ds.dim());
+    w.add_section("dsmeta", std::move(meta));
+    serialize::ByteWriter labels;
+    labels.vec_i32({0, 1});  // 2 labels for 37 rows
+    w.add_section("labels", std::move(labels));
+    serialize::ByteWriter points;
+    points.matrix(ds.points);
+    w.add_section("points", std::move(points));
+    w.finish(path);
+  }
+  try {
+    (void)data::load_dataset(path);
+    ADD_FAILURE() << "label/row mismatch was accepted";
+  } catch (const serialize::SerializeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("labels section has 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCacheFaults, OutOfRangeLabelIsRefused) {
+  const std::string path = testing::TempDir() + "khss_fault_ds_label";
+  data::Dataset ds = cache_dataset();
+  ds.labels[5] = ds.num_classes;  // one past the declared class count
+  data::save_dataset(ds, path);
+  try {
+    (void)data::load_dataset(path);
+    ADD_FAILURE() << "out-of-range label was accepted";
+  } catch (const serialize::SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("label"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
