@@ -5,7 +5,10 @@
 // (see DESIGN.md experiment index), runs standalone with single-node-sized
 // defaults, and accepts the shared flags parsed by parse_common() below
 // (--n / --dataset / --seed / --rtol / --backend / --batch / --threads /
-// --json <path>) plus its own.
+// --kernel <spec> / --json <path>) plus its own.
+// --kernel takes a kernel/kernel_spec.hpp string ("matern52:h=1.5",
+// "sum(gaussian:h=1,dot:h=2)", ...) and overrides the bench's per-dataset
+// Gaussian default, so every table can be re-run over the kernel zoo.
 // --json makes the bench additionally write a structured result document
 // (util::Json) to <path> — GFLOP/s, phase seconds, speedups — seeding the
 // cross-PR perf trajectory (BENCH_*.json; CI uploads them as artifacts).
@@ -16,6 +19,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +27,7 @@
 #include "data/dataset.hpp"
 #include "data/datasets.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
 #include "solver/solver.hpp"
 #include "util/argparse.hpp"
@@ -52,6 +57,10 @@ struct CommonArgs {
   krr::SolverBackend backend = krr::SolverBackend::kHSSRandomDense;
   int batch = 64;
   std::string json_path;  // empty = no structured output
+  /// --kernel, canonicalized; empty = keep the bench's per-dataset default
+  /// Gaussian bandwidth.  `kernel` holds the parsed params when set.
+  std::string kernel_spec;
+  kernel::KernelParams kernel;
 };
 
 /// Apply --threads (0 = leave the OpenMP default); shared by parse_common()
@@ -137,8 +146,24 @@ inline CommonArgs parse_common(const util::ArgParser& args,
       args.get_string("backend", solver::backend_name(def.backend)));
   c.batch = std::max(1, static_cast<int>(args.get_int("batch", def.batch)));
   c.json_path = args.get_string("json", "");
+  const std::string spec = args.get_string("kernel", "");
+  if (!spec.empty()) {
+    try {
+      c.kernel = kernel::parse_kernel_spec(spec);
+      c.kernel_spec = kernel::kernel_spec(c.kernel);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << args.program() << ": bad --kernel: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
   apply_threads(args);
   return c;
+}
+
+/// Apply --kernel to a run's options; an empty spec keeps whatever the
+/// caller already set (the per-dataset default bandwidth).
+inline void apply_kernel(const CommonArgs& c, krr::KRROptions& opts) {
+  if (!c.kernel_spec.empty()) opts.kernel = c.kernel;
 }
 
 /// Root document for a bench's --json output: identifies the binary and the
@@ -151,6 +176,7 @@ inline util::Json json_header(const std::string& bench, const CommonArgs& c) {
   doc.set("seed", static_cast<long>(c.seed));
   doc.set("threads", static_cast<long>(util::max_threads()));
   doc.set("backend", solver::backend_name(c.backend));
+  if (!c.kernel_spec.empty()) doc.set("kernel", c.kernel_spec);
   return doc;
 }
 

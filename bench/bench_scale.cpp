@@ -2,7 +2,8 @@
 //
 //   ./bench_scale [--sizes 10000,100000,1000000] [--dataset SUSY]
 //                 [--ordering 2MN] [--sieve 8192] [--leaf 128]
-//                 [--ntest 2000] [--backend hss-rand-h] [--json out.json]
+//                 [--ntest 2000] [--backend hss-rand-h] [--kernel SPEC]
+//                 [--json out.json]
 //
 // The paper trains on 0.5M-4.5M points; this harness proves the single-node
 // pipeline covers that range: sieved clustering keeps the ordering O(n log n),
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
     cfg.rtol = c.rtol;
     cfg.backend = c.backend;
     cfg.seed = c.seed;
+    cfg.kernel_spec = c.kernel_spec;
 
     const bench::ScaleRunResult r = bench::run_scale(d, cfg);
     const double evals_frac = static_cast<double>(r.element_evals) /

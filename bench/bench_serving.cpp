@@ -3,6 +3,7 @@
 //
 //   ./bench_serving [--n 2000] [--ntest 1000] [--batch B]
 //                   [--backends dense,nystrom] [--dataset PEN] [--threads T]
+//                   [--kernel SPEC]
 //
 // Socket mode (daemon benchmark): with --serve SOCKET the bench skips
 // training entirely and drives a running khss_serve daemon over its AF_UNIX
@@ -301,6 +302,7 @@ int main(int argc, char** argv) {
     opts.lambda = d.info.lambda;
     opts.hss_rtol = c.rtol;
     opts.seed = c.seed;
+    bench::apply_kernel(c, opts);
 
     krr::OneVsAllKRR clf(opts);
     util::Timer fit_t;

@@ -22,7 +22,18 @@ struct ScaleRunConfig {
   double rtol = 1e-1;
   krr::SolverBackend backend = krr::SolverBackend::kHSSRandomH;
   std::uint64_t seed = 42;
+  /// Canonical --kernel spec; empty = Gaussian at bandwidth `h`.
+  std::string kernel_spec;
 };
+
+/// Canonical spec of the kernel a run will actually use: the --kernel
+/// override, or the dataset-default Gaussian at cfg.h.
+inline std::string resolved_kernel_spec(const ScaleRunConfig& cfg) {
+  if (!cfg.kernel_spec.empty()) return cfg.kernel_spec;
+  kernel::KernelParams p;
+  p.h = cfg.h;
+  return kernel::kernel_spec(p);
+}
 
 /// Phase times + footprint of one fit+score run.
 struct ScaleRunResult {
@@ -53,6 +64,9 @@ inline ScaleRunResult run_scale(const PreparedData& d,
   opts.ordering = cfg.ordering;
   opts.backend = cfg.backend;
   opts.kernel.h = cfg.h;
+  if (!cfg.kernel_spec.empty()) {
+    opts.kernel = kernel::parse_kernel_spec(cfg.kernel_spec);
+  }
   opts.lambda = cfg.lambda;
   opts.hss_rtol = cfg.rtol;
   opts.leaf_size = cfg.leaf_size;
@@ -88,6 +102,7 @@ inline util::Json scale_json_row(int n, const ScaleRunConfig& cfg,
                                  const ScaleRunResult& r) {
   util::Json row = util::Json::object();
   row.set("n", static_cast<long>(n));
+  row.set("kernel", resolved_kernel_spec(cfg));
   row.set("ordering", cluster::ordering_name(cfg.ordering));
   row.set("sieve", static_cast<long>(cfg.sieve));
   row.set("leaf_size", static_cast<long>(cfg.leaf_size));

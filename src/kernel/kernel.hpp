@@ -8,10 +8,15 @@
 // The dense multiply here is the honest O(n^2 (d+s)) sampling path; the
 // H-matrix module provides the fast sampling alternative the paper builds.
 //
-// The Gaussian kernel (Eq. 1.1 of the paper) is the primary citizen;
-// Laplacian and polynomial kernels are provided as extensions.  All three
-// evaluate from inner products and squared norms, so tile evaluation reduces
-// to a GEMM plus an elementwise transform.
+// The Gaussian kernel (Eq. 1.1 of the paper) is the primary citizen; the
+// rest of the zoo (Laplacian, polynomial, Matérn 3/2 and 5/2, dot-product,
+// and sum/product composites) rides the same contract: every family
+// evaluates from inner products and squared norms alone, so tile evaluation
+// reduces to a GEMM plus an elementwise transform regardless of which
+// kernel — or combination of kernels — is active.  Families live in a
+// registry (kernel.cpp); kernel_from_products() is the single dispatch
+// point, and nothing outside src/kernel/ may branch on KernelType
+// (enforced by tools/lint_khss.py, rule kernel-type-switch).
 
 #include <atomic>
 #include <stdexcept>
@@ -29,23 +34,48 @@ class EvalBudgetExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class KernelType { kGaussian, kLaplacian, kPolynomial };
+/// Kernel families.  The first three are the original zoo and their
+/// numeric values are frozen into the .khss wire encoding — append only.
+/// kSum/kProduct are composites: they evaluate their `terms` recursively
+/// (weighted sum / product), which preserves the GEMM-panel contract
+/// because every leaf still reads only (dot, ||x||^2, ||y||^2).
+enum class KernelType {
+  kGaussian,
+  kLaplacian,
+  kPolynomial,
+  kMatern32,  // Matérn nu = 3/2
+  kMatern52,  // Matérn nu = 5/2
+  kDot,       // linear kernel x.y / h^2
+  kSum,       // weighted sum of `terms`
+  kProduct,   // product of (weighted) `terms`
+};
+
+/// Number of registered kernel families (KernelType values are contiguous
+/// from 0); the serialization layer uses this to reject unknown tags.
+inline constexpr int kNumKernelTypes = 8;
 
 struct KernelParams {
   KernelType type = KernelType::kGaussian;
-  double h = 1.0;      // bandwidth (Gaussian/Laplacian)
+  double h = 1.0;      // bandwidth / scale (all atom families)
   int degree = 2;      // polynomial only
   double coef0 = 1.0;  // polynomial only
+  // Fields below are appended so existing aggregate initializers
+  // ({type, h, degree, coef0}) keep meaning exactly what they meant.
+  double weight = 1.0;             // term weight inside a composite
+  std::vector<KernelParams> terms;  // kSum / kProduct children
 };
 
 std::string kernel_name(KernelType t);
 
+/// True for the composite families (kSum/kProduct) that evaluate `terms`.
+bool kernel_is_composite(KernelType t);
+
 /// k(x, y) evaluated from inner products: dot_xy = x . y, nx = ||x||^2,
-/// ny = ||y||^2.  All three kernel families reduce to this form, which is
-/// what lets tile evaluation run as a GEMM plus an elementwise transform.
-/// Shared by KernelMatrix and the batched serving path
-/// (predict::BatchPredictor), which fuses it into blocked cross-kernel
-/// panels.
+/// ny = ||y||^2.  Every kernel family (composites included) reduces to this
+/// form, which is what lets tile evaluation run as a GEMM plus an
+/// elementwise transform.  Shared by KernelMatrix and the batched serving
+/// path (predict::BatchPredictor), which fuses it into blocked cross-kernel
+/// panels.  Dispatches through the family registry in kernel.cpp.
 double kernel_from_products(const KernelParams& params, double dot_xy,
                             double nx, double ny);
 

@@ -1,0 +1,257 @@
+#include "kernel/kernel_spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace khss::kernel {
+
+namespace {
+
+constexpr int kMaxSpecDepth = 16;  // composite nesting cap
+
+[[noreturn]] void spec_fail(const std::string& spec, std::size_t pos,
+                            const std::string& what) {
+  throw std::invalid_argument("kernel spec '" + spec + "': " + what +
+                              " (at position " + std::to_string(pos) + ")");
+}
+
+struct Parser {
+  const std::string& spec;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < spec.size() &&
+           std::isspace(static_cast<unsigned char>(spec[pos]))) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < spec.size() ? spec[pos] : '\0';
+  }
+
+  std::string ident() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < spec.size() &&
+           (std::isalnum(static_cast<unsigned char>(spec[pos])) ||
+            spec[pos] == '_' || spec[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) spec_fail(spec, pos, "expected a name");
+    return spec.substr(start, pos - start);
+  }
+
+  // Full-token numeric value for a kv pair: everything up to the next
+  // delimiter must parse, so "h=0.7x" fails instead of reading 0.7.
+  double number(const std::string& key) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < spec.size() && spec[pos] != ':' && spec[pos] != ',' &&
+           spec[pos] != ')' &&
+           !std::isspace(static_cast<unsigned char>(spec[pos]))) {
+      ++pos;
+    }
+    const std::string tok = spec.substr(start, pos - start);
+    if (tok.empty()) spec_fail(spec, start, "missing value for '" + key + "'");
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v)) {
+      spec_fail(spec, start, "'" + tok + "' is not a finite number for '" +
+                                 key + "'");
+    }
+    return v;
+  }
+
+  void kv_pairs(KernelParams& p, bool composite) {
+    while (peek() == ':') {
+      ++pos;  // ':'
+      const std::size_t key_pos = pos;
+      const std::string key = ident();
+      if (peek() != '=') spec_fail(spec, pos, "expected '=' after '" + key + "'");
+      ++pos;  // '='
+      if (key == "w") {
+        p.weight = number(key);
+      } else if (composite) {
+        spec_fail(spec, key_pos,
+                  "composite '" + kernel_name(p.type) +
+                      "' only accepts 'w' (got '" + key + "')");
+      } else if (key == "h") {
+        p.h = number(key);
+      } else if (key == "degree" && p.type == KernelType::kPolynomial) {
+        const double v = number(key);
+        p.degree = static_cast<int>(v);
+        if (static_cast<double>(p.degree) != v) {
+          spec_fail(spec, key_pos, "'degree' must be an integer");
+        }
+      } else if (key == "coef0" && p.type == KernelType::kPolynomial) {
+        p.coef0 = number(key);
+      } else {
+        spec_fail(spec, key_pos, "unknown key '" + key + "' for family '" +
+                                     kernel_name(p.type) + "'");
+      }
+    }
+  }
+
+  KernelParams term(int depth) {
+    if (depth > kMaxSpecDepth) {
+      spec_fail(spec, pos, "composite nesting deeper than " +
+                               std::to_string(kMaxSpecDepth));
+    }
+    const std::size_t name_pos = pos;
+    const std::string name = ident();
+    KernelParams p;
+    bool found = false;
+    for (int i = 0; i < kNumKernelTypes; ++i) {
+      const auto t = static_cast<KernelType>(i);
+      if (name == kernel_name(t)) {
+        p.type = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string known;
+      for (int i = 0; i < kNumKernelTypes; ++i) {
+        if (!known.empty()) known += ", ";
+        known += kernel_name(static_cast<KernelType>(i));
+      }
+      spec_fail(spec, name_pos,
+                "unknown kernel family '" + name + "' (known: " + known + ")");
+    }
+
+    if (kernel_is_composite(p.type)) {
+      if (peek() != '(') {
+        spec_fail(spec, pos,
+                  "composite '" + name + "' needs a '(term,term,...)' list");
+      }
+      ++pos;  // '('
+      while (true) {
+        p.terms.push_back(term(depth + 1));
+        const char c = peek();
+        if (c == ',') {
+          ++pos;
+          continue;
+        }
+        if (c == ')') {
+          ++pos;
+          break;
+        }
+        spec_fail(spec, pos, "expected ',' or ')' in '" + name + "(...)'");
+      }
+      kv_pairs(p, /*composite=*/true);
+    } else {
+      kv_pairs(p, /*composite=*/false);
+    }
+    return p;
+  }
+};
+
+void validate_node(const KernelParams& p, const std::string& where) {
+  const int ti = static_cast<int>(p.type);
+  if (ti < 0 || ti >= kNumKernelTypes) {
+    throw std::invalid_argument("kernel params" + where +
+                                ": invalid family tag " + std::to_string(ti));
+  }
+  const std::string name = kernel_name(p.type);
+  if (!(p.weight > 0.0) || !std::isfinite(p.weight)) {
+    throw std::invalid_argument(
+        "kernel params" + where + ": '" + name + "' has weight " +
+        std::to_string(p.weight) +
+        "; weights must be positive and finite (a negative weight breaks "
+        "positive semidefiniteness)");
+  }
+  if (kernel_is_composite(p.type)) {
+    if (p.terms.empty()) {
+      throw std::invalid_argument("kernel params" + where + ": composite '" +
+                                  name + "' has no terms");
+    }
+    int i = 0;
+    for (const KernelParams& t : p.terms) {
+      validate_node(t, where + " -> " + name + "[" + std::to_string(i) + "]");
+      ++i;
+    }
+    return;
+  }
+  if (!p.terms.empty()) {
+    throw std::invalid_argument("kernel params" + where + ": atom '" + name +
+                                "' must not carry composite terms");
+  }
+  if (!(p.h > 0.0) || !std::isfinite(p.h)) {
+    throw std::invalid_argument("kernel params" + where + ": '" + name +
+                                "' has h = " + std::to_string(p.h) +
+                                "; h must be positive and finite");
+  }
+  if (p.type == KernelType::kPolynomial) {
+    if (p.degree < 1) {
+      throw std::invalid_argument(
+          "kernel params" + where + ": polynomial degree " +
+          std::to_string(p.degree) + " must be >= 1");
+    }
+    if (!(p.coef0 >= 0.0) || !std::isfinite(p.coef0)) {
+      throw std::invalid_argument(
+          "kernel params" + where + ": polynomial coef0 " +
+          std::to_string(p.coef0) +
+          " must be nonnegative and finite (negative coef0 breaks positive "
+          "semidefiniteness)");
+    }
+  }
+}
+
+void print_number(std::ostringstream& out, double v) {
+  out.precision(17);
+  out << v;
+}
+
+void print_term(std::ostringstream& out, const KernelParams& p) {
+  out << kernel_name(p.type);
+  if (kernel_is_composite(p.type)) {
+    out << '(';
+    bool first = true;
+    for (const KernelParams& t : p.terms) {
+      if (!first) out << ',';
+      first = false;
+      print_term(out, t);
+    }
+    out << ')';
+  } else {
+    out << ":h=";
+    print_number(out, p.h);
+    if (p.type == KernelType::kPolynomial) {
+      out << ":degree=" << p.degree << ":coef0=";
+      print_number(out, p.coef0);
+    }
+  }
+  if (p.weight != 1.0) {
+    out << ":w=";
+    print_number(out, p.weight);
+  }
+}
+
+}  // namespace
+
+KernelParams parse_kernel_spec(const std::string& spec) {
+  Parser parser{spec};
+  KernelParams p = parser.term(/*depth=*/0);
+  parser.skip_ws();
+  if (parser.pos != spec.size()) {
+    spec_fail(spec, parser.pos, "trailing characters after the spec");
+  }
+  validate_kernel_params(p);
+  return p;
+}
+
+std::string kernel_spec(const KernelParams& p) {
+  std::ostringstream out;
+  print_term(out, p);
+  return out.str();
+}
+
+void validate_kernel_params(const KernelParams& p) { validate_node(p, ""); }
+
+}  // namespace khss::kernel

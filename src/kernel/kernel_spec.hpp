@@ -1,0 +1,48 @@
+#pragma once
+// String kernel specs — the CLI/daemon/tuner surface of the kernel zoo.
+//
+// Grammar (whitespace around tokens is ignored):
+//
+//   spec      := term
+//   term      := atom | composite
+//   atom      := family-name (":" key "=" value)*
+//   composite := ("sum" | "product") "(" term ("," term)* ")" (":" "w" "=" value)*
+//
+// Keys: h (all atoms), degree and coef0 (polynomial), w (term weight, legal
+// on any term).  kv pairs are ":"-separated so commas unambiguously separate
+// composite children.  Examples:
+//
+//   "gaussian:h=0.7"
+//   "matern52:h=0.7"
+//   "sum(gaussian:h=1,dot)"
+//   "sum(gaussian:h=1:w=0.5,dot:w=0.5)"
+//   "product(matern32:h=2,polynomial:degree=2:coef0=1)"
+//
+// parse_kernel_spec() validates as it parses (validate_kernel_params()):
+// positive finite h, degree >= 1, coef0 >= 0, weight > 0, non-empty
+// composites.  The weight rule is what keeps every parsable spec a positive
+// semidefinite kernel (nonnegative combinations and products of PSD kernels
+// are PSD — pinned by tests/test_properties.cpp), so illegal composites die
+// here, not as a Cholesky failure three layers down.
+
+#include <string>
+
+#include "kernel/kernel.hpp"
+
+namespace khss::kernel {
+
+/// Parse a spec string into KernelParams.  Throws std::invalid_argument
+/// with the offending position/token on any syntax or validation error.
+KernelParams parse_kernel_spec(const std::string& spec);
+
+/// Canonical printable spec: parse_kernel_spec(kernel_spec(p)) reproduces
+/// `p` exactly (doubles are printed at 17 significant digits).
+std::string kernel_spec(const KernelParams& p);
+
+/// Spec-level legality of a params tree (see the header comment for the
+/// rules).  Throws std::invalid_argument naming the offending field.
+/// parse_kernel_spec() calls this; call it directly when params are built
+/// programmatically.
+void validate_kernel_params(const KernelParams& p);
+
+}  // namespace khss::kernel

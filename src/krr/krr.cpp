@@ -166,6 +166,29 @@ predict::BatchPredictor KRRModel::make_predictor(
   return predict::BatchPredictor(*kernel_, wp, opts);
 }
 
+la::Vector KRRModel::posterior_variance(const la::Matrix& test_points) {
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::posterior_variance before fit");
+  // A transient single-column predictor carries the shared variance
+  // arithmetic; the weight column is irrelevant (scores are discarded), but
+  // it must be nonzero so the support is not pruned empty.
+  la::Matrix w(n_, 1);
+  for (int i = 0; i < n_; ++i) w(i, 0) = 1.0;
+  predict::BatchPredictor predictor = make_predictor(w);
+  attach_variance(predictor);
+  la::Matrix scores;
+  la::Vector variance;
+  predictor.predict_batch(test_points, scores, &variance);
+  return variance;
+}
+
+void KRRModel::attach_variance(predict::BatchPredictor& predictor) {
+  KHSS_REQUIRE_STATE(fitted_, "KRRModel::attach_variance before fit");
+  solver::KernelSolver* solver = solver_.get();
+  predictor.enable_variance(
+      kernel_.get(),
+      [solver](const la::Matrix& b) { return solver->solve(b); });
+}
+
 double KRRModel::training_residual(const la::Vector& weights,
                                    const la::Vector& y) const {
   KHSS_REQUIRE_STATE(fitted_, "KRRModel::training_residual before fit");

@@ -142,6 +142,18 @@ class KRRModel {
   predict::BatchPredictor make_predictor(
       const la::Matrix& weights, predict::PredictOptions opts = {}) const;
 
+  /// GP posterior variance sigma^2(x) = k(x, x) - k_*^T (K + lambda I)^{-1}
+  /// k_* per test point, through the fitted backend's multi-RHS solve (one
+  /// cross-kernel column per point).  Non-const: the backend solve updates
+  /// its stats.
+  la::Vector posterior_variance(const la::Matrix& test_points);
+
+  /// Wire the variance path of a predictor built by make_predictor() to this
+  /// model's kernel operator and backend solve
+  /// (predict::BatchPredictor::enable_variance).  The predictor's variance
+  /// calls borrow this model — the model must outlive them.
+  void attach_variance(predict::BatchPredictor& predictor);
+
   /// ||(K + lambda I) w - y|| / ||y|| in the operator the backend solves
   /// against (diagnostic; see KernelSolver::matvec).
   double training_residual(const la::Vector& weights,

@@ -64,6 +64,59 @@ BatchPredictor::BatchPredictor(const kernel::KernelMatrix& kernel,
   }
 }
 
+void BatchPredictor::enable_variance(const kernel::KernelMatrix* kernel,
+                                     VarianceSolveFn solve) {
+  KHSS_REQUIRE(kernel != nullptr && solve,
+               "BatchPredictor::enable_variance: null kernel or solve");
+  KHSS_REQUIRE(kernel->dim() == dim_,
+               "BatchPredictor::enable_variance: kernel dim "
+                   << kernel->dim() << " != predictor dim " << dim_);
+  variance_kernel_ = kernel;
+  variance_solve_ = std::move(solve);
+}
+
+la::Vector BatchPredictor::compute_variance(const la::Matrix& points) const {
+  KHSS_REQUIRE_STATE(variance_kernel_ != nullptr,
+                     "BatchPredictor: variance requested but no variance path "
+                     "is attached (see KRRModel::attach_variance)");
+  const int m = points.rows();
+  la::Vector out(m, 0.0);
+  if (m == 0) return out;
+
+  // sigma^2(x) = k(x, x) - k_*^T (K + lambda I)^{-1} k_*: the cross-kernel
+  // panel C = K(test, train) feeds ONE multi-RHS backend solve (one column
+  // per test point), then the quadratic form is a row dot.  X is transposed
+  // back so both factors of the dot are contiguous rows.  Each point's
+  // column solves independently (every backend's multi-RHS path is
+  // RHS-split invariant), so variances are batch-split invariant too.
+  la::Matrix c = variance_kernel_->cross(points);       // m x n
+  la::Matrix x = variance_solve_(c.transposed());       // n x m
+  KHSS_REQUIRE(x.rows() == c.cols() && x.cols() == m,
+               "BatchPredictor: variance solve returned "
+                   << x.rows() << " x " << x.cols() << "; expected "
+                   << c.cols() << " x " << m);
+  la::Matrix xt = x.transposed();                       // m x n
+  for (int i = 0; i < m; ++i) {
+    const double* xi = points.row(i);
+    double s = 0.0;
+    for (int k = 0; k < dim_; ++k) s += xi[k] * xi[k];
+    const double kself = kernel::kernel_from_products(params_, s, s, s);
+    const double* crow = c.row(i);
+    const double* xrow = xt.row(i);
+    double quad = 0.0;
+    for (int j = 0; j < c.cols(); ++j) quad += crow[j] * xrow[j];
+    out[i] = kself - quad;
+  }
+  return out;
+}
+
+void BatchPredictor::predict_batch(const la::Matrix& points,
+                                   la::Matrix& out_scores,
+                                   la::Vector* out_variance) const {
+  predict_batch(points, out_scores);
+  if (out_variance != nullptr) *out_variance = compute_variance(points);
+}
+
 void BatchPredictor::predict_batch(const la::Matrix& points,
                                    la::Matrix& out_scores) const {
   KHSS_REQUIRE(points.rows() == 0 || points.cols() == dim_,

@@ -28,8 +28,21 @@
 // The predictor copies everything it needs (support points, weights, kernel
 // parameters); it holds no reference to the KernelMatrix or the model, so it
 // can outlive both — build once at fit time, serve mini-batches forever.
+//
+// GP posterior variance (optional): scoring alone cannot produce
+//   sigma^2(x) = k(x, x) - k_*^T (K + lambda I)^{-1} k_*
+// because the quadratic form needs a solve against the trained operator, and
+// the predictor deliberately owns no solver.  enable_variance() attaches a
+// variance path — the training-side KernelMatrix plus a multi-RHS solve
+// callback (KRRModel::attach_variance wires both) — after which the
+// three-argument predict_batch() fills one sigma^2 per test point.  The
+// scoring arithmetic is untouched whether or not variance is requested, and
+// each point's variance depends only on its own cross-kernel column, so
+// scores AND variances stay batch-split invariant.  Unlike scoring, a
+// variance-enabled predictor must NOT outlive the model it was attached to.
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -73,6 +86,25 @@ class BatchPredictor {
   /// dimension mismatch.
   void predict_batch(const la::Matrix& points, la::Matrix& out_scores) const;
 
+  /// Multi-RHS solve against the trained operator: X = (K + lambda I)^{-1} B
+  /// (see solver::KernelSolver::solve(la::Matrix)).
+  using VarianceSolveFn = std::function<la::Matrix(const la::Matrix&)>;
+
+  /// Attach the GP posterior-variance path: `kernel` is the model's bound
+  /// (cluster-permuted) training kernel, `solve` the backend multi-RHS
+  /// solve.  Both must stay valid for the predictor's remaining lifetime —
+  /// use KRRModel::attach_variance, which wires them from the owning model.
+  void enable_variance(const kernel::KernelMatrix* kernel,
+                       VarianceSolveFn solve);
+  bool variance_enabled() const { return variance_kernel_ != nullptr; }
+
+  /// Score one mini-batch and, when out_variance is non-null, also fill
+  /// sigma^2(x_i) = k(x_i, x_i) - k_*^T (K + lambda I)^{-1} k_* per point.
+  /// Scoring bits are identical to the two-argument overload.  Throws
+  /// std::logic_error when variance is requested but no path is attached.
+  void predict_batch(const la::Matrix& points, la::Matrix& out_scores,
+                     la::Vector* out_variance) const;
+
   /// Convenience wrapper around predict_batch().
   la::Matrix predict(const la::Matrix& points) const;
 
@@ -109,12 +141,18 @@ class BatchPredictor {
     }
   };
 
+  la::Vector compute_variance(const la::Matrix& points) const;
+
   kernel::KernelParams params_;
   PredictOptions opts_;
   int dim_ = 0;
   int num_outputs_ = 0;
   int support_size_ = 0;
   std::vector<Tile> tiles_;
+  // Optional variance path (enable_variance): non-owning — the model that
+  // attached these must outlive the predictor's variance calls.
+  const kernel::KernelMatrix* variance_kernel_ = nullptr;
+  VarianceSolveFn variance_solve_;
   mutable AtomicStats stats_;
 };
 

@@ -1,9 +1,12 @@
 #include "serialize/artifacts.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "kernel/kernel_spec.hpp"
 
 namespace khss::serialize {
 
@@ -28,23 +31,68 @@ std::unique_ptr<la::LUFactor> read_optional_lu(ByteReader& r) {
 
 }  // namespace
 
-void write_kernel_params(ByteWriter& w, const kernel::KernelParams& p) {
+namespace {
+
+// Matches kernel_spec.cpp's parser depth cap: a legitimate spec never nests
+// this deep, so a deeper stream is corruption, not a model.
+constexpr int kKernelNestingCap = 16;
+
+void write_kernel_node(ByteWriter& w, const kernel::KernelParams& p) {
   w.u8(static_cast<std::uint8_t>(p.type));
   w.f64(p.h);
   w.i32(p.degree);
   w.f64(p.coef0);
+  w.f64(p.weight);
+  w.u32(static_cast<std::uint32_t>(p.terms.size()));
+  for (const kernel::KernelParams& t : p.terms) write_kernel_node(w, t);
 }
 
-kernel::KernelParams read_kernel_params(ByteReader& r) {
+kernel::KernelParams read_kernel_node(ByteReader& r, int depth) {
+  if (depth >= kKernelNestingCap) {
+    r.fail("kernel spec nests deeper than " +
+           std::to_string(kKernelNestingCap) + " levels");
+  }
   kernel::KernelParams p;
   const std::uint8_t type = r.u8();
-  if (type > static_cast<std::uint8_t>(kernel::KernelType::kPolynomial)) {
+  if (type >= static_cast<std::uint8_t>(kernel::kNumKernelTypes)) {
     r.fail("unknown kernel type tag " + std::to_string(type));
   }
   p.type = static_cast<kernel::KernelType>(type);
   p.h = r.f64();
   p.degree = r.i32();
   p.coef0 = r.f64();
+  p.weight = r.f64();
+  const std::uint32_t count = r.u32();
+  // Each child is at least the fixed 29-byte node head; a count the payload
+  // cannot possibly hold is a splice/corruption, caught before allocating.
+  if (count > r.remaining()) {
+    r.fail("kernel composite declares " + std::to_string(count) +
+           " children but only " + std::to_string(r.remaining()) +
+           " bytes remain");
+  }
+  p.terms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    p.terms.push_back(read_kernel_node(r, depth + 1));
+  }
+  return p;
+}
+
+}  // namespace
+
+void write_kernel_params(ByteWriter& w, const kernel::KernelParams& p) {
+  write_kernel_node(w, p);
+}
+
+kernel::KernelParams read_kernel_params(ByteReader& r) {
+  kernel::KernelParams p = read_kernel_node(r, 0);
+  // Shape contradictions a byte-level read cannot see — an atom carrying
+  // children, a childless composite, a non-positive weight or bandwidth —
+  // are refused here with the spec-layer diagnostic.
+  try {
+    kernel::validate_kernel_params(p);
+  } catch (const std::invalid_argument& e) {
+    r.fail(std::string("invalid kernel spec: ") + e.what());
+  }
   return p;
 }
 

@@ -68,10 +68,14 @@ void write_meta(ByteWriter& w, const krr::KRRModel& model,
 Meta read_meta(ByteReader& r) {
   const std::uint32_t schema = r.u32();
   if (schema != kModelSchemaVersion) {
-    r.fail("unknown model schema version " + std::to_string(schema) +
+    const std::string hint =
+        schema == 1 ? " — version 1 predates the kernel-zoo spec layout; "
+                      "re-save the model with this build"
+                    : "";
+    r.fail("unsupported model schema version " + std::to_string(schema) +
            " (this build reads version " +
-           std::to_string(kModelSchemaVersion) +
-           "); refusing to guess at the layout");
+           std::to_string(kModelSchemaVersion) + ")" + hint +
+           "; refusing to guess at the layout");
   }
   Meta m;
   const std::string backend = r.str();
@@ -199,6 +203,10 @@ LoadedModel load_model(const std::string& path) {
       });
 
   predict::BatchPredictor predictor = model.make_predictor(weights);
+  // Wire the GP variance path now, while model and predictor sit side by
+  // side: the predictor borrows the model's kernel/solver through stable
+  // unique_ptr targets, so moving the LoadedModel around keeps it valid.
+  model.attach_variance(predictor);
   return LoadedModel{std::move(model), std::move(weights),
                      std::move(predictor)};
 }

@@ -31,8 +31,12 @@
 namespace khss::serialize {
 
 /// Version of the section schemas ABOVE the container envelope.  Bump when a
-/// section's byte layout changes; the loader refuses newer schemas.
-inline constexpr std::uint32_t kModelSchemaVersion = 1;
+/// section's byte layout changes; the loader refuses any other version.
+/// History: v1 = flat kernel params (gaussian/laplacian/polynomial only);
+/// v2 = recursive kernel spec (weight + composite children per node) for the
+/// kernel zoo — a v1 reader cannot even skip the kernel bytes safely, so
+/// both directions refuse by name instead of guessing.
+inline constexpr std::uint32_t kModelSchemaVersion = 2;
 
 /// Save a fitted model plus its trained weights (n x c, original point
 /// order, one column per class/RHS).  Throws SerializeError on any write

@@ -100,6 +100,30 @@ la::Matrix ServeClient::score(const std::string& model,
   return scores;
 }
 
+la::Matrix ServeClient::score_with_variance(const std::string& model,
+                                            const la::Matrix& points,
+                                            la::Vector* out_variance) {
+  if (out_variance == nullptr) {
+    throw std::invalid_argument(
+        "serve: score_with_variance needs a non-null out_variance "
+        "(use score() otherwise)");
+  }
+  serialize::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kScoreVariance));
+  w.str(model);
+  w.matrix(points);
+  const std::string payload = roundtrip(w.take(), "score-variance");
+  serialize::ByteReader r(payload, "serve score-variance response");
+  la::Matrix scores = r.matrix();
+  *out_variance = r.vec_f64();
+  r.expect_exhausted("the score-variance response");
+  if (static_cast<int>(out_variance->size()) != points.rows()) {
+    r.fail("response carries " + std::to_string(out_variance->size()) +
+           " variances for " + std::to_string(points.rows()) + " points");
+  }
+  return scores;
+}
+
 std::vector<std::pair<std::string, ServeModelStats>> ServeClient::stats() {
   serialize::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kStats));
@@ -122,7 +146,7 @@ std::vector<std::pair<std::string, ServeModelStats>> ServeClient::stats() {
 
 std::vector<ModelDescription> ServeClient::list_models() {
   serialize::ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kListModels));
+  w.u8(static_cast<std::uint8_t>(MsgType::kListModelsV2));
   const std::string payload = roundtrip(w.take(), "list-models");
   serialize::ByteReader r(payload, "serve list-models response");
   const std::uint64_t count = r.u64();
@@ -134,6 +158,7 @@ std::vector<ModelDescription> ServeClient::list_models() {
     d.dim = r.i32();
     d.num_outputs = r.i32();
     d.backend = r.str();
+    d.kernel = r.str();
     out.push_back(std::move(d));
   }
   r.expect_exhausted("the list-models response");

@@ -26,6 +26,7 @@ struct ModelDescription {
   int dim = 0;          // feature dimension
   int num_outputs = 0;  // weight columns (classes / RHS)
   std::string backend;  // solver backend canonical name
+  std::string kernel;   // canonical kernel spec (kListModelsV2 only)
 };
 
 class ServeClient {
@@ -49,10 +50,18 @@ class ServeClient {
   /// unknown model, dimension mismatch, or malformed exchange.
   la::Matrix score(const std::string& model, const la::Matrix& points);
 
+  /// kScoreVariance: like score(), and additionally fills *out_variance with
+  /// one GP posterior variance per request row.  out_variance must be
+  /// non-null (use score() when variances are not wanted).
+  la::Matrix score_with_variance(const std::string& model,
+                                 const la::Matrix& points,
+                                 la::Vector* out_variance);
+
   /// Per-model serving counters, sorted by model name.
   std::vector<std::pair<std::string, ServeModelStats>> stats();
 
-  /// Names + shapes + backends of the models the daemon loaded.
+  /// Names + shapes + backends + kernel specs of the models the daemon
+  /// loaded (kListModelsV2).
   std::vector<ModelDescription> list_models();
 
   /// Ask the daemon to drain and exit gracefully (it still answers this

@@ -9,15 +9,25 @@
 // the socket bit-exactly.
 //
 // Requests open with a u8 message type:
-//   kPing        — liveness check; empty payload.
-//   kScore       — str model name + matrix of points (rows = batch).
-//   kStats       — per-model serving counters.
-//   kListModels  — names + shapes + backends of the loaded models.
-//   kShutdown    — ask the daemon to drain and exit gracefully.
+//   kPing          — liveness check; empty payload.
+//   kScore         — str model name + matrix of points (rows = batch).
+//   kStats         — per-model serving counters.
+//   kListModels    — names + shapes + backends of the loaded models.
+//   kShutdown      — ask the daemon to drain and exit gracefully.
+//   kScoreVariance — kScore's request layout; the response carries the
+//                    score matrix followed by a vec_f64 of GP posterior
+//                    variances, one per request row.
+//   kListModelsV2  — kListModels plus each model's canonical kernel spec
+//                    string (kernel::kernel_spec).
 //
 // Responses open with a u8 status: kOk then the per-type payload, or kError
 // then a str diagnostic (the server never closes a connection in place of an
 // answer; malformed frames get an error frame back).
+//
+// Compatibility: new capabilities are NEW message types, never new fields on
+// existing ones — a client speaking only kScore/kListModels gets responses
+// byte-identical to what the pre-variance daemon sent
+// (tests/test_serve.cpp pins this).
 
 #include <cstdint>
 #include <string>
@@ -33,6 +43,8 @@ enum class MsgType : std::uint8_t {
   kStats = 2,
   kListModels = 3,
   kShutdown = 4,
+  kScoreVariance = 5,
+  kListModelsV2 = 6,
 };
 
 enum class Status : std::uint8_t {

@@ -17,6 +17,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "kernel/kernel_spec.hpp"
 #include "serve/protocol.hpp"
 #include "solver/solver.hpp"
 #include "util/contracts.hpp"
@@ -36,7 +37,9 @@ struct ModelServer::Model {
 struct ModelServer::ScoreJob {
   Model* model = nullptr;
   la::Matrix points;
-  std::promise<la::Matrix> promise;
+  bool want_variance = false;
+  // scores always; variance filled only when want_variance.
+  std::promise<std::pair<la::Matrix, la::Vector>> promise;
 };
 
 struct ModelServer::Impl {
@@ -276,7 +279,9 @@ std::string ModelServer::handle_frame(const std::string& frame) {
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       return w.take();
     }
-    case MsgType::kScore: {
+    case MsgType::kScore:
+    case MsgType::kScoreVariance: {
+      const bool want_variance = type == MsgType::kScoreVariance;
       const std::string name = r.str();
       la::Matrix points = r.matrix();
       r.expect_exhausted("the score request");
@@ -299,9 +304,14 @@ std::string ModelServer::handle_frame(const std::string& frame) {
             " but the request has " + std::to_string(points.cols()) +
             " columns");
       }
+      if (want_variance && !model->loaded.predictor.variance_enabled()) {
+        throw std::runtime_error("serve: model '" + name +
+                                 "' has no variance path attached");
+      }
 
-      std::promise<la::Matrix> promise;
-      std::future<la::Matrix> future = promise.get_future();
+      std::promise<std::pair<la::Matrix, la::Vector>> promise;
+      std::future<std::pair<la::Matrix, la::Vector>> future =
+          promise.get_future();
       {
         std::lock_guard<std::mutex> lock(impl_->queue_mutex);
         if (impl_->batcher_stop) {
@@ -310,14 +320,16 @@ std::string ModelServer::handle_frame(const std::string& frame) {
         ScoreJob job;
         job.model = model;
         job.points = std::move(points);
+        job.want_variance = want_variance;
         job.promise = std::move(promise);
         impl_->queue.push_back(std::move(job));
       }
       impl_->queue_cv.notify_one();
 
-      la::Matrix scores = future.get();  // rethrows a batcher failure
+      auto [scores, variance] = future.get();  // rethrows a batcher failure
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.matrix(scores);
+      if (want_variance) w.vec_f64(variance);
       return w.take();
     }
     case MsgType::kStats: {
@@ -334,7 +346,8 @@ std::string ModelServer::handle_frame(const std::string& frame) {
       }
       return w.take();
     }
-    case MsgType::kListModels: {
+    case MsgType::kListModels:
+    case MsgType::kListModelsV2: {
       r.expect_exhausted("the list request");
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.u64(impl_->models.size());
@@ -344,6 +357,9 @@ std::string ModelServer::handle_frame(const std::string& frame) {
         w.i32(model->loaded.predictor.dim());
         w.i32(model->loaded.predictor.num_outputs());
         w.str(solver::backend_name(model->loaded.model.options().backend));
+        if (type == MsgType::kListModelsV2) {
+          w.str(kernel::kernel_spec(model->loaded.model.options().kernel));
+        }
       }
       return w.take();
     }
@@ -403,18 +419,30 @@ void ModelServer::batcher_loop() {
         row += job.points.rows();
       }
 
+      bool want_variance = false;
+      for (const ScoreJob& job : batch) want_variance |= job.want_variance;
+
       util::Timer timer;
       la::Matrix scores;
-      model->loaded.predictor.predict_batch(combined, scores);
+      la::Vector variance;
+      model->loaded.predictor.predict_batch(
+          combined, scores, want_variance ? &variance : nullptr);
       const double elapsed = timer.seconds();
 
       // Split the coalesced score block back onto the per-request
       // promises.  Batch-split invariance makes this exact: each request
-      // receives the same bytes it would have gotten scored alone.
+      // receives the same bytes it would have gotten scored alone.  The
+      // variance slices are exact for the same reason — each point's
+      // sigma^2 depends only on its own cross-kernel column.
       row = 0;
       for (ScoreJob& job : batch) {
         const int r = job.points.rows();
-        job.promise.set_value(scores.block(row, 0, r, scores.cols()));
+        la::Vector v;
+        if (job.want_variance) {
+          v.assign(variance.begin() + row, variance.begin() + row + r);
+        }
+        job.promise.set_value({scores.block(row, 0, r, scores.cols()),
+                               std::move(v)});
         row += r;
       }
 

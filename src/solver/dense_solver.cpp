@@ -39,6 +39,18 @@ la::Vector DenseExactSolver::solve(const la::Vector& b) {
   return x;
 }
 
+la::Matrix DenseExactSolver::solve(const la::Matrix& b) {
+  KHSS_REQUIRE_STATE(chol_.has_value(), "DenseExactSolver::solve before factor");
+  KHSS_REQUIRE(b.rows() == kernel_->n(),
+               "DenseExactSolver::solve: B has " << b.rows()
+                   << " rows; the operator is of order " << kernel_->n());
+  util::Timer t;
+  la::Matrix x = b;
+  chol_->solve_inplace(x);
+  stats_.solve_seconds = t.seconds();
+  return x;
+}
+
 void DenseExactSolver::set_lambda(double lambda) {
   // The kernel carries the shift; the next factor() re-extracts it.
   opts_.lambda = lambda;

@@ -19,6 +19,9 @@ class DenseExactSolver : public SolverBase {
                 const cluster::ClusterTree& tree) override;
   void factor() override;
   la::Vector solve(const la::Vector& b) override;
+  /// Blocked multi-RHS Cholesky solve; RHS-split invariant, so columns come
+  /// back bit-identical to one-at-a-time solve() calls.
+  la::Matrix solve(const la::Matrix& b) override;
   void set_lambda(double lambda) override;
   la::Vector matvec(const la::Vector& x) const override;
   void save_state(serialize::ByteWriter& w) const override;

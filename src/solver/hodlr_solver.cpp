@@ -38,6 +38,14 @@ la::Vector HODLRSMWSolver::solve(const la::Vector& b) {
   return x;
 }
 
+la::Matrix HODLRSMWSolver::solve(const la::Matrix& b) {
+  KHSS_REQUIRE_STATE(smw_ != nullptr, "HODLRSMWSolver::solve before factor");
+  util::Timer t;
+  la::Matrix x = smw_->solve(b);
+  stats_.solve_seconds = t.seconds();
+  return x;
+}
+
 void HODLRSMWSolver::set_lambda(double lambda) {
   const double delta = lambda - opts_.lambda;
   opts_.lambda = lambda;

@@ -21,6 +21,8 @@ class HODLRSMWSolver : public SolverBase {
                 const cluster::ClusterTree& tree) override;
   void factor() override;
   la::Vector solve(const la::Vector& b) override;
+  /// Recursive SMW multi-RHS solve (RHS-split invariant blocked kernels).
+  la::Matrix solve(const la::Matrix& b) override;
   void set_lambda(double lambda) override;
   la::Vector matvec(const la::Vector& x) const override;
   void save_state(serialize::ByteWriter& w) const override;

@@ -83,6 +83,16 @@ la::Vector HSSSolver::solve(const la::Vector& b) {
   return x;
 }
 
+la::Matrix HSSSolver::solve(const la::Matrix& b) {
+  KHSS_REQUIRE_STATE(ulv_ != nullptr, "HSSSolver::solve before factor");
+  util::Timer t;
+  la::Matrix x = ulv_->solve(b);
+  stats_.solve_seconds = t.seconds();
+  stats_.solve_forward_seconds = ulv_->stats().solve_forward_seconds;
+  stats_.solve_backward_seconds = ulv_->stats().solve_backward_seconds;
+  return x;
+}
+
 void HSSSolver::set_lambda(double lambda) {
   const double delta = lambda - opts_.lambda;
   opts_.lambda = lambda;

@@ -30,6 +30,9 @@ class HSSSolver : public SolverBase {
                 const cluster::ClusterTree& tree) override;
   void factor() override;
   la::Vector solve(const la::Vector& b) override;
+  /// ULV multi-RHS solve; the task-DAG sweeps are RHS-split invariant, so
+  /// columns match one-at-a-time solve() calls bit for bit.
+  la::Matrix solve(const la::Matrix& b) override;
   void set_lambda(double lambda) override;
   la::Vector matvec(const la::Vector& x) const override;
   const hss::HSSMatrix* hss_matrix() const override { return &hss_; }
@@ -56,6 +59,11 @@ class IterativeHSSSolver : public HSSSolver {
       : HSSSolver(SolverBackend::kIterativeHSSPrecond, std::move(opts)) {}
 
   la::Vector solve(const la::Vector& b) override;
+  /// PCG has no blocked multi-RHS form: fall back to the column loop over
+  /// this class's iterative solve (NOT the parent's direct ULV path).
+  la::Matrix solve(const la::Matrix& b) override {
+    return KernelSolver::solve(b);
+  }
   la::Vector matvec(const la::Vector& x) const override;
 };
 

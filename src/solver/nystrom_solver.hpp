@@ -26,6 +26,7 @@ class NystromSolver : public SolverBase {
                 const cluster::ClusterTree& tree) override;
   void factor() override;
   la::Vector solve(const la::Vector& b) override;
+  using KernelSolver::solve;  // keep the multi-RHS overload visible
   void set_lambda(double lambda) override;
   /// The exact kernel operator: Nystrom approximates K globally, so the
   /// training residual reports the approximation error, not the (tiny)

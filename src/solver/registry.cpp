@@ -148,6 +148,17 @@ std::unique_ptr<KernelSolver> make(const std::string& name,
   return entry_from_name(name).factory(opts);
 }
 
+la::Matrix KernelSolver::solve(const la::Matrix& b) {
+  la::Matrix x(b.rows(), b.cols());
+  la::Vector col(b.rows());
+  for (int c = 0; c < b.cols(); ++c) {
+    for (int i = 0; i < b.rows(); ++i) col[i] = b(i, c);
+    la::Vector xc = solve(col);
+    for (int i = 0; i < b.rows(); ++i) x(i, c) = xc[i];
+  }
+  return x;
+}
+
 void KernelSolver::save_state(serialize::ByteWriter&) const {
   throw std::logic_error("solver backend '" + backend_name(backend()) +
                          "' does not implement save_state");

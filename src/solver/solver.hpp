@@ -164,6 +164,14 @@ class KernelSolver {
   /// Solve (K + lambda I) x = b (permuted order, b.size() == n).
   virtual la::Vector solve(const la::Vector& b) = 0;
 
+  /// Multi-RHS solve: X = (K + lambda I)^{-1} B, one column per right-hand
+  /// side.  The default loops solve() over the columns, so the result is
+  /// trivially identical to solving each column alone; backends with native
+  /// multi-RHS factorizations (dense Cholesky, ULV) override with a blocked
+  /// path whose RHS-split invariance keeps the same guarantee — the GP
+  /// variance path relies on it to coalesce cross-kernel panels freely.
+  virtual la::Matrix solve(const la::Matrix& b);
+
   /// Update the regularization.  The caller keeps the KernelMatrix's lambda
   /// in sync; backends adjust their compressed diagonal without
   /// recompressing where the format allows.  Call factor() afterwards.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernel/kernel_spec.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace khss::tune {
@@ -188,6 +190,64 @@ TuneResult black_box_search(Objective& objective, const BlackBoxSpec& spec) {
           }
           if (res.evaluations >= spec.budget) break;
         }
+      }
+    }
+  }
+  return res;
+}
+
+SpecSearchResult kernel_spec_search(const krr::KRROptions& base,
+                                    const la::Matrix& train,
+                                    const std::vector<int>& y_train,
+                                    const la::Matrix& valid,
+                                    const std::vector<int>& y_valid,
+                                    const SpecSearchSpec& search) {
+  KHSS_REQUIRE(!search.specs.empty(),
+               "kernel_spec_search: no kernel specs given");
+  KHSS_REQUIRE(!search.lambdas.empty(),
+               "kernel_spec_search: no lambda values given");
+
+  // Parse everything up front: a typo in spec #4 must not cost three fits.
+  std::vector<kernel::KernelParams> params;
+  std::vector<std::string> canonical;
+  params.reserve(search.specs.size());
+  for (const std::string& s : search.specs) {
+    params.push_back(kernel::parse_kernel_spec(s));
+    canonical.push_back(kernel::kernel_spec(params.back()));
+  }
+
+  la::Vector y(y_train.size());
+  for (std::size_t i = 0; i < y_train.size(); ++i) {
+    y[i] = static_cast<double>(y_train[i]);
+  }
+
+  SpecSearchResult res;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    krr::KRROptions opts = base;
+    opts.kernel = params[k];
+    opts.lambda = search.lambdas.front();
+    krr::KRRModel model(opts);
+    model.fit(train);  // the one expensive step per spec
+    ++res.compressions;
+
+    for (const double lambda : search.lambdas) {
+      model.set_lambda(lambda);  // diagonal update + refactor, no recompress
+      la::Vector w = model.solve(y);
+      la::Vector scores = model.decision_scores(valid, w);
+      int correct = 0;
+      for (std::size_t i = 0; i < y_valid.size(); ++i) {
+        const int pred = scores[i] >= 0.0 ? +1 : -1;
+        if (pred == y_valid[i]) ++correct;
+      }
+      const double acc =
+          y_valid.empty() ? 0.0
+                          : static_cast<double>(correct) / y_valid.size();
+      res.history.push_back({canonical[k], lambda, acc});
+      ++res.evaluations;
+      if (acc > res.best_accuracy || res.best_spec.empty()) {
+        res.best_accuracy = acc;
+        res.best_spec = canonical[k];
+        res.best_lambda = lambda;
       }
     }
   }

@@ -88,4 +88,47 @@ struct BlackBoxSpec {
 /// Nelder-Mead on (log h, log lambda), clamped to the search box.
 TuneResult black_box_search(Objective& objective, const BlackBoxSpec& spec);
 
+// ---- kernel-family search (the kernel zoo as a tuning axis) --------------
+//
+// (h, lambda) tuning assumes the gaussian family; with the registry in
+// src/kernel/ the family itself is a discrete hyperparameter.  The same
+// cost structure the paper exploits for lambda applies per spec: each
+// kernel spec needs ONE compression, and the lambda sweep inside it rides
+// the O(n) diagonal update + refactor.
+
+struct SpecTrial {
+  std::string spec;  // canonical form (kernel::kernel_spec)
+  double lambda;
+  double accuracy;
+};
+
+struct SpecSearchResult {
+  std::string best_spec;
+  double best_lambda = 1.0;
+  double best_accuracy = 0.0;
+  int evaluations = 0;
+  int compressions = 0;  // == number of specs actually fitted
+  std::vector<SpecTrial> history;
+};
+
+struct SpecSearchSpec {
+  /// Kernel specs to try, in kernel/kernel_spec.hpp grammar (e.g.
+  /// "gaussian:h=1.2", "matern32:h=0.7", "sum(gaussian:h=1,dot:h=2)").
+  /// Parsed up front: an invalid spec throws std::invalid_argument before
+  /// any fitting starts.
+  std::vector<std::string> specs;
+  /// Lambda sweep shared by every spec (cheap per value: set_lambda).
+  std::vector<double> lambdas = {0.5, 1.0, 2.0, 4.0};
+};
+
+/// Iterate kernel specs with one compression each and a lambda sweep
+/// inside; train/validation points with +-1 labels, `base` provides
+/// everything but the kernel and lambda.
+SpecSearchResult kernel_spec_search(const krr::KRROptions& base,
+                                    const la::Matrix& train,
+                                    const std::vector<int>& y_train,
+                                    const la::Matrix& valid,
+                                    const std::vector<int>& y_valid,
+                                    const SpecSearchSpec& search);
+
 }  // namespace khss::tune

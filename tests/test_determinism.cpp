@@ -10,12 +10,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "cluster/ordering.hpp"
 #include "data/synthetic.hpp"
 #include "hss/build.hpp"
 #include "hss/ulv.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
 #include "predict/batch_predictor.hpp"
 #include "util/rng.hpp"
@@ -353,6 +355,115 @@ TEST(Determinism, HssMatvecThreadAndRhsSplitInvariant) {
     for (int i = 0; i < n; ++i) xc[i] = fx.b(i, j);
     la::Vector yc = fx.hss.matvec(xc);
     for (int i = 0; i < n; ++i) EXPECT_EQ(yp(i, j), yc[i]) << "col " << j;
+  }
+}
+
+namespace {
+
+// Dense model over a zoo kernel spec with the GP variance path attached;
+// shared by the variance determinism pins below.  The zoo families routed
+// here (Matern-5/2 and a sum composite) exercise the fused elementwise
+// transforms added with the kernel registry, not just the Gaussian default.
+struct VarianceFixture {
+  explicit VarianceFixture(const std::string& spec) {
+    util::Rng rng(47);
+    khss::data::BlobSpec bspec;
+    bspec.n = 180;
+    bspec.dim = 4;
+    bspec.num_classes = 3;
+    auto ds = khss::data::make_blobs(bspec, rng);
+
+    khss::krr::KRROptions opts;
+    opts.backend = khss::krr::SolverBackend::kDenseExact;
+    opts.kernel = kn::parse_kernel_spec(spec);
+    opts.lambda = 1.5;
+    opts.seed = 47;
+    model = std::make_unique<khss::krr::KRRModel>(opts);
+    model->fit(ds.points);
+
+    weights.resize(bspec.n, 3);
+    util::Rng wrng(48);
+    for (int c = 0; c < 3; ++c) {
+      la::Vector y(bspec.n);
+      for (auto& v : y) v = wrng.normal();
+      la::Vector w = model->solve(y);
+      for (int i = 0; i < bspec.n; ++i) weights(i, c) = w[i];
+    }
+
+    test.resize(90, bspec.dim);
+    util::Rng trng(49);
+    trng.fill_normal(test.data(), test.size());
+  }
+
+  khss::predict::BatchPredictor make() {
+    khss::predict::BatchPredictor pred = model->make_predictor(weights);
+    model->attach_variance(pred);
+    return pred;
+  }
+
+  std::unique_ptr<khss::krr::KRRModel> model;
+  la::Matrix weights;
+  la::Matrix test;
+};
+
+void expect_vectors_identical(const la::Vector& a, const la::Vector& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " at " << i;
+  }
+}
+
+const char* const kVariancePinSpecs[] = {
+    "matern52:h=0.9", "sum(gaussian:h=1,matern32:h=0.8:w=0.5)"};
+
+}  // namespace
+
+// Scores AND variances must be bit-identical at every thread count: each
+// point's variance reads only its own cross-kernel column and the solver's
+// RHS handling is width/thread invariant.
+TEST(Determinism, VarianceThreadInvariantForZooKernels) {
+  for (const char* spec : kVariancePinSpecs) {
+    VarianceFixture fx(spec);
+    khss::predict::BatchPredictor pred = fx.make();
+    la::Matrix s1, s2;
+    la::Vector v1, v2;
+    util::set_threads(1);
+    pred.predict_batch(fx.test, s1, &v1);
+    util::set_threads(util::hardware_threads());
+    pred.predict_batch(fx.test, s2, &v2);
+    expect_matrices_identical(s1, s2);
+    expect_vectors_identical(v1, v2, spec);
+  }
+}
+
+// Splitting a request into mini-batches must not move a single bit of either
+// output, for the same zoo kernels.
+TEST(Determinism, VarianceBatchSplitInvariantForZooKernels) {
+  util::set_threads(util::hardware_threads());
+  for (const char* spec : kVariancePinSpecs) {
+    VarianceFixture fx(spec);
+    khss::predict::BatchPredictor pred = fx.make();
+    la::Matrix one_scores;
+    la::Vector one_var;
+    pred.predict_batch(fx.test, one_scores, &one_var);
+    for (int batch : {1, 7, 31}) {
+      la::Matrix scores(fx.test.rows(), one_scores.cols());
+      la::Vector var(fx.test.rows());
+      la::Matrix cs;
+      la::Vector cv;
+      for (int ib = 0; ib < fx.test.rows(); ib += batch) {
+        const int bi = std::min(batch, fx.test.rows() - ib);
+        la::Matrix chunk = fx.test.block(ib, 0, bi, fx.test.cols());
+        pred.predict_batch(chunk, cs, &cv);
+        scores.set_block(ib, 0, cs);
+        for (int i = 0; i < bi; ++i) var[ib + i] = cv[i];
+      }
+      expect_matrices_identical(scores, one_scores);
+      expect_vectors_identical(var, one_var,
+                               std::string(spec) + " batch " +
+                                   std::to_string(batch));
+    }
   }
 }
 

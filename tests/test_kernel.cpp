@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "data/synthetic.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "la/blas.hpp"
 #include "la/chol.hpp"
 #include "util/rng.hpp"
@@ -207,6 +211,221 @@ TEST(Kernel, NameStrings) {
   EXPECT_EQ(k::kernel_name(k::KernelType::kGaussian), "gaussian");
   EXPECT_EQ(k::kernel_name(k::KernelType::kLaplacian), "laplacian");
   EXPECT_EQ(k::kernel_name(k::KernelType::kPolynomial), "polynomial");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kMatern32), "matern32");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kMatern52), "matern52");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kDot), "dot");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kSum), "sum");
+  EXPECT_EQ(k::kernel_name(k::KernelType::kProduct), "product");
+  for (int i = 0; i < k::kNumKernelTypes; ++i) {
+    const auto t = static_cast<k::KernelType>(i);
+    EXPECT_EQ(k::kernel_is_composite(t),
+              t == k::KernelType::kSum || t == k::KernelType::kProduct)
+        << k::kernel_name(t);
+  }
+}
+
+// --- kernel zoo: reference values for the new families ---------------------
+
+namespace {
+
+/// Two fixed points in 2-D: squared distance 13, dot product 1.
+la::Matrix two_points() {
+  la::Matrix pts(2, 2);
+  pts(0, 0) = 1.0;
+  pts(0, 1) = -2.0;
+  pts(1, 0) = 3.0;
+  pts(1, 1) = 1.0;
+  return pts;
+}
+
+k::KernelParams atom(k::KernelType type, double h, double weight = 1.0) {
+  k::KernelParams p;
+  p.type = type;
+  p.h = h;
+  p.weight = weight;
+  return p;
+}
+
+}  // namespace
+
+TEST(KernelZoo, Matern32Entry) {
+  const double h = 0.8;
+  k::KernelMatrix km(two_points(), atom(k::KernelType::kMatern32, h));
+  const double t = std::sqrt(3.0 * 13.0) / h;
+  EXPECT_NEAR(km.entry(0, 1), (1.0 + t) * std::exp(-t), 1e-15);
+  EXPECT_NEAR(km.entry(0, 0), 1.0, 1e-15);  // r = 0 -> unit diagonal
+}
+
+TEST(KernelZoo, Matern52Entry) {
+  const double h = 1.1;
+  k::KernelMatrix km(two_points(), atom(k::KernelType::kMatern52, h));
+  const double t = std::sqrt(5.0 * 13.0) / h;
+  EXPECT_NEAR(km.entry(0, 1), (1.0 + t + t * t / 3.0) * std::exp(-t), 1e-15);
+  EXPECT_NEAR(km.entry(1, 1), 1.0, 1e-15);
+}
+
+TEST(KernelZoo, DotEntry) {
+  k::KernelMatrix km(two_points(), atom(k::KernelType::kDot, 2.0));
+  EXPECT_NEAR(km.entry(0, 1), 1.0 / 4.0, 1e-15);
+  EXPECT_NEAR(km.entry(0, 0), 5.0 / 4.0, 1e-15);  // ||x0||^2 / h^2
+}
+
+TEST(KernelZoo, SumCompositeIsWeightedSumOfParts) {
+  k::KernelParams p;
+  p.type = k::KernelType::kSum;
+  p.terms.push_back(atom(k::KernelType::kGaussian, 1.0));
+  p.terms.push_back(atom(k::KernelType::kMatern32, 0.9, /*weight=*/0.5));
+
+  la::Matrix pts = random_points(20, 3, 17);
+  k::KernelMatrix km(pts, p);
+  k::KernelMatrix g(pts, atom(k::KernelType::kGaussian, 1.0));
+  k::KernelMatrix m(pts, atom(k::KernelType::kMatern32, 0.9));
+  for (int i = 0; i < 20; i += 3) {
+    for (int j = 0; j < 20; j += 5) {
+      EXPECT_DOUBLE_EQ(km.entry(i, j),
+                       g.entry(i, j) + 0.5 * m.entry(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(KernelZoo, ProductCompositeIsProductOfParts) {
+  k::KernelParams p;
+  p.type = k::KernelType::kProduct;
+  p.terms.push_back(atom(k::KernelType::kGaussian, 1.4));
+  p.terms.push_back(atom(k::KernelType::kDot, 2.0, /*weight=*/3.0));
+
+  la::Matrix pts = random_points(15, 4, 18);
+  k::KernelMatrix km(pts, p);
+  k::KernelMatrix g(pts, atom(k::KernelType::kGaussian, 1.4));
+  k::KernelMatrix d(pts, atom(k::KernelType::kDot, 2.0));
+  for (int i = 0; i < 15; i += 2) {
+    for (int j = 0; j < 15; j += 3) {
+      EXPECT_DOUBLE_EQ(km.entry(i, j),
+                       g.entry(i, j) * (3.0 * d.entry(i, j)))
+          << i << "," << j;
+    }
+  }
+}
+
+// --- kernel spec grammar: parse, print, validate ---------------------------
+
+TEST(KernelSpec, ParsesAtomsWithParameters) {
+  k::KernelParams p = k::parse_kernel_spec("matern52:h=0.7");
+  EXPECT_EQ(p.type, k::KernelType::kMatern52);
+  EXPECT_DOUBLE_EQ(p.h, 0.7);
+  EXPECT_TRUE(p.terms.empty());
+
+  p = k::parse_kernel_spec("polynomial:h=2:degree=3:coef0=1.5");
+  EXPECT_EQ(p.type, k::KernelType::kPolynomial);
+  EXPECT_EQ(p.degree, 3);
+  EXPECT_DOUBLE_EQ(p.coef0, 1.5);
+}
+
+TEST(KernelSpec, ParsesComposites) {
+  k::KernelParams p =
+      k::parse_kernel_spec("sum(gaussian:h=1,matern32:h=0.9:w=0.5)");
+  EXPECT_EQ(p.type, k::KernelType::kSum);
+  ASSERT_EQ(p.terms.size(), 2u);
+  EXPECT_EQ(p.terms[0].type, k::KernelType::kGaussian);
+  EXPECT_EQ(p.terms[1].type, k::KernelType::kMatern32);
+  EXPECT_DOUBLE_EQ(p.terms[1].weight, 0.5);
+
+  // Nested composites parse too.
+  p = k::parse_kernel_spec("product(sum(gaussian:h=1,dot:h=2),laplacian:h=3)");
+  EXPECT_EQ(p.type, k::KernelType::kProduct);
+  ASSERT_EQ(p.terms.size(), 2u);
+  EXPECT_EQ(p.terms[0].type, k::KernelType::kSum);
+}
+
+TEST(KernelSpec, PrintParseRoundTripIsBitExact) {
+  // parse(print(p)) must reproduce every field bit for bit — precision-17
+  // printing guarantees the doubles survive the text round trip.
+  const char* specs[] = {
+      "gaussian:h=1.2",
+      "matern52:h=0.9",
+      "dot:h=1.5",
+      "polynomial:h=2:degree=3:coef0=0.25",
+      "sum(gaussian:h=1,matern32:h=0.9:w=0.5)",
+      "product(gaussian:h=1.4,dot:h=2:w=3)",
+      "sum(product(matern52:h=0.7,dot:h=1):w=2,laplacian:h=0.3)",
+  };
+  std::function<void(const k::KernelParams&, const k::KernelParams&)> same =
+      [&](const k::KernelParams& a, const k::KernelParams& b) {
+        EXPECT_EQ(a.type, b.type);
+        EXPECT_EQ(a.h, b.h);
+        EXPECT_EQ(a.degree, b.degree);
+        EXPECT_EQ(a.coef0, b.coef0);
+        EXPECT_EQ(a.weight, b.weight);
+        ASSERT_EQ(a.terms.size(), b.terms.size());
+        for (std::size_t i = 0; i < a.terms.size(); ++i) {
+          same(a.terms[i], b.terms[i]);
+        }
+      };
+  for (const char* s : specs) {
+    SCOPED_TRACE(s);
+    k::KernelParams p = k::parse_kernel_spec(s);
+    const std::string printed = k::kernel_spec(p);
+    k::KernelParams back = k::parse_kernel_spec(printed);
+    same(p, back);
+    // Canonical form is a fixed point of print(parse(.)).
+    EXPECT_EQ(k::kernel_spec(back), printed);
+  }
+}
+
+TEST(KernelSpec, AwkwardDoublesSurviveTheTextRoundTrip) {
+  k::KernelParams p = atom(k::KernelType::kGaussian, 0.1 + 0.2);  // 0.30000..4
+  k::KernelParams back = k::parse_kernel_spec(k::kernel_spec(p));
+  EXPECT_EQ(back.h, p.h);  // bitwise, not NEAR
+}
+
+TEST(KernelSpec, RejectionsNameTheProblem) {
+  const struct {
+    const char* spec;
+    const char* needle;
+  } cases[] = {
+      {"sum(gaussian:h=1:w=-2,dot:h=1)", "positive"},  // negative weight
+      {"whoosh:h=1", "unknown kernel family 'whoosh'"},
+      {"gaussian:h=1 trailing", "trailing characters"},
+      {"gaussian:h=0.7x", "not a finite number"},
+      {"gaussian:h=-1", "h must be positive"},
+      {"sum", "needs a '(term,term,...)' list"},
+      {"sum(gaussian:h=1", "expected ',' or ')'"},
+      {"sum(gaussian:h=1):h=2", "only accepts 'w'"},
+      {"polynomial:h=1:degree=2.5", "must be an integer"},
+      {"gaussian:h=", "missing value"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    try {
+      (void)k::parse_kernel_spec(c.spec);
+      ADD_FAILURE() << "spec was accepted: " << c.spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(KernelSpec, DepthCapRefusesPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 20; ++i) deep += "sum(";
+  deep += "gaussian:h=1";
+  for (int i = 0; i < 20; ++i) deep += ")";
+  EXPECT_THROW((void)k::parse_kernel_spec(deep), std::invalid_argument);
+}
+
+TEST(KernelSpec, ValidateRejectsHandBuiltContradictions) {
+  // An atom carrying composite terms (only buildable by hand or by a
+  // corrupted model file — the parser cannot produce it).
+  k::KernelParams bad = atom(k::KernelType::kGaussian, 1.0);
+  bad.terms.push_back(atom(k::KernelType::kDot, 1.0));
+  EXPECT_THROW(k::validate_kernel_params(bad), std::invalid_argument);
+
+  // A childless composite.
+  k::KernelParams empty;
+  empty.type = k::KernelType::kSum;
+  EXPECT_THROW(k::validate_kernel_params(empty), std::invalid_argument);
 }
 
 // --- Eval budget: the matrix-free audit guard ------------------------------

@@ -13,7 +13,10 @@
 #include <stdexcept>
 
 #include "data/synthetic.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
+#include "la/lu.hpp"
 #include "predict/batch_predictor.hpp"
 #include "solver/solver.hpp"
 #include "util/rng.hpp"
@@ -191,6 +194,126 @@ TEST(PredictEdge, NystromFastPathTouchesLandmarkColumnsOnly) {
   EXPECT_EQ(pred.stats().kernel_evals,
             static_cast<long>(test.rows()) * landmarks);
   expect_parity(model, w, test, "nystrom-pruned");
+}
+
+// ---------------------------------------------------------------- variance
+
+namespace {
+
+/// Hand-computed dense-exact GP posterior variance
+///   sigma^2(x) = k(x, x) - k_*^T (K + lambda I)^{-1} k_*
+/// via an independent LU of the model's bound kernel (cluster-permuted
+/// training order — the same operator every backend solve approximates).
+la::Vector reference_variance(const krr::KRRModel& model,
+                              const la::Matrix& test) {
+  la::Matrix kreg = model.kernel().dense();  // K + lambda I, permuted order
+  la::LUFactor lu(kreg);
+  la::Matrix cross = model.kernel().cross(test);  // m x n, no diagonal shift
+  khss::kernel::KernelMatrix self(test, model.kernel().params(), 0.0);
+  const int n = kreg.rows();
+  la::Vector out(test.rows());
+  for (int i = 0; i < test.rows(); ++i) {
+    la::Vector ki(n);
+    for (int j = 0; j < n; ++j) ki[j] = cross(i, j);
+    la::Vector x = lu.solve(ki);
+    double quad = 0.0;
+    for (int j = 0; j < n; ++j) quad += ki[j] * x[j];
+    out[i] = self.entry(i, i) - quad;
+  }
+  return out;
+}
+
+}  // namespace
+
+// Every backend's served variance must agree with the dense-exact formula.
+// Options are pinned near-exact so the backend solve, not compression error,
+// is what is measured; the kernel is a zoo family (Matern-5/2) so the new
+// registry entries ride the same contract as the Gaussian default.
+TEST(PredictVariance, MatchesDenseExactFormulaForEveryBackend) {
+  const int n = 140, d = 4;
+  la::Matrix train = blob_points(n, d, 61);
+  la::Matrix test = random_points(25, d, 62);
+
+  for (krr::SolverBackend backend : solver::all_backends()) {
+    krr::KRROptions opts;
+    opts.backend = backend;
+    opts.kernel = khss::kernel::parse_kernel_spec("matern52:h=1.1");
+    opts.lambda = 2.0;
+    opts.hss_rtol = 1e-12;
+    opts.iterative_rtol = 1e-13;
+    opts.precond_rtol = 1e-4;
+    opts.nystrom_landmarks = n;
+    opts.seed = 7;
+    krr::KRRModel model(opts);
+    model.fit(train);
+
+    const la::Vector ref = reference_variance(model, test);
+    const la::Vector var = model.posterior_variance(test);
+    ASSERT_EQ(var.size(), ref.size());
+    // Nystrom solves regularized normal equations, which squares the
+    // conditioning; it gets a correspondingly looser (but still tight) bound.
+    const double tol =
+        backend == krr::SolverBackend::kNystrom ? 1e-6 : 1e-8;
+    for (std::size_t i = 0; i < var.size(); ++i) {
+      EXPECT_NEAR(var[i], ref[i], tol * (1.0 + std::fabs(ref[i])))
+          << krr::backend_name(backend) << " point " << i;
+      // lambda > 0 keeps the exact value strictly positive; a negative
+      // served variance beyond solve error would be a formula bug.
+      EXPECT_GT(var[i], -tol);
+    }
+  }
+}
+
+// The variance path attached to a long-lived serving predictor must be the
+// same arithmetic as the model's one-shot helper, bit for bit.
+TEST(PredictVariance, AttachedPredictorMatchesPosteriorVarianceBitwise) {
+  const int n = 90, d = 4;
+  la::Matrix train = blob_points(n, d, 63);
+  la::Matrix test = random_points(30, d, 64);
+  krr::KRRModel model(small_options(krr::SolverBackend::kDenseExact, n));
+  model.fit(train);
+
+  la::Matrix w = solve_weights(model, n, 3, 65);
+  predict::BatchPredictor pred = model.make_predictor(w);
+  EXPECT_FALSE(pred.variance_enabled());
+  model.attach_variance(pred);
+  EXPECT_TRUE(pred.variance_enabled());
+
+  la::Matrix scores;
+  la::Vector var;
+  pred.predict_batch(test, scores, &var);
+  const la::Vector direct = model.posterior_variance(test);
+  ASSERT_EQ(var.size(), direct.size());
+  for (std::size_t i = 0; i < var.size(); ++i) {
+    EXPECT_EQ(var[i], direct[i]) << "point " << i;
+  }
+  // Requesting variance must not perturb a single scoring bit.
+  la::Matrix plain;
+  pred.predict_batch(test, plain);
+  for (int i = 0; i < plain.rows(); ++i) {
+    for (int c = 0; c < plain.cols(); ++c) {
+      EXPECT_EQ(scores(i, c), plain(i, c));
+    }
+  }
+}
+
+// Asking for variance without an attached path is a state error, and must
+// not break plain scoring on the same predictor.
+TEST(PredictVariance, RequestWithoutAttachedPathThrows) {
+  const int n = 60, d = 3;
+  la::Matrix train = blob_points(n, d, 66);
+  krr::KRRModel model(small_options(krr::SolverBackend::kDenseExact, n));
+  model.fit(train);
+
+  predict::BatchPredictor pred =
+      model.make_predictor(solve_weights(model, n, 2, 67));
+  la::Matrix test = random_points(5, d, 68);
+  la::Matrix scores;
+  la::Vector var;
+  EXPECT_THROW(pred.predict_batch(test, scores, &var), std::logic_error);
+  EXPECT_NO_THROW(pred.predict_batch(test, scores));
+  // A null variance pointer is the plain scoring path, not an error.
+  EXPECT_NO_THROW(pred.predict_batch(test, scores, nullptr));
 }
 
 // ------------------------------------------------------------------ stress

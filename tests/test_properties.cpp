@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "cluster/ordering.hpp"
@@ -13,6 +16,7 @@
 #include "hss/build.hpp"
 #include "hss/ulv.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
 #include "la/blas.hpp"
 #include "la/chol.hpp"
@@ -136,6 +140,51 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(kn::KernelType::kGaussian,
                                          kn::KernelType::kLaplacian),
                        ::testing::Values(0.1, 0.5, 1.0, 4.0, 32.0)));
+
+// --- kernel zoo: every registered family stays PSD on random clouds ----------
+//
+// Randomized analogue of the sweep above for the full zoo, spec strings
+// included so the parse -> registry -> Gram pipeline is what is probed.  A
+// Cholesky succeeding after a tiny diagonal shift bounds the smallest Gram
+// eigenvalue at >= -shift, i.e. PSD up to roundoff.
+
+class KernelZooPSD : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelZooPSD, GramEigenvaluesHaveNonnegativeFloor) {
+  const kn::KernelParams params = kn::parse_kernel_spec(GetParam());
+  for (std::uint64_t seed : {211, 212, 213}) {
+    auto ds = blob_data(110, 4, seed);
+    kn::KernelMatrix km(ds.points, params, 0.0);
+    la::Matrix k = km.dense();
+    la::Matrix kt = k.transposed();
+    k.add(kt);
+    k.scale(0.5);
+    k.shift_diagonal(1e-10 * (1.0 + la::norm_max(k)));
+    EXPECT_TRUE(la::CholeskyFactor::is_spd(k))
+        << GetParam() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, KernelZooPSD,
+    ::testing::Values("gaussian:h=0.8", "laplacian:h=1.3",
+                      "polynomial:h=1.5:degree=2:coef0=1", "matern32:h=0.7",
+                      "matern52:h=1.1", "dot:h=1.5",
+                      "sum(gaussian:h=1,matern32:h=0.9:w=0.5)",
+                      "product(gaussian:h=1.4,dot:h=2)"));
+
+TEST(KernelZooRejection, NegativeCompositeWeightIsRefusedAtParse) {
+  // A negative term weight can push a sum outside the PSD cone, so the spec
+  // parser must refuse it before a Gram matrix is ever assembled.
+  try {
+    kn::parse_kernel_spec("sum(gaussian:h=1:w=-2,dot:h=1)");
+    FAIL() << "negative composite weight was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("positive semidefiniteness"),
+              std::string::npos)
+        << e.what();
+  }
+}
 
 // --- reordering is a symmetric permutation of the kernel matrix -------------
 

@@ -207,7 +207,104 @@ TEST_F(SerializeFaults, UnknownModelSchemaVersionIsRefused) {
     }
     writer.add_section(name, std::move(payload));
   }
-  expect_load_error(writer.serialize(), "unknown model schema version 999");
+  expect_load_error(writer.serialize(), "unsupported model schema version 999");
+}
+
+// ------------------------------------------- schema v2: kernel spec layout
+
+namespace {
+
+std::uint32_t meta_u32_at(const std::string& payload, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(payload[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Byte offset of the serialized kernel node inside the meta payload: the
+/// payload opens with the u32 schema and two length-prefixed strings
+/// (backend, ordering), then the kernel tree.
+std::size_t kernel_node_offset(const std::string& meta) {
+  std::size_t pos = 4;
+  pos += 4 + meta_u32_at(meta, pos);  // backend name
+  pos += 4 + meta_u32_at(meta, pos);  // ordering name
+  return pos;
+}
+
+/// Rebuild the container with a mutated meta payload; every CRC and table
+/// entry stays consistent, so the mutation under test is what fires.
+std::string with_patched_meta(const std::string& bytes,
+                              const std::function<void(std::string&)>& mutate) {
+  serialize::ContainerReader good(bytes, "pristine");
+  serialize::ContainerWriter writer;
+  for (const std::string& name : good.section_names()) {
+    std::string payload(good.section(name));
+    if (name == "meta") mutate(payload);
+    writer.add_section(name, std::move(payload));
+  }
+  return writer.serialize();
+}
+
+}  // namespace
+
+TEST_F(SerializeFaults, SchemaV1IsRefusedWithAMigrationHint) {
+  // Version 1 predates the serialized kernel tree; the loader must refuse it
+  // BY NAME and tell the operator what to do, not misparse the old layout.
+  expect_load_error(with_patched_meta(hss(),
+                                      [](std::string& meta) {
+                                        meta[0] = 1;
+                                        meta[1] = 0;
+                                        meta[2] = 0;
+                                        meta[3] = 0;
+                                      }),
+                    "predates the kernel-zoo");
+}
+
+TEST_F(SerializeFaults, UnknownKernelTypeTagIsRefused) {
+  // A family tag this build has never heard of (e.g. from a newer writer)
+  // must be named in the error, never silently mapped onto a known family.
+  expect_load_error(
+      with_patched_meta(hss(),
+                        [](std::string& meta) {
+                          meta[kernel_node_offset(meta)] =
+                              static_cast<char>(0xEE);
+                        }),
+      "unknown kernel type tag 238");
+}
+
+TEST_F(SerializeFaults, KernelChildCountPastSectionEndIsRefused) {
+  // The pristine Gaussian atom declares 0 children; lie and claim ~16M.  The
+  // reader must refuse from remaining-bytes accounting instead of recursing
+  // into bytes that do not exist.  (Node layout: u8 type, f64 h, i32 degree,
+  // f64 coef0, f64 weight = 29 bytes, then the u32 child count.)
+  expect_load_error(with_patched_meta(hss(),
+                                      [](std::string& meta) {
+                                        const std::size_t pos =
+                                            kernel_node_offset(meta) + 29;
+                                        meta[pos] = '\xff';
+                                        meta[pos + 1] = '\xff';
+                                        meta[pos + 2] = '\xff';
+                                        meta[pos + 3] = '\x00';
+                                      }),
+                    "children but only");
+}
+
+TEST_F(SerializeFaults, AtomSmugglingCompositeTermsIsRefused) {
+  // Byte-wise well-formed but semantically contradictory: a Gaussian ATOM
+  // carrying one (valid) child node.  Every CRC passes; the kernel
+  // validator, not the envelope, must refuse it.
+  expect_load_error(
+      with_patched_meta(hss(),
+                        [](std::string& meta) {
+                          const std::size_t node = kernel_node_offset(meta);
+                          const std::string child = meta.substr(node, 33);
+                          meta[node + 29] = 1;  // child count 0 -> 1
+                          meta.insert(node + 33, child);
+                        }),
+      "must not carry composite terms");
 }
 
 // --------------------------------------------------- structural attacks

@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include "data/synthetic.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
 #include "serialize/model_io.hpp"
 #include "serve/client.hpp"
@@ -226,6 +227,111 @@ TEST_F(ServeTest, EmptyBatchIsServed) {
   la::Matrix scores = client.score("m", la::Matrix(0, 4));
   EXPECT_EQ(scores.rows(), 0);
   EXPECT_EQ(scores.cols(), 3);
+  server->stop();
+}
+
+// ------------------------------------------------------------- GP variance
+
+TEST_F(ServeTest, VarianceOverTheSocketMatchesInProcessBitForBit) {
+  auto server = make_server("variance");
+  serve::ServeClient client(server->socket_path());
+
+  la::Vector var;
+  la::Matrix scores = client.score_with_variance("m", test_points(), &var);
+  // Asking for variance must not move a single scoring bit.
+  expect_bitwise_equal(scores, reference(), "variance-path scores");
+
+  // The daemon's ground truth: a fresh in-process load of the same file,
+  // variance path attached the same way the server does it.
+  serialize::LoadedModel loaded = serialize::load_model(model_path());
+  la::Matrix ref_scores;
+  la::Vector ref_var;
+  loaded.predictor.predict_batch(test_points(), ref_scores, &ref_var);
+  ASSERT_EQ(var.size(), ref_var.size());
+  for (std::size_t i = 0; i < var.size(); ++i) {
+    ASSERT_EQ(var[i], ref_var[i]) << "variance differs at " << i;
+  }
+
+  // Batch-split invariance holds across the socket too.
+  for (int batch : {1, 7, 16}) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    for (int i = 0; i < test_points().rows(); i += batch) {
+      const int rows = std::min(batch, test_points().rows() - i);
+      la::Vector part_var;
+      la::Matrix part = client.score_with_variance(
+          "m", test_points().block(i, 0, rows, test_points().cols()),
+          &part_var);
+      expect_bitwise_equal(part,
+                           reference().block(i, 0, rows, reference().cols()),
+                           "chunk scores");
+      ASSERT_EQ(part_var.size(), static_cast<std::size_t>(rows));
+      for (int j = 0; j < rows; ++j) {
+        ASSERT_EQ(part_var[j], ref_var[i + j])
+            << "chunk variance differs at " << i + j;
+      }
+    }
+  }
+  server->stop();
+}
+
+TEST_F(ServeTest, ListModelsV2ReportsTheCanonicalKernelSpec) {
+  auto server = make_server("listv2");
+  serve::ServeClient client(server->socket_path());
+  const std::vector<serve::ModelDescription> models = client.list_models();
+  ASSERT_EQ(models.size(), 1u);
+  // The daemon reports the canonical print of the spec the model was fitted
+  // with — compare against the canonicalizer, not a hard-coded string.
+  khss::kernel::KernelParams expected;
+  expected.h = 1.2;
+  EXPECT_EQ(models[0].kernel, khss::kernel::kernel_spec(expected));
+  server->stop();
+}
+
+// ------------------------------------------------- legacy protocol clients
+
+TEST_F(ServeTest, LegacyScoreAndListFramesKeepTheirExactLayout) {
+  // A client speaking only the v1 message types must round-trip bit-exactly
+  // AND see the exact old reply layouts: reading every declared field must
+  // exhaust the frame (no appended variance vector, no kernel string).
+  auto server = make_server("legacy");
+  const int fd = connect_raw(server->socket_path());
+  std::string response;
+
+  {
+    serialize::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(serve::MsgType::kScore));
+    w.str("m");
+    w.matrix(test_points());
+    serve::write_frame(fd, w.take());
+  }
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "legacy score response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kOk));
+    la::Matrix scores = r.matrix();
+    EXPECT_NO_THROW(r.expect_exhausted("legacy score response"));
+    expect_bitwise_equal(scores, reference(), "legacy kScore scores");
+  }
+
+  {
+    serialize::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(serve::MsgType::kListModels));
+    serve::write_frame(fd, w.take());
+  }
+  ASSERT_TRUE(serve::read_frame(fd, &response));
+  {
+    serialize::ByteReader r(response, "legacy list response");
+    EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(serve::Status::kOk));
+    ASSERT_EQ(r.u64(), 1u);
+    EXPECT_EQ(r.str(), "m");
+    EXPECT_EQ(r.i32(), 60);
+    EXPECT_EQ(r.i32(), 4);
+    EXPECT_EQ(r.i32(), 3);
+    EXPECT_EQ(r.str(), "hss-direct");
+    // v1 stops here: the kernel spec only rides the kListModelsV2 reply.
+    EXPECT_NO_THROW(r.expect_exhausted("legacy list response"));
+  }
+  ::close(fd);
   server->stop();
 }
 

@@ -1,9 +1,12 @@
-// Tests for grid search and the black-box (h, lambda) tuner.
+// Tests for grid search, the black-box (h, lambda) tuner, and the kernel
+// spec search over the zoo.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "data/synthetic.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "tune/tuner.hpp"
 #include "util/rng.hpp"
 
@@ -144,6 +147,78 @@ TEST(KRRObjective, AccuracyIsInUnitInterval) {
   const double acc = obj(1.0, 1.0);
   EXPECT_GE(acc, 0.0);
   EXPECT_LE(acc, 1.0);
+}
+
+TEST(SpecSearch, OneCompressionPerSpecAndCanonicalHistory) {
+  khss::util::Rng rng(12);
+  data::BlobSpec spec;
+  spec.n = 300;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.center_spread = 4.0;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  data::Split split = data::split_and_normalize(ds, 0.7, 0.3, 0.0, rng);
+
+  khss::krr::KRROptions base;
+  base.backend = khss::krr::SolverBackend::kDenseExact;
+  tune::SpecSearchSpec search;
+  search.specs = {"gaussian:h=1", "matern52:h=.9"};
+  search.lambdas = {0.5, 2.0};
+  tune::SpecSearchResult res = tune::kernel_spec_search(
+      base, split.train.points, split.train.one_vs_all(1),
+      split.validation.points, split.validation.one_vs_all(1), search);
+
+  // One fit per spec, one cheap set_lambda evaluation per (spec, lambda).
+  EXPECT_EQ(res.compressions, 2);
+  EXPECT_EQ(res.evaluations, 4);
+  ASSERT_EQ(res.history.size(), 4u);
+  // History records the CANONICAL spec print, not the user's spelling.
+  EXPECT_EQ(res.history[0].spec,
+            khss::kernel::kernel_spec(
+                khss::kernel::parse_kernel_spec("gaussian:h=1")));
+  EXPECT_EQ(res.history[2].spec,
+            khss::kernel::kernel_spec(
+                khss::kernel::parse_kernel_spec("matern52:h=.9")));
+  // The winner is one of the candidates, at one of the swept lambdas.
+  EXPECT_TRUE(res.best_spec == res.history[0].spec ||
+              res.best_spec == res.history[2].spec)
+      << res.best_spec;
+  EXPECT_TRUE(res.best_lambda == 0.5 || res.best_lambda == 2.0);
+  EXPECT_GE(res.best_accuracy, 0.0);
+  EXPECT_LE(res.best_accuracy, 1.0);
+  // Separated blobs: some candidate must actually learn.
+  EXPECT_GT(res.best_accuracy, 0.8);
+}
+
+TEST(SpecSearch, InvalidSpecThrowsBeforeAnyFitting) {
+  khss::util::Rng rng(13);
+  data::BlobSpec spec;
+  spec.n = 60;
+  spec.dim = 3;
+  data::Dataset ds = data::make_blobs(spec, rng);
+  data::Split split = data::split_and_normalize(ds, 0.7, 0.3, 0.0, rng);
+
+  khss::krr::KRROptions base;
+  base.backend = khss::krr::SolverBackend::kDenseExact;
+  tune::SpecSearchSpec search;
+  // The typo sits LAST: up-front parsing means it must fail before the
+  // first (valid) spec costs a fit.
+  search.specs = {"gaussian:h=1", "nope:h=2"};
+  EXPECT_THROW(tune::kernel_spec_search(base, split.train.points,
+                                        split.train.one_vs_all(1),
+                                        split.validation.points,
+                                        split.validation.one_vs_all(1),
+                                        search),
+               std::invalid_argument);
+
+  // Empty candidate lists are contract violations, not silent no-ops.
+  tune::SpecSearchSpec empty;
+  EXPECT_THROW(tune::kernel_spec_search(base, split.train.points,
+                                        split.train.one_vs_all(1),
+                                        split.validation.points,
+                                        split.validation.one_vs_all(1),
+                                        empty),
+               std::invalid_argument);
 }
 
 TEST(EndToEnd, TuningImprovesAccuracyOnKRR) {

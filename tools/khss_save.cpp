@@ -2,9 +2,9 @@
 //
 //   ./khss_save --out model.khss [--backend hss-direct] [--n 800] [--dim 8]
 //               [--classes 3] [--seed 1] [--h 1.2] [--lambda 1.0]
-//               [--rtol 1e-6] [--data file.csv]
+//               [--kernel "matern52:h=0.7"] [--rtol 1e-6] [--data file.csv]
 //               [--ntest 100] [--dump-test test.csv]
-//               [--dump-scores scores.csv]
+//               [--dump-scores scores.csv] [--dump-variance var.csv]
 //
 // Data: --data loads a labeled CSV (label first column, data/io.hpp);
 // otherwise a synthetic Gaussian-blob dataset is generated from the seed.
@@ -12,10 +12,16 @@
 // backend's compressed + factored state round-trips and the loaded model
 // scores bit-identically (tests/test_serialize_roundtrip.cpp).
 //
-// --dump-test / --dump-scores write a deterministic test-point matrix and
-// its IN-PROCESS decision scores as full-precision CSV (17 digits: doubles
-// round-trip exactly).  CI feeds the pair to khss_score --expect to prove
-// the daemon's socket answers match in-process scoring bit for bit.
+// --kernel takes any spec the kernel zoo parses (kernel/kernel_spec.hpp):
+// atoms like "gaussian:h=1.2" or "matern32:h=0.7", composites like
+// "sum(gaussian:h=1,dot:h=2:w=0.5)".  Without it the kernel is gaussian at
+// the --h bandwidth (the historical behavior, bit for bit).
+//
+// --dump-test / --dump-scores / --dump-variance write a deterministic
+// test-point matrix, its IN-PROCESS decision scores, and its IN-PROCESS GP
+// posterior variances as full-precision CSV (17 digits: doubles round-trip
+// exactly).  CI feeds them to khss_score --expect / --expect-variance to
+// prove the daemon's socket answers match in-process results bit for bit.
 
 #include <iostream>
 #include <stdexcept>
@@ -23,6 +29,7 @@
 
 #include "data/io.hpp"
 #include "data/synthetic.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "krr/krr.hpp"
 #include "serialize/model_io.hpp"
 #include "solver/solver.hpp"
@@ -69,7 +76,12 @@ int main(int argc, char** argv) {
     krr::KRROptions opts;
     opts.backend = solver::backend_from_name_cli(
         args.get_string("backend", "hss-direct"));
-    opts.kernel.h = args.get_double("h", 1.2);
+    const std::string kernel_spec_arg = args.get_string("kernel", "");
+    if (!kernel_spec_arg.empty()) {
+      opts.kernel = kernel::parse_kernel_spec(kernel_spec_arg);
+    } else {
+      opts.kernel.h = args.get_double("h", 1.2);
+    }
     opts.lambda = args.get_double("lambda", 1.0);
     opts.hss_rtol = args.get_double("rtol", 1e-6);
     opts.nystrom_landmarks =
@@ -78,7 +90,8 @@ int main(int argc, char** argv) {
 
     // ---------------------------------------------------------- fit + save
     std::cout << "khss_save: fitting " << solver::backend_name(opts.backend)
-              << " on " << ds.n() << " points (dim " << ds.dim() << ", "
+              << " with kernel " << kernel::kernel_spec(opts.kernel) << " on "
+              << ds.n() << " points (dim " << ds.dim() << ", "
               << ds.num_classes << " classes, " << util::max_threads()
               << " threads)\n";
     util::Timer fit_timer;
@@ -93,7 +106,8 @@ int main(int argc, char** argv) {
     // ------------------------------------------- optional test-point dump
     const std::string dump_test = args.get_string("dump-test", "");
     const std::string dump_scores = args.get_string("dump-scores", "");
-    if (!dump_test.empty() || !dump_scores.empty()) {
+    const std::string dump_variance = args.get_string("dump-variance", "");
+    if (!dump_test.empty() || !dump_scores.empty() || !dump_variance.empty()) {
       const int ntest = static_cast<int>(args.get_int("ntest", 100));
       util::Rng rng(seed + 1);
       la::Matrix test(ntest, ds.dim());
@@ -106,6 +120,16 @@ int main(int argc, char** argv) {
       if (!dump_scores.empty()) {
         data::save_matrix_csv(clf.decision_scores(test), dump_scores);
         std::cout << "wrote in-process scores to " << dump_scores << "\n";
+      }
+      if (!dump_variance.empty()) {
+        const la::Vector var = clf.model().posterior_variance(test);
+        la::Matrix vm(static_cast<int>(var.size()), 1);
+        for (std::size_t i = 0; i < var.size(); ++i) {
+          vm(static_cast<int>(i), 0) = var[i];
+        }
+        data::save_matrix_csv(vm, dump_variance);
+        std::cout << "wrote in-process posterior variances to "
+                  << dump_variance << "\n";
       }
     }
   } catch (const std::exception& e) {

@@ -3,6 +3,8 @@
 //
 //   ./khss_score --socket /tmp/khss.sock --model NAME --points test.csv
 //                [--expect scores.csv] [--out scores.csv] [--batch B]
+//                [--variance] [--expect-variance var.csv]
+//                [--out-variance var.csv] [--kernel SPEC]
 //
 // --points is a bare numeric CSV (one test point per row).  --batch splits
 // the request into B-row frames — the answers must not change, that is the
@@ -11,6 +13,13 @@
 // written at 17 significant digits, which round-trips doubles): any
 // difference means the daemon is not serving the model that produced the
 // reference, and the tool exits 1 naming the first mismatching entry.
+//
+// --variance switches to the kScoreVariance request: the daemon also
+// returns one GP posterior variance per point, compared/written by
+// --expect-variance / --out-variance with the same exact-equality rule
+// (variances are batch-split invariant just like scores).  --kernel asserts
+// the served model's canonical kernel spec (via kListModelsV2) matches the
+// given spec — a cheap guard against scoring through the wrong model file.
 
 #include <algorithm>
 #include <iostream>
@@ -18,6 +27,7 @@
 #include <string>
 
 #include "data/io.hpp"
+#include "kernel/kernel_spec.hpp"
 #include "la/matrix.hpp"
 #include "serve/client.hpp"
 #include "util/argparse.hpp"
@@ -33,34 +43,87 @@ int main(int argc, char** argv) {
     std::cerr << args.program()
               << ": usage: khss_score --socket PATH --model NAME "
                  "--points test.csv [--expect scores.csv] [--out out.csv] "
-                 "[--batch B]\n";
+                 "[--batch B] [--variance] [--expect-variance var.csv] "
+                 "[--out-variance var.csv] [--kernel SPEC]\n";
     return 2;
   }
 
   try {
     const la::Matrix points = data::load_matrix_csv(points_path);
     const int batch = static_cast<int>(args.get_int("batch", 0));
+    const bool want_variance = args.get_bool("variance", false) ||
+                               args.has("expect-variance") ||
+                               args.has("out-variance");
 
     serve::ServeClient client(socket_path);
+
+    const std::string kernel_arg = args.get_string("kernel", "");
+    if (!kernel_arg.empty()) {
+      // Canonicalize both sides so "matern52:h=.7" matches "matern52:h=0.7".
+      const std::string want =
+          kernel::kernel_spec(kernel::parse_kernel_spec(kernel_arg));
+      std::string got;
+      bool found = false;
+      for (const serve::ModelDescription& d : client.list_models()) {
+        if (d.name == model) {
+          got = d.kernel;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << args.program() << ": daemon does not serve model '"
+                  << model << "'\n";
+        return 1;
+      }
+      if (got != want) {
+        std::cerr << args.program() << ": model '" << model
+                  << "' serves kernel " << got << " but --kernel asked for "
+                  << want << "\n";
+        return 1;
+      }
+      std::cout << "model '" << model << "' serves kernel " << got << "\n";
+    }
+
     la::Matrix scores;
+    la::Vector variance;
     if (batch <= 0 || batch >= points.rows()) {
-      scores = client.score(model, points);
+      scores = want_variance
+                   ? client.score_with_variance(model, points, &variance)
+                   : client.score(model, points);
     } else {
       for (int i = 0; i < points.rows(); i += batch) {
         const int rows = std::min(batch, points.rows() - i);
-        la::Matrix part =
-            client.score(model, points.block(i, 0, rows, points.cols()));
+        const la::Matrix chunk = points.block(i, 0, rows, points.cols());
+        la::Matrix part;
+        if (want_variance) {
+          la::Vector vpart;
+          part = client.score_with_variance(model, chunk, &vpart);
+          variance.insert(variance.end(), vpart.begin(), vpart.end());
+        } else {
+          part = client.score(model, chunk);
+        }
         if (i == 0) scores.resize(points.rows(), part.cols());
         scores.set_block(i, 0, part);
       }
     }
     std::cout << "scored " << scores.rows() << " points x " << scores.cols()
-              << " outputs via " << socket_path << "\n";
+              << " outputs via " << socket_path
+              << (want_variance ? " (with posterior variance)" : "") << "\n";
 
     const std::string out = args.get_string("out", "");
     if (!out.empty()) {
       data::save_matrix_csv(scores, out);
       std::cout << "wrote " << out << "\n";
+    }
+    const std::string out_variance = args.get_string("out-variance", "");
+    if (!out_variance.empty()) {
+      la::Matrix vm(static_cast<int>(variance.size()), 1);
+      for (std::size_t i = 0; i < variance.size(); ++i) {
+        vm(static_cast<int>(i), 0) = variance[i];
+      }
+      data::save_matrix_csv(vm, out_variance);
+      std::cout << "wrote " << out_variance << "\n";
     }
 
     const std::string expect_path = args.get_string("expect", "");
@@ -86,6 +149,31 @@ int main(int argc, char** argv) {
       }
       std::cout << "all " << scores.rows() * scores.cols()
                 << " scores match " << expect_path << " bit for bit\n";
+    }
+
+    const std::string expect_variance_path =
+        args.get_string("expect-variance", "");
+    if (!expect_variance_path.empty()) {
+      const la::Matrix expect = data::load_matrix_csv(expect_variance_path);
+      if (expect.rows() != static_cast<int>(variance.size()) ||
+          expect.cols() != 1) {
+        std::cerr << args.program() << ": " << expect_variance_path << " is "
+                  << expect.rows() << " x " << expect.cols()
+                  << " but the daemon returned " << variance.size()
+                  << " variances\n";
+        return 1;
+      }
+      for (int i = 0; i < expect.rows(); ++i) {
+        if (variance[static_cast<std::size_t>(i)] != expect(i, 0)) {
+          std::cerr.precision(17);
+          std::cerr << args.program() << ": variance mismatch at row " << i
+                    << ": served " << variance[static_cast<std::size_t>(i)]
+                    << " vs expected " << expect(i, 0) << "\n";
+          return 1;
+        }
+      }
+      std::cout << "all " << expect.rows() << " posterior variances match "
+                << expect_variance_path << " bit for bit\n";
     }
   } catch (const std::exception& e) {
     std::cerr << args.program() << ": " << e.what() << "\n";

@@ -2,10 +2,13 @@
 // over a local socket.
 //
 //   ./khss_serve --socket /tmp/khss.sock model.khss [name=other.khss ...]
-//                [--max-batch 4096] [--threads N]
+//                [--max-batch 4096] [--threads N] [--kernel SPEC]
 //
 // Each positional argument is a model file; `name=path` picks the serving
 // name explicitly, otherwise the file's basename (minus extension) is used.
+// --kernel asserts every loaded model's canonical kernel spec matches SPEC
+// (kernel/kernel_spec.hpp grammar) — a deploy-time guard that the model
+// files on disk are the kernels the operator thinks they are.
 // Clients speak the length-prefixed protocol in src/serve/protocol.hpp
 // (khss_score, bench_serving --serve, or serve::ServeClient directly).
 // Concurrent requests for the same model are coalesced into dynamic batches
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/kernel_spec.hpp"
 #include "serialize/model_io.hpp"
 #include "serve/server.hpp"
 #include "solver/solver.hpp"
@@ -72,15 +76,27 @@ int main(int argc, char** argv) {
 
   serve::ModelServer server(opts);
   try {
+    const std::string kernel_arg = args.get_string("kernel", "");
+    const std::string want_kernel =
+        kernel_arg.empty()
+            ? std::string()
+            : kernel::kernel_spec(kernel::parse_kernel_spec(kernel_arg));
     for (const std::string& arg : args.positional()) {
       const auto [name, path] = parse_model_arg(arg);
       serialize::LoadedModel loaded = serialize::load_model(path);
+      const std::string spec =
+          kernel::kernel_spec(loaded.model.options().kernel);
       std::cout << "loaded '" << name << "' from " << path << ": n = "
                 << loaded.model.n() << ", dim = " << loaded.predictor.dim()
                 << ", outputs = " << loaded.predictor.num_outputs()
                 << ", backend = "
                 << solver::backend_name(loaded.model.options().backend)
-                << "\n";
+                << ", kernel = " << spec << "\n";
+      if (!want_kernel.empty() && spec != want_kernel) {
+        throw std::runtime_error("model '" + name + "' from " + path +
+                                 " serves kernel " + spec +
+                                 " but --kernel requires " + want_kernel);
+      }
       server.add_model(name, std::move(loaded));
     }
     server.start();

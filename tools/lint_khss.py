@@ -32,6 +32,14 @@ Rules (ids used in tools/lint_allowlist.txt):
       (Scope is src/ only: tests and benches accumulate reference errors
       by design.)
 
+  kernel-type-switch
+      A `case ... KernelType::` label outside src/kernel/.  Kernel-family
+      dispatch lives in the registry in src/kernel/kernel.cpp; a switch over
+      KernelType anywhere else silently goes stale the next time a family is
+      added.  Branch on kernel::kernel_is_composite / kernel_name or extend
+      the registry instead.  (Scope is src/ only: tests may enumerate
+      families to pin registry behaviour.)
+
 Allowlist format (tools/lint_allowlist.txt): one entry per line,
 
     rule-id|path/relative/to/repo|substring-of-offending-line
@@ -57,6 +65,7 @@ RULE_SCOPE = {
     "unseeded-rng": SCAN_DIRS,
     "omp-no-schedule": SCAN_DIRS,
     "double-accumulation": ("src",),
+    "kernel-type-switch": ("src",),
 }
 
 NUMERIC_PARSE = re.compile(
@@ -67,6 +76,7 @@ UNSEEDED_RNG = re.compile(
 OMP_PARALLEL_FOR = re.compile(r"#\s*pragma\s+omp\s.*\bparallel\b.*\bfor\b")
 DOUBLE_ACC_DECL = re.compile(r"\bdouble\s+(\w+)(?:\s*=\s*0(?:\.0*)?\s*[;,]|\s*=\s*0(?:\.0*)?\s*$)")
 ACC_WINDOW = 30  # lines after the declaration in which `x +=` counts
+KERNEL_TYPE_SWITCH = re.compile(r"\bcase\s+(?:\w+::)*KernelType::")
 
 
 def strip_comments(lines):
@@ -144,6 +154,10 @@ def scan_file(rel, raw):
             folded = fold_pragma(code, idx)
             if "schedule" not in folded and "taskloop" not in folded:
                 findings.append(("omp-no-schedule", rel, no, text))
+        if in_scope("kernel-type-switch") and not rel.startswith(
+                os.path.join("src", "kernel") + os.sep):
+            if KERNEL_TYPE_SWITCH.search(line):
+                findings.append(("kernel-type-switch", rel, no, text))
         if in_scope("double-accumulation") and not rel.startswith(
                 os.path.join("src", "la") + os.sep):
             m = DOUBLE_ACC_DECL.search(line)
